@@ -1,0 +1,42 @@
+// Command epiprofile generates the energy-per-instruction profile of
+// the synthetic zEC12-like ISA: one micro-benchmark per instruction,
+// measured on the cycle-level executor, ranked by power (the paper's
+// Table I methodology).
+//
+// Usage:
+//
+//	epiprofile [-n 5] [-all] [-unit FXU]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voltnoise"
+)
+
+func main() {
+	n := flag.Int("n", 5, "entries to show from each end of the rank")
+	all := flag.Bool("all", false, "dump the full ranking")
+	unit := flag.String("unit", "", "restrict the dump to one functional unit (FXU, BRU, LSU, BFU, DFU, SYS)")
+	flag.Parse()
+
+	prof, err := voltnoise.EPIProfile()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epiprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if !*all && *unit == "" {
+		fmt.Print(prof.TableI(*n))
+		return
+	}
+	fmt.Printf("%-5s %-10s %-6s %-55s %6s %6s\n", "Rank", "Instr.", "Unit", "Description", "Power", "IPC")
+	for i, e := range prof.Entries {
+		if *unit != "" && e.Instr.Unit.String() != *unit {
+			continue
+		}
+		fmt.Printf("%-5d %-10s %-6s %-55s %6.2f %6.2f\n",
+			i+1, e.Instr.Mnemonic, e.Instr.Unit, e.Instr.Desc, e.RelPower, e.IPC)
+	}
+}

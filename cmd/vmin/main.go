@@ -1,0 +1,69 @@
+// Command vmin runs a Vmin experiment: lower the supply in the
+// service element's 0.5% steps while running a stressmark until the
+// first core fails its critical-path timing, and report the available
+// voltage margin (the paper's Section III / Figure 12 methodology).
+//
+// Usage:
+//
+//	vmin [-freq 2.5e6] [-events 1000] [-nosync] [-failv 0.875] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voltnoise"
+)
+
+func main() {
+	freq := flag.Float64("freq", 2.5e6, "stimulus frequency in Hz")
+	events := flag.Int("events", 1000, "consecutive delta-I events per burst (sync mode)")
+	nosync := flag.Bool("nosync", false, "run the stressmark free-running instead of TOD-synchronized")
+	failV := flag.Float64("failv", 0, "critical-path failure threshold in volts (0 = calibrated default)")
+	quick := flag.Bool("quick", false, "reduced search")
+	flag.Parse()
+
+	scfg := voltnoise.DefaultSearchConfig()
+	if *quick {
+		scfg = voltnoise.QuickSearchConfig()
+	}
+	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
+	if err != nil {
+		fatal(err)
+	}
+	lab, err := voltnoise.NewLab(plat, scfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	vcfg := voltnoise.DefaultVminConfig()
+	if *failV > 0 {
+		vcfg.FailVoltage = *failV
+	}
+	eventList := []int{*events}
+	if *nosync {
+		eventList = []int{0}
+	}
+	pts, err := lab.ConsecutiveEventStudy([]float64{*freq}, eventList, vcfg)
+	if err != nil {
+		fatal(err)
+	}
+	p := pts[0]
+	mode := "synchronized"
+	if *nosync {
+		mode = "unsynchronized"
+	}
+	fmt.Printf("stressmark: %s at %g Hz (%s)\n", lab.MaxSeq.Mnemonics(), *freq, mode)
+	fmt.Printf("fail threshold: %.3f V; bias lowered in %.1f%% steps\n", vcfg.FailVoltage, 0.5)
+	if p.Failed {
+		fmt.Printf("available margin: %.1f%% of nominal before first failure\n", p.MarginPercent)
+	} else {
+		fmt.Printf("no failure down to bias %.3f; margin at least %.1f%%\n", vcfg.MinBias, p.MarginPercent)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vmin: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Noise-aware workload mapping: the paper's Section VII-A. Schedule
+// three worst-case stressmarks on the six-core chip, enumerate all 20
+// placements, and show that placements concentrated in one layout
+// cluster are noisier than placements spread across the two on-die
+// voltage domains — headroom a noise-aware scheduler can reclaim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltnoise"
+)
+
+func main() {
+	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Figure 14 experiment: three synchronized max stressmarks.
+	ops, err := lab.MappingOpportunity(2e6, 100, []int{3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := ops[0]
+	fmt.Println("three worst-case dI/dt stressmarks on six cores, all 20 placements measured:")
+	fmt.Printf("  best placement:  cores %v -> worst-case %.1f %%p2p (on core %d)\n",
+		op.Best.Cores, op.Best.WorstP2P, op.Best.WorstCore)
+	fmt.Printf("  worst placement: cores %v -> worst-case %.1f %%p2p (on core %d)\n",
+		op.Worst.Cores, op.Worst.WorstP2P, op.Worst.WorstCore)
+	fmt.Printf("  noise-aware mapping gain: %.1f %%p2p points\n", op.GainP2P)
+	fmt.Printf("  (the paper measured 24.6 vs 28.2 %%p2p for spread vs same-cluster placements)\n")
+
+	// The Figure 15 study: the opportunity across workload counts.
+	fmt.Println("\nmapping opportunity by workload count (Figure 15):")
+	all, err := lab.MappingOpportunity(2e6, 100, []int{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  workloads   best    worst    gain")
+	for _, o := range all {
+		fmt.Printf("  %9d  %5.1f   %5.1f   %5.1f\n",
+			o.Workloads, o.Best.WorstP2P, o.Worst.WorstP2P, o.GainP2P)
+	}
+	fmt.Println("  (gains peak at 2-4 workloads: too few cannot collide, too many leave no choice)")
+}

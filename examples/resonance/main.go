@@ -1,0 +1,65 @@
+// Resonance discovery: the paper's Section V-A workflow. Sweep the
+// dI/dt stressmark's stimulus frequency across five decades, read the
+// noise sensors, locate the PDN's resonant bands, and cross-check them
+// against the AC impedance profile (the package-characterization view
+// of the same physics).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"voltnoise"
+)
+
+func main() {
+	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	freqs := voltnoise.LogSpace(1e3, 20e6, 25)
+	sweep, err := lab.FrequencySweep(freqs, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("noise vs stimulus frequency (unsynchronized, one copy per core):")
+	maxNoise := 0.0
+	for _, p := range sweep {
+		if p.Worst() > maxNoise {
+			maxNoise = p.Worst()
+		}
+	}
+	var worstFreq float64
+	for _, p := range sweep {
+		bar := strings.Repeat("#", int(p.Worst()/maxNoise*40))
+		fmt.Printf("%10.3gHz %5.1f %s\n", p.Freq, p.Worst(), bar)
+		if p.Worst() == maxNoise {
+			worstFreq = p.Freq
+		}
+	}
+	fmt.Printf("\nnoisiest stimulus: %.3g Hz\n", worstFreq)
+
+	// Cross-check with the impedance profile, as the paper does with
+	// its Figure 7b.
+	prof, err := lab.ImpedanceProfile(voltnoise.LogSpace(1e3, 100e6, 300))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peaks := voltnoise.ImpedancePeaks(prof)
+	fmt.Println("\nimpedance-profile peaks (the same bands, seen electrically):")
+	for i, p := range peaks {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("  %.3g Hz: %.3f mOhm\n", p.Freq, p.Mag()*1e3)
+	}
+	fmt.Println("\nthe noise peak and the first-droop impedance peak coincide:")
+	fmt.Printf("  noise band %.3g Hz vs impedance band %.3g Hz\n", worstFreq, peaks[0].Freq)
+}

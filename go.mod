@@ -1,0 +1,3 @@
+module voltnoise
+
+go 1.22

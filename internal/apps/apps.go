@@ -1,0 +1,182 @@
+// Package apps provides a small suite of synthetic application-like
+// workloads — the "regular user codes" the paper contrasts its
+// stressmarks against. Each app is built from real ISA programs with a
+// characteristic phase structure (steady compute, bursty service,
+// phase-alternating analytics, memory-bound streaming), lowered to
+// platform workloads through the same core model as the stressmarks.
+//
+// Their role is validation: a correct stressmark methodology must
+// bound every application's noise and power ("maximum power
+// stressmarks showed ~20% higher than worst case regular user codes"),
+// and the suite gives the guard-banding and scheduling studies
+// realistic inputs.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"voltnoise/internal/core"
+	"voltnoise/internal/isa"
+	"voltnoise/internal/uarch"
+)
+
+// App is one synthetic application.
+type App struct {
+	// Name identifies the app.
+	Name string
+	// Description says what it imitates.
+	Description string
+	// Phases are the repeating activity phases.
+	Phases []Phase
+}
+
+// Phase is one activity segment of an app.
+type Phase struct {
+	// Program is the instruction mix executed during the phase.
+	Program *uarch.Program
+	// Duration is the phase length in seconds.
+	Duration float64
+}
+
+// Period returns the app's repeating period.
+func (a *App) Period() float64 {
+	total := 0.0
+	for _, p := range a.Phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// Validate reports whether the app is well formed.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("apps: unnamed app")
+	}
+	if len(a.Phases) == 0 {
+		return fmt.Errorf("apps: %s has no phases", a.Name)
+	}
+	for i, p := range a.Phases {
+		if p.Program == nil || p.Program.Len() == 0 {
+			return fmt.Errorf("apps: %s phase %d has no program", a.Name, i)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("apps: %s phase %d has duration %g", a.Name, i, p.Duration)
+		}
+	}
+	return nil
+}
+
+// Workload lowers the app to a platform workload: each phase runs at
+// its analytic steady-state power, with pipeline-scale slews between
+// phases.
+func (a *App) Workload(cfg uarch.Config) (core.Workload, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	type seg struct {
+		start, end float64
+		power      float64
+	}
+	segs := make([]seg, len(a.Phases))
+	t := 0.0
+	for i, p := range a.Phases {
+		segs[i] = seg{start: t, end: t + p.Duration, power: cfg.Power(p.Program)}
+		t += p.Duration
+	}
+	period := t
+	const slew = 2e-9
+	return core.FuncWorkload{
+		Label: a.Name,
+		Fn: func(tm float64) float64 {
+			pos := math.Mod(tm, period)
+			if pos < 0 {
+				pos += period
+			}
+			for i, s := range segs {
+				if pos < s.start || pos >= s.end {
+					continue
+				}
+				// Slew from the previous phase's level at the segment
+				// boundary.
+				if d := pos - s.start; d < slew {
+					prev := segs[(i+len(segs)-1)%len(segs)].power
+					return prev + (s.power-prev)*d/slew
+				}
+				return s.power
+			}
+			return segs[len(segs)-1].power
+		},
+	}, nil
+}
+
+// MeanPower returns the app's time-weighted mean power.
+func (a *App) MeanPower(cfg uarch.Config) float64 {
+	total, energy := 0.0, 0.0
+	for _, p := range a.Phases {
+		energy += cfg.Power(p.Program) * p.Duration
+		total += p.Duration
+	}
+	return energy / total
+}
+
+// Suite builds the standard application suite from the instruction
+// table. The mixes draw on the full ISA (fixed point, loads/stores,
+// floating point, decimal, system) the way the corresponding
+// application classes do.
+func Suite(table *isa.Table) []*App {
+	get := func(mn string) *isa.Instruction { return table.MustLookup(mn) }
+	// Representative mixes. Mnemonics are pinned or guaranteed by the
+	// generator's category lists.
+	intMix := uarch.MustProgram("int-mix", []*isa.Instruction{
+		get("AR"), get("CHHSI"), get("L"), get("NR"), get("ST"), get("CIB"),
+	})
+	fpMix := uarch.MustProgram("fp-mix", []*isa.Instruction{
+		get("MEB"), get("AR"), get("L"), get("MEB"), get("ST"), get("CIB"),
+	})
+	memMix := uarch.MustProgram("mem-mix", []*isa.Instruction{
+		get("L"), get("ST"), get("L"), get("MVC"), get("CIB"),
+	})
+	dfpMix := uarch.MustProgram("dfp-mix", []*isa.Instruction{
+		get("ADTR"), get("L"), get("MDTRA"), get("ST"), get("CIB"),
+	})
+	sysMix := uarch.MustProgram("sys-mix", []*isa.Instruction{
+		get("STCK"), get("L"), get("AR"), get("CIB"),
+	})
+
+	return []*App{
+		{
+			Name:        "batch-compute",
+			Description: "steady integer/FP number crunching",
+			Phases: []Phase{
+				{Program: intMix, Duration: 40e-6},
+				{Program: fpMix, Duration: 40e-6},
+			},
+		},
+		{
+			Name:        "web-serving",
+			Description: "bursty request handling over an idle-ish base",
+			Phases: []Phase{
+				{Program: intMix, Duration: 4e-6},
+				{Program: sysMix, Duration: 12e-6},
+			},
+		},
+		{
+			Name:        "analytics",
+			Description: "alternating scan (memory) and aggregate (compute) phases",
+			Phases: []Phase{
+				{Program: memMix, Duration: 20e-6},
+				{Program: fpMix, Duration: 10e-6},
+			},
+		},
+		{
+			Name:        "transaction",
+			Description: "decimal-heavy OLTP-style processing with logging",
+			Phases: []Phase{
+				{Program: dfpMix, Duration: 15e-6},
+				{Program: memMix, Duration: 5e-6},
+				{Program: sysMix, Duration: 5e-6},
+			},
+		},
+	}
+}

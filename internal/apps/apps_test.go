@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"voltnoise/internal/core"
+	"voltnoise/internal/isa"
+	"voltnoise/internal/stressmark"
+	"voltnoise/internal/uarch"
+)
+
+func suite(t *testing.T) []*App {
+	t.Helper()
+	return Suite(isa.ZEC12Table())
+}
+
+func TestSuiteValidates(t *testing.T) {
+	apps := suite(t)
+	if len(apps) < 3 {
+		t.Fatalf("suite has %d apps", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate app %s", a.Name)
+		}
+		names[a.Name] = true
+		if a.Period() <= 0 {
+			t.Errorf("%s period %g", a.Name, a.Period())
+		}
+	}
+}
+
+func TestAppValidation(t *testing.T) {
+	table := isa.ZEC12Table()
+	p := uarch.MustProgram("x", []*isa.Instruction{table.MustLookup("AR")})
+	cases := map[string]App{
+		"unnamed":       {Phases: []Phase{{Program: p, Duration: 1}}},
+		"no phases":     {Name: "a"},
+		"nil program":   {Name: "a", Phases: []Phase{{Duration: 1}}},
+		"zero duration": {Name: "a", Phases: []Phase{{Program: p}}},
+	}
+	for name, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+		if _, err := a.Workload(uarch.DefaultConfig()); err == nil {
+			t.Errorf("%s: workload built", name)
+		}
+	}
+}
+
+func TestWorkloadPhasesAndPeriodicity(t *testing.T) {
+	cfg := uarch.DefaultConfig()
+	apps := suite(t)
+	app := apps[0] // batch-compute: two 40us phases
+	w, err := app.Workload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := cfg.Power(app.Phases[0].Program)
+	p1 := cfg.Power(app.Phases[1].Program)
+	if got := w.Power(20e-6); math.Abs(got-p0) > 1e-9 {
+		t.Errorf("phase 0 power %g, want %g", got, p0)
+	}
+	if got := w.Power(60e-6); math.Abs(got-p1) > 1e-9 {
+		t.Errorf("phase 1 power %g, want %g", got, p1)
+	}
+	// Periodic.
+	if a, b := w.Power(20e-6), w.Power(20e-6+app.Period()); a != b {
+		t.Errorf("not periodic: %g vs %g", a, b)
+	}
+	// Mean power matches the phase-weighted mean.
+	want := app.MeanPower(cfg)
+	got := 0.0
+	n := 0
+	for tm := 0.0; tm < app.Period(); tm += 0.5e-6 {
+		got += w.Power(tm)
+		n++
+	}
+	got /= float64(n)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("mean power %g, want %g", got, want)
+	}
+}
+
+var (
+	noiseOnce sync.Once
+	appNoise  map[string]float64
+	markNoise float64
+	noiseErr  error
+)
+
+// measureAll runs every app and the max stressmark on the platform.
+func measureAll(t *testing.T) (map[string]float64, float64) {
+	t.Helper()
+	noiseOnce.Do(func() {
+		scfg := stressmark.DefaultSearchConfig()
+		scfg.SeqLen = 3
+		scfg.NumCandidates = 5
+		scfg.KeepTopIPC = 50
+		scfg.EvalCycles = 1024
+		res, err := stressmark.FindMaxPowerSequence(scfg)
+		if err != nil {
+			noiseErr = err
+			return
+		}
+		pcfg := core.DefaultConfig()
+		plat, err := core.New(pcfg)
+		if err != nil {
+			noiseErr = err
+			return
+		}
+		appNoise = map[string]float64{}
+		for _, a := range Suite(scfg.Table) {
+			w, err := a.Workload(pcfg.Core)
+			if err != nil {
+				noiseErr = err
+				return
+			}
+			var wl [core.NumCores]core.Workload
+			for i := range wl {
+				wl[i] = w
+			}
+			m, err := plat.Run(core.RunSpec{Workloads: wl, Start: 0, Duration: 3 * a.Period()})
+			if err != nil {
+				noiseErr = err
+				return
+			}
+			worst, _ := m.WorstP2P()
+			appNoise[a.Name] = worst
+		}
+		spec := stressmark.Spec{
+			HighSeq: res.Best, LowSeq: stressmark.MinPowerSequence(scfg),
+			StimulusFreq: 2e6, Duty: 0.5,
+		}
+		wl, err := stressmark.UnsyncWorkloads(spec, pcfg.Core, scfg.Table)
+		if err != nil {
+			noiseErr = err
+			return
+		}
+		m, err := plat.Run(core.RunSpec{Workloads: wl, Start: 0, Duration: 60e-6})
+		if err != nil {
+			noiseErr = err
+			return
+		}
+		markNoise, _ = m.WorstP2P()
+	})
+	if noiseErr != nil {
+		t.Fatal(noiseErr)
+	}
+	return appNoise, markNoise
+}
+
+// The validation the suite exists for: even the unsynchronized
+// stressmark bounds every application's noise.
+func TestStressmarkBoundsApplications(t *testing.T) {
+	apps, mark := measureAll(t)
+	for name, n := range apps {
+		if n >= mark {
+			t.Errorf("app %s noise %g not below stressmark %g", name, n, mark)
+		}
+		if n <= 0 {
+			t.Errorf("app %s reads zero noise", name)
+		}
+	}
+}
+
+// Application power stays within the characterized envelope.
+func TestAppPowerWithinEnvelope(t *testing.T) {
+	cfg := uarch.DefaultConfig()
+	scfg := stressmark.DefaultSearchConfig()
+	scfg.SeqLen = 3
+	scfg.NumCandidates = 5
+	scfg.KeepTopIPC = 50
+	scfg.EvalCycles = 1024
+	res, err := stressmark.FindMaxPowerSequence(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMax := cfg.Power(res.Best)
+	pMin := cfg.Power(stressmark.MinPowerSequence(scfg))
+	for _, a := range suite(t) {
+		mean := a.MeanPower(cfg)
+		if mean <= pMin || mean >= pMax {
+			t.Errorf("%s mean power %g outside (%g, %g)", a.Name, mean, pMin, pMax)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"voltnoise/internal/isa"
+)
+
+// testBody returns a small saturating loop body for workload tests.
+func testBody(t *testing.T) []*isa.Instruction {
+	t.Helper()
+	tab := isa.ZEC12Table()
+	return []*isa.Instruction{
+		tab.MustLookup("CHHSI"),
+		tab.MustLookup("CHHSI"),
+		tab.MustLookup("CIB"),
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"voltnoise/internal/pdn"
+	"voltnoise/internal/signal"
+	"voltnoise/internal/skitter"
+	"voltnoise/internal/uarch"
+)
+
+// NumCores is the number of cores on the modelled chip.
+const NumCores = pdn.NumCores
+
+// BiasStep is the voltage-control granularity of the service element:
+// 0.5% of nominal, as on the paper's platform.
+const BiasStep = 0.005
+
+// Config assembles the full platform model.
+type Config struct {
+	// PDN is the power-distribution-network model.
+	PDN pdn.ZEC12Config
+	// Core is the core microarchitecture/power model.
+	Core uarch.Config
+	// Skitter is the base skitter-macro model; per-core Gain is
+	// overridden by CoreGain.
+	Skitter skitter.Config
+	// CoreGain is the per-core skitter sensitivity multiplier modelling
+	// manufacturing process variation. The calibrated defaults make
+	// cores 2 and 4 the noisiest, as the paper observes.
+	CoreGain [NumCores]float64
+	// UncorePower is the constant power of the nest (L3, MCU, GX) in
+	// watts, drawn at the L3 node.
+	UncorePower float64
+	// Dt is the PDN integration timestep in seconds.
+	Dt float64
+}
+
+// DefaultConfig returns the calibrated platform.
+func DefaultConfig() Config {
+	return Config{
+		PDN:         pdn.DefaultZEC12Config(),
+		Core:        uarch.DefaultConfig(),
+		Skitter:     skitter.DefaultConfig(),
+		CoreGain:    [NumCores]float64{1.00, 0.96, 1.06, 0.97, 1.04, 0.95},
+		UncorePower: 55,
+		Dt:          2e-9,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Skitter.Validate(); err != nil {
+		return err
+	}
+	if c.UncorePower < 0 {
+		return fmt.Errorf("core: negative uncore power %g", c.UncorePower)
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("core: non-positive timestep %g", c.Dt)
+	}
+	for i, g := range c.CoreGain {
+		if g <= 0 {
+			return fmt.Errorf("core: non-positive gain %g for core %d", g, i)
+		}
+	}
+	return nil
+}
+
+// Platform is the simulated zEC12 system under test.
+type Platform struct {
+	cfg  Config
+	bias float64 // voltage bias multiplier, quantized to BiasStep
+}
+
+// New builds a platform at nominal voltage (bias 1.0).
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{cfg: cfg, bias: 1.0}, nil
+}
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// SetVoltageBias sets the supply scaling factor, quantized to the
+// service element's 0.5% steps. Bias must land in [0.70, 1.10].
+func (p *Platform) SetVoltageBias(bias float64) error {
+	q := math.Round(bias/BiasStep) * BiasStep
+	if q < 0.70 || q > 1.10 {
+		return fmt.Errorf("core: voltage bias %g outside [0.70, 1.10]", q)
+	}
+	p.bias = q
+	return nil
+}
+
+// VoltageBias returns the current (quantized) bias.
+func (p *Platform) VoltageBias() float64 { return p.bias }
+
+// NominalVoltage returns the effective supply setpoint (Vnom * bias).
+func (p *Platform) NominalVoltage() float64 { return p.cfg.PDN.Vnom * p.bias }
+
+// RunSpec describes one measurement run.
+type RunSpec struct {
+	// Workloads maps cores to workloads; nil entries idle.
+	Workloads [NumCores]Workload
+	// Start is the absolute time at which measurement begins.
+	Start float64
+	// Duration is the measurement window length. Must be positive.
+	Duration float64
+	// Warmup is simulated before Start to settle the PDN; zero selects
+	// the default (30 us, covering the slowest PDN dynamics).
+	Warmup float64
+	// Record retains per-core voltage traces in the measurement
+	// (memory-proportional to Duration/Dt).
+	Record bool
+}
+
+// DefaultWarmup is the PDN settling time simulated before measurement.
+const DefaultWarmup = 30e-6
+
+// Measurement is the result of a run: what the paper's measurement
+// infrastructure reports.
+type Measurement struct {
+	// P2P is the per-core skitter reading in %p2p.
+	P2P [NumCores]float64
+	// PosMin/PosMax are the per-core sticky tap-position extremes
+	// behind P2P, for combining windows.
+	PosMin, PosMax [NumCores]int
+	// VMin/VMax are the per-core supply-voltage extremes in volts.
+	VMin, VMax [NumCores]float64
+	// ChipPowerMilliwatts is the mean chip power over the window as
+	// the service element reports it (milliwatt granularity).
+	ChipPowerMilliwatts int64
+	// Traces holds the per-core voltage waveforms when RunSpec.Record
+	// was set.
+	Traces [NumCores]*signal.Trace
+	// NominalPos is the skitter nominal tap position, the denominator
+	// of the %p2p readings.
+	NominalPos int
+	// Start and Duration echo the measured window.
+	Start, Duration float64
+}
+
+// WorstP2P returns the maximum per-core reading and the core showing
+// it — the paper's headline "maximum noise" metric.
+func (m *Measurement) WorstP2P() (float64, int) {
+	worst, core := m.P2P[0], 0
+	for i := 1; i < NumCores; i++ {
+		if m.P2P[i] > worst {
+			worst, core = m.P2P[i], i
+		}
+	}
+	return worst, core
+}
+
+// MinVoltage returns the deepest droop seen on any core.
+func (m *Measurement) MinVoltage() float64 {
+	v := m.VMin[0]
+	for _, x := range m.VMin[1:] {
+		if x < v {
+			v = x
+		}
+	}
+	return v
+}
+
+// Run executes one measurement window and returns what the sensors saw.
+func (p *Platform) Run(spec RunSpec) (*Measurement, error) {
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive measurement duration %g", spec.Duration)
+	}
+	warmup := spec.Warmup
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("core: negative warmup %g", warmup)
+	}
+
+	pdnCfg := p.cfg.PDN
+	pdnCfg.Vnom = p.cfg.PDN.Vnom * p.bias
+	circuit, nodes := pdn.ZEC12(pdnCfg)
+	vnomEff := pdnCfg.Vnom
+
+	// Loads model devices as nominal-voltage current sinks:
+	// I(t) = P(t)/Vnom. (A constant-power load would be nonlinear; the
+	// constant-current approximation is standard for PDN noise
+	// analysis and keeps the trapezoidal solve linear.)
+	workloads := spec.Workloads
+	for i := range workloads {
+		if workloads[i] == nil {
+			workloads[i] = Idle(p.cfg.Core)
+		}
+		w := workloads[i]
+		circuit.AddLoad(fmt.Sprintf("core%d:%s", i, w.Name()), nodes.Core[i],
+			func(t float64) float64 { return w.Power(t) / vnomEff })
+	}
+	circuit.AddLoad("uncore", nodes.L3, func(float64) float64 { return p.cfg.UncorePower / vnomEff })
+
+	tr, err := pdn.NewTransientAt(circuit, p.cfg.Dt, spec.Start-warmup)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.RunUntil(spec.Start); err != nil {
+		return nil, err
+	}
+
+	// Per-core skitter macros with process-variation gains.
+	var macros [NumCores]*skitter.Macro
+	for i := range macros {
+		sc := p.cfg.Skitter
+		sc.Vnom = vnomEff
+		sc.Gain *= p.cfg.CoreGain[i]
+		m, err := skitter.NewMacro(sc)
+		if err != nil {
+			return nil, err
+		}
+		macros[i] = m
+	}
+
+	meas := &Measurement{Start: spec.Start, Duration: spec.Duration}
+	steps := int(math.Round(spec.Duration / p.cfg.Dt))
+	if spec.Record {
+		for i := range meas.Traces {
+			t := signal.NewTrace(p.cfg.Dt, steps+1)
+			t.Start = spec.Start
+			meas.Traces[i] = t
+		}
+	}
+	for i := range meas.VMin {
+		meas.VMin[i] = math.Inf(1)
+		meas.VMax[i] = math.Inf(-1)
+	}
+	energy := 0.0
+	observe := func(step int) {
+		for i := 0; i < NumCores; i++ {
+			v := tr.Voltage(nodes.Core[i])
+			macros[i].Sample(v)
+			if v < meas.VMin[i] {
+				meas.VMin[i] = v
+			}
+			if v > meas.VMax[i] {
+				meas.VMax[i] = v
+			}
+			if spec.Record {
+				meas.Traces[i].Samples[step] = v
+			}
+		}
+	}
+	observe(0)
+	for s := 1; s <= steps; s++ {
+		if err := tr.Step(); err != nil {
+			return nil, err
+		}
+		observe(s)
+		// Chip power: devices' draw (cores + uncore) at this instant.
+		pw := p.cfg.UncorePower
+		for i := 0; i < NumCores; i++ {
+			pw += workloads[i].Power(tr.Time())
+		}
+		energy += pw * p.cfg.Dt
+	}
+	for i, m := range macros {
+		meas.P2P[i] = m.PeakToPeakPercent()
+		meas.PosMin[i], meas.PosMax[i] = m.PositionRange()
+	}
+	meas.NominalPos = macros[0].Config().NominalPosition()
+	meas.ChipPowerMilliwatts = int64(math.Round(energy / spec.Duration * 1000))
+	return meas, nil
+}
+
+// Combine merges measurements taken over different windows of the same
+// workload into one sticky-mode result, as if the skitters had stayed
+// armed across all windows. Power is the duration-weighted mean.
+func Combine(ms ...*Measurement) *Measurement {
+	if len(ms) == 0 {
+		panic("core: Combine of no measurements")
+	}
+	out := &Measurement{Start: ms[0].Start}
+	for i := range out.VMin {
+		out.VMin[i] = math.Inf(1)
+		out.VMax[i] = math.Inf(-1)
+		out.PosMin[i] = 1 << 30
+		out.PosMax[i] = -1
+	}
+	var energy float64
+	for _, m := range ms {
+		if m.NominalPos != ms[0].NominalPos {
+			panic("core: Combine across different skitter calibrations")
+		}
+		for i := 0; i < NumCores; i++ {
+			out.VMin[i] = math.Min(out.VMin[i], m.VMin[i])
+			out.VMax[i] = math.Max(out.VMax[i], m.VMax[i])
+			if m.PosMin[i] < out.PosMin[i] {
+				out.PosMin[i] = m.PosMin[i]
+			}
+			if m.PosMax[i] > out.PosMax[i] {
+				out.PosMax[i] = m.PosMax[i]
+			}
+		}
+		energy += float64(m.ChipPowerMilliwatts) * m.Duration
+		out.Duration += m.Duration
+	}
+	out.NominalPos = ms[0].NominalPos
+	for i := 0; i < NumCores; i++ {
+		if out.NominalPos > 0 {
+			out.P2P[i] = float64(out.PosMax[i]-out.PosMin[i]) / float64(out.NominalPos) * 100
+		}
+	}
+	if out.Duration > 0 {
+		out.ChipPowerMilliwatts = int64(math.Round(energy / out.Duration))
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestChipVariantZeroIsReference(t *testing.T) {
+	ref := DefaultConfig()
+	if got := ChipVariant(ref, 0); got != ref {
+		t.Error("chip 0 differs from the reference")
+	}
+}
+
+func TestChipVariantDeterministicAndDistinct(t *testing.T) {
+	ref := DefaultConfig()
+	a := ChipVariant(ref, 7)
+	b := ChipVariant(ref, 7)
+	if a != b {
+		t.Error("same chip id produced different configs")
+	}
+	c := ChipVariant(ref, 8)
+	if a == c {
+		t.Error("different chip ids produced identical configs")
+	}
+	if a == ref {
+		t.Error("variant identical to reference")
+	}
+}
+
+func TestChipVariantWithinTolerance(t *testing.T) {
+	ref := DefaultConfig()
+	for id := uint64(1); id < 20; id++ {
+		v := ChipVariant(ref, id)
+		for i := range v.CoreGain {
+			r := v.CoreGain[i] / ref.CoreGain[i]
+			if r < 1-chipGainTolerance-1e-12 || r > 1+chipGainTolerance+1e-12 {
+				t.Errorf("chip %d core %d gain ratio %g out of tolerance", id, i, r)
+			}
+		}
+		for name, pair := range map[string][2]float64{
+			"RDomain": {v.PDN.RDomain, ref.PDN.RDomain},
+			"CL3":     {v.PDN.CL3, ref.PDN.CL3},
+			"CCore":   {v.PDN.CCore, ref.PDN.CCore},
+		} {
+			r := pair[0] / pair[1]
+			if r < 1-chipRLCTolerance-1e-12 || r > 1+chipRLCTolerance+1e-12 {
+				t.Errorf("chip %d %s ratio %g out of tolerance", id, name, r)
+			}
+		}
+		// Variants remain valid platforms.
+		if err := v.Validate(); err != nil {
+			t.Errorf("chip %d invalid: %v", id, err)
+		}
+		// Off-die parameters are untouched (process variation is a die
+		// phenomenon).
+		if v.PDN.CBulk != ref.PDN.CBulk || v.PDN.LPkg != ref.PDN.LPkg {
+			t.Errorf("chip %d perturbed board/package parameters", id)
+		}
+	}
+}
+
+func TestChipPopulation(t *testing.T) {
+	plats, err := ChipPopulation(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plats) != 4 {
+		t.Fatalf("%d platforms", len(plats))
+	}
+	// The reference chip is first.
+	if plats[0].Config() != DefaultConfig() {
+		t.Error("first chip is not the reference")
+	}
+}

@@ -1,0 +1,165 @@
+// Package epi implements the paper's energy-per-instruction (EPI)
+// profiling methodology (Section IV-A / Table I): for every
+// instruction in the ISA, generate a micro-benchmark — an endless loop
+// of thousands of dependency-free repetitions — run it, measure power
+// and performance, and rank the ISA by power. The profile drives
+// candidate selection for the maximum-power sequence search and
+// directly identifies the minimum-power sequence.
+package epi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"voltnoise/internal/isa"
+	"voltnoise/internal/uarch"
+)
+
+// Repetitions is the number of dependency-free repetitions in each
+// micro-benchmark loop, as in the paper.
+const Repetitions = 4000
+
+// Config parameterizes profiling.
+type Config struct {
+	// Core is the core model the micro-benchmarks run on.
+	Core uarch.Config
+	// Table is the ISA to profile.
+	Table *isa.Table
+	// WarmupCycles and MeasureCycles bound each measurement run. The
+	// defaults keep the full 1301-instruction profile under a second
+	// while staying in steady state.
+	WarmupCycles, MeasureCycles int
+}
+
+// DefaultConfig returns the standard profiling setup.
+func DefaultConfig() Config {
+	return Config{
+		Core:          uarch.DefaultConfig(),
+		Table:         isa.ZEC12Table(),
+		WarmupCycles:  512,
+		MeasureCycles: 4096,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if c.Table == nil {
+		return fmt.Errorf("epi: nil table")
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles < 100 {
+		return fmt.Errorf("epi: measurement window %d/%d too small", c.WarmupCycles, c.MeasureCycles)
+	}
+	return nil
+}
+
+// Entry is one profiled instruction.
+type Entry struct {
+	// Instr is the profiled instruction.
+	Instr *isa.Instruction
+	// PowerWatts is the measured loop power.
+	PowerWatts float64
+	// RelPower is PowerWatts normalized to the lowest-power entry
+	// (the paper normalizes to SRNM).
+	RelPower float64
+	// IPC is the measured micro-ops per cycle of the loop.
+	IPC float64
+}
+
+// Profile is the ranked result: entries sorted by descending power,
+// ties broken by profiling order.
+type Profile struct {
+	Entries []Entry
+}
+
+// MicroBenchmark builds the paper's micro-benchmark skeleton for one
+// instruction: an endless loop of Repetitions dependency-free copies.
+func MicroBenchmark(in *isa.Instruction) *uarch.Program {
+	body := make([]*isa.Instruction, Repetitions)
+	for i := range body {
+		body[i] = in
+	}
+	return &uarch.Program{Name: "epi_" + in.Mnemonic, Body: body}
+}
+
+// Generate profiles every instruction in the table and returns the
+// ranked profile. Measurement runs on the cycle-level executor — the
+// simulation stand-in for the paper's hardware power/counter readings.
+func Generate(cfg Config) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, cfg.Table.Size())
+	for _, in := range cfg.Table.Instructions() {
+		bench := MicroBenchmark(in)
+		ex, err := uarch.NewExecutor(cfg.Core, bench)
+		if err != nil {
+			return nil, fmt.Errorf("epi: %s: %w", in.Mnemonic, err)
+		}
+		for i := 0; i < cfg.WarmupCycles; i++ {
+			ex.StepCycle()
+		}
+		trace, counters := ex.RunWithCounters(cfg.MeasureCycles)
+		power := cfg.Core.StaticPower + trace.Mean()/cfg.Core.CycleTime()
+		entries = append(entries, Entry{
+			Instr:      in,
+			PowerWatts: power,
+			IPC:        float64(counters.MicroOps) / float64(counters.Cycles),
+		})
+	}
+	// Rank by descending power; stable to keep table order for ties.
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].PowerWatts > entries[j].PowerWatts })
+	min := entries[len(entries)-1].PowerWatts
+	for i := range entries {
+		entries[i].RelPower = entries[i].PowerWatts / min
+	}
+	return &Profile{Entries: entries}, nil
+}
+
+// Rank returns the 1-based rank of a mnemonic, or 0 if absent.
+func (p *Profile) Rank(mnemonic string) int {
+	for i, e := range p.Entries {
+		if e.Instr.Mnemonic == mnemonic {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Top returns the n highest-power entries.
+func (p *Profile) Top(n int) []Entry {
+	if n > len(p.Entries) {
+		n = len(p.Entries)
+	}
+	return p.Entries[:n]
+}
+
+// Bottom returns the n lowest-power entries, in rank order (the last
+// entry is the profile minimum).
+func (p *Profile) Bottom(n int) []Entry {
+	if n > len(p.Entries) {
+		n = len(p.Entries)
+	}
+	return p.Entries[len(p.Entries)-n:]
+}
+
+// TableI renders the paper's Table I: the first and last n entries of
+// the rank with descriptions and normalized powers.
+func (p *Profile) TableI(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-8s %-55s %s\n", "Rank", "# Instr.", "Description", "Power")
+	write := func(rank int, e Entry) {
+		fmt.Fprintf(&b, "%-5d %-8s %-55s %.2f\n", rank, e.Instr.Mnemonic, e.Instr.Desc, e.RelPower)
+	}
+	for i, e := range p.Top(n) {
+		write(i+1, e)
+	}
+	fmt.Fprintf(&b, "%s\n", "...")
+	for i, e := range p.Bottom(n) {
+		write(len(p.Entries)-n+i+1, e)
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package guardband
+
+import (
+	"fmt"
+)
+
+// CPMController is a critical-path-monitor style closed-loop
+// guard-band controller, modelled after the POWER7 adaptive
+// energy-management loop the paper references ([11], [12], [29]):
+// on-chip monitors sense the actual timing headroom each control
+// interval, and the setpoint is trimmed down while headroom exceeds
+// the target and raised immediately when it dips below. The paper
+// positions its utilization-based table as a complement that bounds
+// the dynamic range such a loop actuates over.
+type CPMController struct {
+	cfg     CPMConfig
+	bias    float64
+	trips   int
+	settled int
+}
+
+// CPMConfig parameterizes the closed loop.
+type CPMConfig struct {
+	// TargetHeadroom is the desired gap, in volts, between the deepest
+	// observed droop and the failure threshold.
+	TargetHeadroom float64
+	// FailVoltage is the critical-path failure threshold in volts.
+	FailVoltage float64
+	// Step is the per-interval bias adjustment (the service element's
+	// 0.5% granularity by default).
+	Step float64
+	// MinBias bounds how far the loop may undervolt.
+	MinBias float64
+}
+
+// DefaultCPMConfig returns a conservative loop configuration.
+func DefaultCPMConfig() CPMConfig {
+	return CPMConfig{
+		TargetHeadroom: 0.02,
+		FailVoltage:    0.875,
+		Step:           0.005,
+		MinBias:        0.80,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c CPMConfig) Validate() error {
+	switch {
+	case c.TargetHeadroom <= 0:
+		return fmt.Errorf("guardband: non-positive CPM headroom %g", c.TargetHeadroom)
+	case c.FailVoltage <= 0:
+		return fmt.Errorf("guardband: non-positive fail voltage %g", c.FailVoltage)
+	case c.Step <= 0:
+		return fmt.Errorf("guardband: non-positive step %g", c.Step)
+	case c.MinBias <= 0 || c.MinBias >= 1:
+		return fmt.Errorf("guardband: min bias %g outside (0,1)", c.MinBias)
+	}
+	return nil
+}
+
+// NewCPMController builds the controller at nominal bias.
+func NewCPMController(cfg CPMConfig) (*CPMController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CPMController{cfg: cfg, bias: 1.0}, nil
+}
+
+// Bias returns the current setpoint bias.
+func (c *CPMController) Bias() float64 { return c.bias }
+
+// Trips returns how many intervals violated the headroom target and
+// forced the voltage back up — the loop's safety events.
+func (c *CPMController) Trips() int { return c.trips }
+
+// Settled reports whether the loop has converged: the last observation
+// left the bias unchanged.
+func (c *CPMController) Settled() bool { return c.settled >= 2 }
+
+// Observe feeds one control interval's deepest droop (in volts, as the
+// platform's sensors report it) and returns the bias for the next
+// interval. Undervolting proceeds one step at a time; a headroom
+// violation snaps back one step immediately (the asymmetric response
+// of real CPM loops).
+func (c *CPMController) Observe(minVoltage float64) float64 {
+	headroom := minVoltage - c.cfg.FailVoltage
+	switch {
+	case headroom < c.cfg.TargetHeadroom:
+		// Too close to failure: back off immediately.
+		c.bias += c.cfg.Step
+		if c.bias > 1.0 {
+			c.bias = 1.0
+		}
+		c.trips++
+		c.settled = 0
+	case headroom > c.cfg.TargetHeadroom+c.cfg.Step*1.5:
+		// Comfortable margin: trim one step, bounded below.
+		if c.bias-c.cfg.Step >= c.cfg.MinBias {
+			c.bias -= c.cfg.Step
+			c.settled = 0
+		} else {
+			c.settled++
+		}
+	default:
+		// Within the hysteresis band: hold.
+		c.settled++
+	}
+	return c.bias
+}

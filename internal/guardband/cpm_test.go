@@ -1,0 +1,110 @@
+package guardband
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPMConfigValidation(t *testing.T) {
+	if err := DefaultCPMConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(CPMConfig) CPMConfig{
+		"zero headroom": func(c CPMConfig) CPMConfig { c.TargetHeadroom = 0; return c },
+		"zero failv":    func(c CPMConfig) CPMConfig { c.FailVoltage = 0; return c },
+		"zero step":     func(c CPMConfig) CPMConfig { c.Step = 0; return c },
+		"bad min bias":  func(c CPMConfig) CPMConfig { c.MinBias = 1.2; return c },
+	}
+	for name, mutate := range cases {
+		if err := mutate(DefaultCPMConfig()).Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+		if _, err := NewCPMController(mutate(DefaultCPMConfig())); err == nil {
+			t.Errorf("%s: controller built", name)
+		}
+	}
+}
+
+// A synthetic plant: the deeper the undervolt, the deeper the droop.
+// min voltage = bias*vnom - droop (droop grows as 1/bias).
+func plant(bias float64) float64 {
+	const vnom, droop0 = 1.05, 0.10
+	return bias*vnom - droop0/bias
+}
+
+func TestCPMConvergesToTargetHeadroom(t *testing.T) {
+	c, err := NewCPMController(DefaultCPMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias := c.Bias()
+	for i := 0; i < 100 && !c.Settled(); i++ {
+		bias = c.Observe(plant(bias))
+	}
+	if !c.Settled() {
+		t.Fatal("loop did not settle")
+	}
+	headroom := plant(bias) - DefaultCPMConfig().FailVoltage
+	target := DefaultCPMConfig().TargetHeadroom
+	if headroom < target || headroom > target+3*DefaultCPMConfig().Step {
+		t.Errorf("settled headroom %g, want near target %g", headroom, target)
+	}
+	if bias >= 1.0 {
+		t.Errorf("no undervolting achieved: bias %g", bias)
+	}
+}
+
+func TestCPMSnapsBackOnViolation(t *testing.T) {
+	c, _ := NewCPMController(DefaultCPMConfig())
+	// Converge first.
+	bias := c.Bias()
+	for i := 0; i < 100 && !c.Settled(); i++ {
+		bias = c.Observe(plant(bias))
+	}
+	before := c.Bias()
+	trips := c.Trips()
+	// A sudden deep droop (noisy workload arrives).
+	after := c.Observe(DefaultCPMConfig().FailVoltage + 0.001)
+	if after <= before {
+		t.Errorf("bias did not rise on violation: %g -> %g", before, after)
+	}
+	if c.Trips() != trips+1 {
+		t.Errorf("trip not counted")
+	}
+}
+
+func TestCPMRespectsBounds(t *testing.T) {
+	cfg := DefaultCPMConfig()
+	cfg.MinBias = 0.97
+	c, _ := NewCPMController(cfg)
+	// Permanently huge headroom: the loop must stop at MinBias.
+	for i := 0; i < 50; i++ {
+		c.Observe(1.05)
+	}
+	if c.Bias() < cfg.MinBias-1e-12 {
+		t.Errorf("bias %g below MinBias %g", c.Bias(), cfg.MinBias)
+	}
+	if !c.Settled() {
+		t.Error("loop at MinBias should report settled")
+	}
+	// Permanently violated: the loop must cap at 1.0.
+	c2, _ := NewCPMController(cfg)
+	for i := 0; i < 10; i++ {
+		c2.Observe(0.5)
+	}
+	if c2.Bias() > 1.0 {
+		t.Errorf("bias %g above nominal", c2.Bias())
+	}
+}
+
+func TestCPMHysteresisHolds(t *testing.T) {
+	cfg := DefaultCPMConfig()
+	c, _ := NewCPMController(cfg)
+	// Exactly inside the band: no change.
+	v := cfg.FailVoltage + cfg.TargetHeadroom + cfg.Step
+	before := c.Bias()
+	c.Observe(v)
+	if math.Abs(c.Bias()-before) > 1e-12 {
+		t.Errorf("bias moved inside hysteresis band: %g -> %g", before, c.Bias())
+	}
+}

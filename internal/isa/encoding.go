@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding of the synthetic ISA. Micro-benchmark generators in
+// the Microprobe mould ultimately emit executable test binaries; this
+// file gives the synthetic ISA a concrete, z-like variable-length
+// encoding so generated stressmarks can be serialized, inspected and
+// round-tripped. Encodings are deterministic: opcodes are assigned by
+// table order at build time.
+//
+// Format lengths follow the z convention: 2-byte (RR), 4-byte (RRE,
+// RRF, RI, RX, RS, SI, S) and 6-byte (RIE, RIL, RXY, RSY, SIL, SS)
+// instructions. The first byte (or the first byte plus the low nibble
+// of the second, for 4-byte formats beyond 256 opcodes) identifies the
+// instruction.
+
+// EncodedLength returns the encoding length in bytes for a format.
+func EncodedLength(f Format) int {
+	switch f {
+	case FormatRR:
+		return 2
+	case FormatRRE, FormatRRF, FormatRI, FormatRX, FormatRS, FormatSI, FormatS:
+		return 4
+	case FormatRIE, FormatRIL, FormatRXY, FormatRSY, FormatSIL, FormatSS:
+		return 6
+	default:
+		return 4
+	}
+}
+
+// Opcode returns the instruction's assigned opcode (its index in the
+// table's stable order).
+func (t *Table) Opcode(in *Instruction) (uint16, error) {
+	for i, cand := range t.list {
+		if cand == in {
+			return uint16(i), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: instruction %q is not from this table", in.Mnemonic)
+}
+
+// Encode appends the binary encoding of one instruction to dst and
+// returns the extended slice. Operand fields are filled with a
+// deterministic register pattern (the micro-benchmarks use
+// dependency-free operands, so the exact registers are immaterial but
+// must round-trip).
+func (t *Table) Encode(dst []byte, in *Instruction) ([]byte, error) {
+	op, err := t.Opcode(in)
+	if err != nil {
+		return nil, err
+	}
+	n := EncodedLength(in.Format)
+	var buf [6]byte
+	// Layout: byte0 = low 8 bits of opcode; for lengths > 2 the next
+	// byte carries the high opcode bits in its low nibble and the
+	// length code in its high nibble; remaining bytes are operands.
+	buf[0] = byte(op)
+	if n == 2 {
+		if op > 0xFF {
+			return nil, fmt.Errorf("isa: RR opcode %d exceeds one byte", op)
+		}
+		buf[1] = operandByte(op, 1)
+		return append(dst, buf[:2]...), nil
+	}
+	buf[1] = byte(op>>8)&0x0F | lengthCode(n)<<4
+	for i := 2; i < n; i++ {
+		buf[i] = operandByte(op, i)
+	}
+	return append(dst, buf[:n]...), nil
+}
+
+// lengthCode encodes the instruction length in a nibble: 1 for 4-byte,
+// 2 for 6-byte.
+func lengthCode(n int) byte {
+	if n == 6 {
+		return 2
+	}
+	return 1
+}
+
+// operandByte derives a deterministic operand byte.
+func operandByte(op uint16, pos int) byte {
+	return byte((uint32(op)*0x9E+uint32(pos)*0x3D)>>3) | 0x01
+}
+
+// EncodeProgram encodes a sequence of instructions.
+func (t *Table) EncodeProgram(body []*Instruction) ([]byte, error) {
+	var out []byte
+	for _, in := range body {
+		var err error
+		out, err = t.Encode(out, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Decode reads one instruction from the front of src, returning the
+// instruction and the number of bytes consumed.
+func (t *Table) Decode(src []byte) (*Instruction, int, error) {
+	if len(src) < 2 {
+		return nil, 0, fmt.Errorf("isa: truncated instruction (%d bytes)", len(src))
+	}
+	op := uint16(src[0])
+	n := 2
+	// Disambiguate 2-byte from longer forms via the length nibble; a
+	// 2-byte RR instruction has opcode <= 0xFF and the table tells us
+	// its format, so first try the longer decode and fall back.
+	if code := src[1] >> 4; code == 1 || code == 2 {
+		candidate := op | uint16(src[1]&0x0F)<<8
+		if int(candidate) < len(t.list) {
+			in := t.list[candidate]
+			wantN := 4
+			if code == 2 {
+				wantN = 6
+			}
+			if EncodedLength(in.Format) == wantN {
+				if len(src) < wantN {
+					return nil, 0, fmt.Errorf("isa: truncated %s (%d of %d bytes)", in.Mnemonic, len(src), wantN)
+				}
+				return in, wantN, nil
+			}
+		}
+	}
+	if int(op) >= len(t.list) {
+		return nil, 0, fmt.Errorf("isa: unknown opcode %#x", op)
+	}
+	in := t.list[op]
+	if EncodedLength(in.Format) != 2 {
+		return nil, 0, fmt.Errorf("isa: opcode %#x does not decode as a 2-byte instruction", op)
+	}
+	return in, n, nil
+}
+
+// DecodeProgram decodes a full instruction stream.
+func (t *Table) DecodeProgram(src []byte) ([]*Instruction, error) {
+	var out []*Instruction
+	for len(src) > 0 {
+		in, n, err := t.Decode(src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		src = src[n:]
+	}
+	return out, nil
+}
+
+// Checksum returns a stable checksum of an encoded program, usable as
+// a stressmark identity in experiment logs.
+func Checksum(encoded []byte) uint32 {
+	// FNV-1a over the bytes, folded to 32 bits.
+	var h uint64 = 14695981039346656037
+	for _, b := range encoded {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], h)
+	return binary.LittleEndian.Uint32(out[:4]) ^ binary.LittleEndian.Uint32(out[4:])
+}

@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodedLengths(t *testing.T) {
+	tests := []struct {
+		f Format
+		n int
+	}{
+		{FormatRR, 2}, {FormatRRE, 4}, {FormatRRF, 4}, {FormatRI, 4},
+		{FormatRX, 4}, {FormatRS, 4}, {FormatSI, 4}, {FormatS, 4},
+		{FormatRIE, 6}, {FormatRIL, 6}, {FormatRXY, 6}, {FormatRSY, 6},
+		{FormatSIL, 6}, {FormatSS, 6},
+		{Format("???"), 4},
+	}
+	for _, tt := range tests {
+		if got := EncodedLength(tt.f); got != tt.n {
+			t.Errorf("EncodedLength(%s) = %d, want %d", tt.f, got, tt.n)
+		}
+	}
+}
+
+func TestOpcodeAssignment(t *testing.T) {
+	tab := ZEC12Table()
+	op, err := tab.Opcode(tab.MustLookup("CIB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != 0 {
+		t.Errorf("CIB opcode = %d, want 0 (first in table order)", op)
+	}
+	// A foreign instruction is rejected.
+	foreign := &Instruction{Mnemonic: "X", Unit: UnitFXU, MicroOps: 1, Latency: 1, InitInterval: 1, RelPower: 1.1}
+	if _, err := tab.Opcode(foreign); err == nil {
+		t.Error("foreign instruction accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTripAllInstructions(t *testing.T) {
+	tab := ZEC12Table()
+	for _, in := range tab.Instructions() {
+		enc, err := tab.Encode(nil, in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Mnemonic, err)
+		}
+		if len(enc) != EncodedLength(in.Format) {
+			t.Fatalf("%s: encoded %d bytes, want %d", in.Mnemonic, len(enc), EncodedLength(in.Format))
+		}
+		dec, n, err := tab.Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", in.Mnemonic, err)
+		}
+		if dec != in || n != len(enc) {
+			t.Fatalf("%s: round trip gave %s (%d bytes)", in.Mnemonic, dec.Mnemonic, n)
+		}
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	tab := ZEC12Table()
+	body := []*Instruction{
+		tab.MustLookup("CHHSI"),
+		tab.MustLookup("CHHSI"),
+		tab.MustLookup("CIB"),
+		tab.MustLookup("SRNM"),
+	}
+	enc, err := tab.EncodeProgram(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tab.DecodeProgram(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(body) {
+		t.Fatalf("decoded %d instructions, want %d", len(dec), len(body))
+	}
+	for i := range body {
+		if dec[i] != body[i] {
+			t.Errorf("instruction %d: %s, want %s", i, dec[i].Mnemonic, body[i].Mnemonic)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tab := ZEC12Table()
+	if _, _, err := tab.Decode([]byte{0x01}); err == nil {
+		t.Error("1-byte input decoded")
+	}
+	// Truncated long instruction: encode a 6-byte form, cut it short.
+	longIn := tab.MustLookup("CIB") // RIE: 6 bytes
+	enc, _ := tab.Encode(nil, longIn)
+	if _, _, err := tab.Decode(enc[:4]); err == nil {
+		t.Error("truncated 6-byte instruction decoded")
+	}
+	if _, err := tab.DecodeProgram([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Error("garbage stream decoded")
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	tab := ZEC12Table()
+	body := []*Instruction{tab.MustLookup("CIB"), tab.MustLookup("CHHSI")}
+	enc, _ := tab.EncodeProgram(body)
+	a, b := Checksum(enc), Checksum(enc)
+	if a != b {
+		t.Error("checksum unstable")
+	}
+	// Different programs, different checksums (overwhelmingly likely).
+	enc2, _ := tab.EncodeProgram([]*Instruction{tab.MustLookup("SRNM")})
+	if Checksum(enc2) == a {
+		t.Error("distinct programs collide")
+	}
+}
+
+// Property: any instruction subset round-trips as a program.
+func TestProgramRoundTripProperty(t *testing.T) {
+	tab := ZEC12Table()
+	all := tab.Instructions()
+	f := func(picks []uint16) bool {
+		if len(picks) > 64 {
+			picks = picks[:64]
+		}
+		body := make([]*Instruction, len(picks))
+		for i, p := range picks {
+			body[i] = all[int(p)%len(all)]
+		}
+		enc, err := tab.EncodeProgram(body)
+		if err != nil {
+			return false
+		}
+		dec, err := tab.DecodeProgram(enc)
+		if err != nil || len(dec) != len(body) {
+			return false
+		}
+		for i := range body {
+			if dec[i] != body[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

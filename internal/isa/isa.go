@@ -1,0 +1,166 @@
+// Package isa defines the synthetic z-flavoured instruction-set
+// architecture used by the simulated platform.
+//
+// The paper profiles all 1301 instructions of the real zEC12 CISC ISA
+// to build an energy-per-instruction (EPI) profile (its Table I). We
+// cannot ship IBM's ISA, so this package generates a deterministic
+// synthetic ISA with the same cardinality and the same category
+// structure (functional units, issue behaviour, latency classes,
+// power spread), including the ten instructions the paper names in
+// Table I with their published relative powers. Everything downstream
+// (EPI profiling, candidate selection, sequence search) only consumes
+// the metadata defined here, so the synthetic ISA exercises the
+// identical code paths.
+package isa
+
+import (
+	"fmt"
+)
+
+// Unit identifies the functional unit an instruction's micro-ops
+// execute on.
+type Unit int
+
+// Functional units of the modelled core. The zEC12 core has two
+// fixed-point pipes, dedicated binary and decimal floating-point
+// units, a load/store unit and branch-resolution logic; the model
+// mirrors that structure.
+const (
+	UnitFXU    Unit = iota // fixed-point (two pipes)
+	UnitBranch             // branch resolution
+	UnitLSU                // load/store
+	UnitBFU                // binary floating point
+	UnitDFU                // decimal floating point
+	UnitSystem             // system/control (serialized)
+	numUnits
+)
+
+// NumUnits is the number of distinct functional units.
+const NumUnits = int(numUnits)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitFXU:
+		return "FXU"
+	case UnitBranch:
+		return "BRU"
+	case UnitLSU:
+		return "LSU"
+	case UnitBFU:
+		return "BFU"
+	case UnitDFU:
+		return "DFU"
+	case UnitSystem:
+		return "SYS"
+	default:
+		return fmt.Sprintf("Unit(%d)", int(u))
+	}
+}
+
+// IssueKind describes how an instruction dispatches, which constrains
+// dispatch-group formation (groups hold up to three micro-ops).
+type IssueKind int
+
+const (
+	// IssueNormal instructions pack freely into dispatch groups.
+	IssueNormal IssueKind = iota
+	// IssueEndsGroup instructions close their dispatch group (branches).
+	IssueEndsGroup
+	// IssueAlone instructions dispatch alone in a group and the group
+	// cannot accept anything else (serializing system operations).
+	IssueAlone
+)
+
+func (k IssueKind) String() string {
+	switch k {
+	case IssueNormal:
+		return "normal"
+	case IssueEndsGroup:
+		return "ends-group"
+	case IssueAlone:
+		return "alone"
+	default:
+		return fmt.Sprintf("IssueKind(%d)", int(k))
+	}
+}
+
+// Format is the instruction encoding format, kept for ISA flavour and
+// assembler listings.
+type Format string
+
+// Instruction formats of the synthetic ISA (a subset of the real
+// z/Architecture formats).
+const (
+	FormatRR  Format = "RR"
+	FormatRRE Format = "RRE"
+	FormatRRF Format = "RRF"
+	FormatRI  Format = "RI"
+	FormatRIE Format = "RIE"
+	FormatRIL Format = "RIL"
+	FormatRX  Format = "RX"
+	FormatRXY Format = "RXY"
+	FormatRS  Format = "RS"
+	FormatRSY Format = "RSY"
+	FormatSI  Format = "SI"
+	FormatSIL Format = "SIL"
+	FormatS   Format = "S"
+	FormatSS  Format = "SS"
+)
+
+// Instruction is one ISA entry. Instances are immutable after table
+// construction; consumers share pointers into the table.
+type Instruction struct {
+	// Mnemonic is the unique assembler mnemonic.
+	Mnemonic string
+	// Desc is a human-readable description (Table I style).
+	Desc string
+	// Format is the encoding format.
+	Format Format
+	// Unit is the functional unit of the instruction's micro-ops.
+	Unit Unit
+	// Issue describes dispatch-group behaviour.
+	Issue IssueKind
+	// MicroOps is the number of micro-ops the instruction cracks into
+	// (>= 1). All micro-ops of an instruction execute on Unit.
+	MicroOps int
+	// Latency is the result latency in cycles (>= 1).
+	Latency int
+	// InitInterval is the pipeline initiation interval in cycles: 1
+	// for fully pipelined operations, == Latency for unpipelined ones
+	// (divides, most DFU operations).
+	InitInterval int
+	// RelPower is the steady-state core power of an
+	// independent-operand loop of this instruction, normalized to the
+	// SRNM instruction (== 1.0). This is exactly the quantity the
+	// paper's EPI profile reports, and the quantity our simulated EPI
+	// experiment recovers.
+	RelPower float64
+}
+
+// Validate reports whether the instruction's fields are internally
+// consistent. The table generator checks every entry.
+func (in *Instruction) Validate() error {
+	switch {
+	case in.Mnemonic == "":
+		return fmt.Errorf("isa: empty mnemonic")
+	case in.MicroOps < 1:
+		return fmt.Errorf("isa: %s: micro-ops %d < 1", in.Mnemonic, in.MicroOps)
+	case in.Latency < 1:
+		return fmt.Errorf("isa: %s: latency %d < 1", in.Mnemonic, in.Latency)
+	case in.InitInterval < 1 || in.InitInterval > in.Latency:
+		return fmt.Errorf("isa: %s: initiation interval %d outside [1,%d]", in.Mnemonic, in.InitInterval, in.Latency)
+	case in.RelPower < 1.0:
+		return fmt.Errorf("isa: %s: relative power %g < 1.0 (SRNM is the floor)", in.Mnemonic, in.RelPower)
+	case in.Unit < 0 || in.Unit >= numUnits:
+		return fmt.Errorf("isa: %s: bad unit %d", in.Mnemonic, in.Unit)
+	}
+	return nil
+}
+
+// Pipelined reports whether the instruction is fully pipelined.
+func (in *Instruction) Pipelined() bool { return in.InitInterval == 1 }
+
+func (in *Instruction) String() string {
+	return fmt.Sprintf("%s [%s %s uops=%d lat=%d ii=%d p=%.3f]",
+		in.Mnemonic, in.Unit, in.Format, in.MicroOps, in.Latency, in.InitInterval, in.RelPower)
+}

@@ -1,0 +1,104 @@
+// Package mapping implements the paper's noise-aware workload mapping
+// study (Section VII-A, Figures 14 and 15): for a given number of
+// identical noisy workloads, enumerate the possible workload-to-core
+// placements, evaluate the worst-case per-core noise of each, and
+// quantify the gap between the best and worst mapping — the headroom a
+// noise-aware scheduler could reclaim.
+//
+// The package is generic over the noise evaluator so the same
+// machinery drives simulated measurements, analytical models or (on
+// real hardware) skitter readings.
+package mapping
+
+import (
+	"fmt"
+
+	"voltnoise/internal/analysis"
+	"voltnoise/internal/core"
+)
+
+// Evaluator measures one placement: given the set of cores running the
+// workload (the rest idle), it returns the worst per-core noise
+// reading and the core showing it.
+type Evaluator func(cores []int) (worstP2P float64, worstCore int, err error)
+
+// Placement is one evaluated workload-to-core mapping.
+type Placement struct {
+	// Cores lists the cores running the workload, ascending.
+	Cores []int
+	// WorstP2P is the highest per-core noise of this placement.
+	WorstP2P float64
+	// WorstCore is the core reading WorstP2P.
+	WorstCore int
+}
+
+// BestWorst enumerates all C(NumCores, k) placements of k workloads
+// and returns the quietest and the noisiest placement (by worst-case
+// per-core noise).
+func BestWorst(k int, eval Evaluator) (best, worst Placement, err error) {
+	if k < 1 || k > core.NumCores {
+		return best, worst, fmt.Errorf("mapping: %d workloads on %d cores", k, core.NumCores)
+	}
+	if eval == nil {
+		return best, worst, fmt.Errorf("mapping: nil evaluator")
+	}
+	first := true
+	var evalErr error
+	analysis.Combinations(core.NumCores, k, func(cores []int) {
+		if evalErr != nil {
+			return
+		}
+		w, wc, err := eval(cores)
+		if err != nil {
+			evalErr = err
+			return
+		}
+		p := Placement{Cores: append([]int{}, cores...), WorstP2P: w, WorstCore: wc}
+		if first {
+			best, worst = p, p
+			first = false
+			return
+		}
+		if p.WorstP2P < best.WorstP2P {
+			best = p
+		}
+		if p.WorstP2P > worst.WorstP2P {
+			worst = p
+		}
+	})
+	if evalErr != nil {
+		return Placement{}, Placement{}, evalErr
+	}
+	return best, worst, nil
+}
+
+// Opportunity quantifies the noise-aware mapping headroom for one
+// workload count (one x-position of the paper's Figure 15).
+type Opportunity struct {
+	// Workloads is the number of scheduled noisy workloads.
+	Workloads int
+	// Best and Worst are the extreme placements.
+	Best, Worst Placement
+	// GainP2P is Worst.WorstP2P - Best.WorstP2P: the worst-case noise
+	// reduction a noise-aware mapper achieves over an adversarial one.
+	GainP2P float64
+}
+
+// Study evaluates the mapping opportunity for each workload count in
+// ks (the paper sweeps 1..6).
+func Study(ks []int, eval Evaluator) ([]Opportunity, error) {
+	out := make([]Opportunity, 0, len(ks))
+	for _, k := range ks {
+		best, worst, err := BestWorst(k, eval)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Opportunity{
+			Workloads: k,
+			Best:      best,
+			Worst:     worst,
+			GainP2P:   worst.WorstP2P - best.WorstP2P,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package mapping
+
+import (
+	"errors"
+	"testing"
+
+	"voltnoise/internal/analysis"
+	"voltnoise/internal/core"
+)
+
+// fakeEval scores a placement by a synthetic rule: placements
+// concentrated in one layout cluster (all same parity) are noisiest,
+// mirroring the paper's finding.
+func fakeEval(cores []int) (float64, int, error) {
+	sameParity := true
+	for _, c := range cores[1:] {
+		if c%2 != cores[0]%2 {
+			sameParity = false
+		}
+	}
+	score := 20 + float64(len(cores))*2
+	if sameParity {
+		score += 4
+	}
+	return score, cores[0], nil
+}
+
+func TestBestWorst(t *testing.T) {
+	best, worst, err := BestWorst(3, fakeEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.WorstP2P <= best.WorstP2P {
+		t.Errorf("worst %g <= best %g", worst.WorstP2P, best.WorstP2P)
+	}
+	// The worst placement must be a single-parity (same-cluster) trio.
+	par := worst.Cores[0] % 2
+	for _, c := range worst.Cores {
+		if c%2 != par {
+			t.Errorf("worst placement %v not single-cluster", worst.Cores)
+		}
+	}
+	// Best placement mixes clusters.
+	mixed := false
+	for _, c := range best.Cores[1:] {
+		if c%2 != best.Cores[0]%2 {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Errorf("best placement %v not mixed", best.Cores)
+	}
+	if len(best.Cores) != 3 || len(worst.Cores) != 3 {
+		t.Error("placement sizes wrong")
+	}
+}
+
+func TestBestWorstValidation(t *testing.T) {
+	if _, _, err := BestWorst(0, fakeEval); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := BestWorst(core.NumCores+1, fakeEval); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, _, err := BestWorst(2, nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+}
+
+func TestBestWorstPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	eval := func(cores []int) (float64, int, error) {
+		n++
+		if n == 3 {
+			return 0, 0, boom
+		}
+		return 1, 0, nil
+	}
+	if _, _, err := BestWorst(2, eval); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestBestWorstEnumeratesAllPlacements(t *testing.T) {
+	count := 0
+	eval := func(cores []int) (float64, int, error) {
+		count++
+		return float64(count), 0, nil
+	}
+	if _, _, err := BestWorst(3, eval); err != nil {
+		t.Fatal(err)
+	}
+	if want := analysis.Binomial(core.NumCores, 3); count != want {
+		t.Errorf("evaluated %d placements, want %d", count, want)
+	}
+}
+
+func TestStudy(t *testing.T) {
+	ops, err := Study([]int{1, 3, 6}, fakeEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("%d opportunities", len(ops))
+	}
+	// k=6: only one placement -> zero gain.
+	if ops[2].GainP2P != 0 {
+		t.Errorf("k=6 gain = %g, want 0", ops[2].GainP2P)
+	}
+	// k=3: cluster effect gives positive gain.
+	if ops[1].GainP2P <= 0 {
+		t.Errorf("k=3 gain = %g, want > 0", ops[1].GainP2P)
+	}
+	// k=1: all single placements score equally (no parity bonus
+	// applies to... single cores are trivially same-parity) -> gain 0.
+	if ops[0].GainP2P != 0 {
+		t.Errorf("k=1 gain = %g", ops[0].GainP2P)
+	}
+	for _, op := range ops {
+		if op.GainP2P != op.Worst.WorstP2P-op.Best.WorstP2P {
+			t.Error("gain inconsistent with placements")
+		}
+	}
+}
+
+func TestStudyPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	eval := func([]int) (float64, int, error) { return 0, 0, boom }
+	if _, err := Study([]int{2}, eval); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+package noise
+
+import (
+	"testing"
+
+	"voltnoise/internal/vmin"
+)
+
+func TestCustomerCodeMarginExceedsStressmark(t *testing.T) {
+	l := lab(t)
+	vcfg := vmin.DefaultConfig()
+	vcfg.MinBias = 0.85
+	customer, err := l.CustomerCodeMargin(2e6, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst-case stressmark (synchronized, full delta-I).
+	pts, err := l.ConsecutiveEventStudy([]float64{2e6}, []int{1000}, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 12 reference line: customer code leaves
+	// "plenty of margin" above the synchronized stressmark.
+	if customer.MarginPercent <= pts[0].MarginPercent {
+		t.Errorf("customer margin %g%% not above stressmark margin %g%%",
+			customer.MarginPercent, pts[0].MarginPercent)
+	}
+}
+
+func TestSensitivitySummary(t *testing.T) {
+	l := lab(t)
+	s, err := l.Sensitivity(2e6, 300e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Section V-F conclusion: delta-I and synchronization
+	// are the primary factors; frequency and event count secondary.
+	if !s.Primary() {
+		t.Errorf("primary factors do not dominate: %+v", s)
+	}
+	if s.DeltaIEffect <= 0 || s.SyncEffect <= 0 {
+		t.Errorf("main effects non-positive: %+v", s)
+	}
+	if s.FrequencyEffect < 0 {
+		t.Errorf("resonance effect negative: %+v", s)
+	}
+	if s.EventsEffect < 0 {
+		t.Errorf("events effect negative: %+v", s)
+	}
+}

@@ -1,0 +1,185 @@
+// Package noise is the experiment harness: it drives the simulated
+// platform through every characterization study of the paper's
+// Sections V and VI (noise sensitivity to stimulus frequency,
+// alignment, misalignment, ΔI magnitude, consecutive-event count, and
+// inter-core propagation) and returns the data series behind each
+// figure.
+package noise
+
+import (
+	"fmt"
+
+	"voltnoise/internal/core"
+	"voltnoise/internal/isa"
+	"voltnoise/internal/pdn"
+	"voltnoise/internal/stressmark"
+	"voltnoise/internal/tod"
+	"voltnoise/internal/uarch"
+)
+
+// Lab bundles a platform with the discovered stressmark building
+// blocks; every experiment below runs against it.
+type Lab struct {
+	// Platform is the system under test.
+	Platform *core.Platform
+	// Search echoes the sequence-search configuration used.
+	Search stressmark.SearchConfig
+	// MaxSeq, MedSeq and MinSeq are the maximum-, medium- and
+	// minimum-power sequences (the medium consumes the average of the
+	// extremes, as in the paper's ΔI study).
+	MaxSeq, MedSeq, MinSeq *uarch.Program
+	// SearchFunnel records the search pipeline counts.
+	SearchFunnel *stressmark.SearchResult
+}
+
+// NewLab builds a lab: constructs the platform, runs the
+// maximum-power sequence search and derives the medium and minimum
+// sequences.
+func NewLab(pcfg core.Config, scfg stressmark.SearchConfig) (*Lab, error) {
+	plat, err := core.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewLabOn(plat, scfg)
+}
+
+// NewLabOn builds a lab around an existing platform.
+func NewLabOn(plat *core.Platform, scfg stressmark.SearchConfig) (*Lab, error) {
+	res, err := stressmark.FindMaxPowerSequence(scfg)
+	if err != nil {
+		return nil, err
+	}
+	min := stressmark.MinPowerSequence(scfg)
+	target := (scfg.Core.Power(res.Best) + scfg.Core.Power(min)) / 2
+	med, err := stressmark.SequenceWithPower(scfg, res.Best, target, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{
+		Platform:     plat,
+		Search:       scfg,
+		MaxSeq:       res.Best,
+		MedSeq:       med,
+		MinSeq:       min,
+		SearchFunnel: res,
+	}, nil
+}
+
+// DefaultLab builds a lab with the calibrated platform and the
+// paper-sized search.
+func DefaultLab() (*Lab, error) {
+	return NewLab(core.DefaultConfig(), stressmark.DefaultSearchConfig())
+}
+
+// table returns the ISA table in use.
+func (l *Lab) table() *isa.Table { return l.Search.Table }
+
+// MaxSpec returns the maximum dI/dt stressmark spec at the given
+// stimulus frequency (free-running).
+func (l *Lab) MaxSpec(freq float64) stressmark.Spec {
+	return stressmark.Spec{
+		HighSeq:      l.MaxSeq,
+		LowSeq:       l.MinSeq,
+		StimulusFreq: freq,
+		Duty:         0.5,
+	}
+}
+
+// MedSpec returns the medium dI/dt stressmark spec (half the ΔI of
+// MaxSpec) at the given stimulus frequency.
+func (l *Lab) MedSpec(freq float64) stressmark.Spec {
+	s := l.MaxSpec(freq)
+	s.HighSeq = l.MedSeq
+	return s
+}
+
+// syncSpec gates a spec into TOD-synchronized bursts. Event counts
+// that do not fit the sync period are clamped (the paper's 1000-event
+// bursts fit only at high stimulus frequencies).
+func syncSpec(s stressmark.Spec, events int) stressmark.Spec {
+	cond := tod.DefaultSync()
+	s.Sync = &cond
+	maxEvents := int(cond.Period() * 0.9 * s.StimulusFreq)
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	if events > maxEvents {
+		events = maxEvents
+	}
+	s.Events = events
+	return s
+}
+
+// measureWindow picks the measurement window for a spec: synchronized
+// marks are measured around the burst at the TOD origin; free-running
+// marks over a few stimulus periods. Bounds keep every run tractable.
+func measureWindow(s stressmark.Spec) (start, dur float64) {
+	if s.Sync != nil {
+		burst := float64(s.Events) / s.StimulusFreq
+		if burst > 60e-6 {
+			burst = 60e-6
+		}
+		return -10e-6, burst + 40e-6
+	}
+	dur = 4 / s.StimulusFreq
+	if dur < 60e-6 {
+		dur = 60e-6
+	}
+	if dur > 500e-6 {
+		dur = 500e-6
+	}
+	return 0, dur
+}
+
+// runSpec instantiates one copy of the spec per core (synchronized or
+// free-running as the spec says) and measures it over the default
+// window for the spec.
+func (l *Lab) runSpec(s stressmark.Spec, offsets *[core.NumCores]uint64, record bool) (*core.Measurement, error) {
+	start, dur := measureWindow(s)
+	return l.runSpecWindow(s, offsets, start, dur, record)
+}
+
+// runSpecWindow is runSpec with an explicit measurement window.
+func (l *Lab) runSpecWindow(s stressmark.Spec, offsets *[core.NumCores]uint64, start, dur float64, record bool) (*core.Measurement, error) {
+	cfg := l.Platform.Config()
+	var wl [core.NumCores]core.Workload
+	var err error
+	if s.Sync != nil {
+		wl, err = stressmark.SyncWorkloads(s, cfg.Core, l.table(), offsets)
+	} else {
+		if offsets != nil {
+			return nil, fmt.Errorf("noise: offsets require a synchronized spec")
+		}
+		wl, err = stressmark.UnsyncWorkloads(s, cfg.Core, l.table())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return l.Platform.Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur, Record: record})
+}
+
+// ImpedanceProfile computes the PDN impedance profile at a core node
+// (the paper's Figure 7b companion to the frequency sweep).
+func (l *Lab) ImpedanceProfile(freqs []float64) ([]pdn.ImpedancePoint, error) {
+	circuit, nodes := pdn.ZEC12(l.Platform.Config().PDN)
+	return circuit.ImpedanceProfile(nodes.Core[0], freqs)
+}
+
+// DeltaIMax returns the maximum per-core current swing in amperes:
+// the max dI/dt stressmark's power swing at nominal voltage.
+func (l *Lab) DeltaIMax() float64 {
+	cfg := l.Platform.Config()
+	return l.MaxSpec(2e6).DeltaPower(cfg.Core) / cfg.PDN.Vnom
+}
+
+// RunWorstMark measures the unsynchronized maximum stressmark at the
+// droop resonance — the baseline the application suite is validated
+// against.
+func (l *Lab) RunWorstMark() (float64, error) {
+	m, err := l.runSpec(l.MaxSpec(2e6), nil, false)
+	if err != nil {
+		return 0, err
+	}
+	w, _ := m.WorstP2P()
+	return w, nil
+}

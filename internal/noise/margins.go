@@ -1,0 +1,88 @@
+package noise
+
+import (
+	"voltnoise/internal/core"
+	"voltnoise/internal/stressmark"
+	"voltnoise/internal/vmin"
+)
+
+// MarginPoint is one cell of the Figure 12 study: the available
+// voltage margin for a given number of consecutive ΔI events and
+// stimulus frequency.
+type MarginPoint struct {
+	// Freq is the stimulus frequency in hertz.
+	Freq float64
+	// Events is the consecutive ΔI events per burst; 0 encodes the
+	// paper's "∞ events / no synchronization" column.
+	Events int
+	// MarginPercent is the available margin (bias to first failure, %
+	// of nominal).
+	MarginPercent float64
+	// Failed reports whether a failure was reached within the probed
+	// bias range.
+	Failed bool
+}
+
+// ConsecutiveEventStudy reproduces Figure 12: Vmin experiments for
+// each (stimulus frequency, consecutive-event-count) pair. events
+// entries of 0 select the unsynchronized variant. The vmin
+// configuration's windows are adapted per point to cover the burst.
+func (l *Lab) ConsecutiveEventStudy(freqs []float64, eventCounts []int, vcfg vmin.Config) ([]MarginPoint, error) {
+	cfg := l.Platform.Config()
+	var out []MarginPoint
+	for _, f := range freqs {
+		for _, events := range eventCounts {
+			var spec stressmark.Spec
+			if events == 0 {
+				spec = l.MaxSpec(f)
+			} else {
+				spec = syncSpec(l.MaxSpec(f), events)
+			}
+			var wl [core.NumCores]core.Workload
+			var err error
+			if spec.Sync != nil {
+				wl, err = stressmark.SyncWorkloads(spec, cfg.Core, l.table(), nil)
+			} else {
+				wl, err = stressmark.UnsyncWorkloads(spec, cfg.Core, l.table())
+			}
+			if err != nil {
+				return nil, err
+			}
+			start, dur := measureWindow(spec)
+			pcfg := vcfg
+			pcfg.Windows = []vmin.Window{{Start: start, Duration: dur}}
+			res, err := vmin.Run(l.Platform, wl, pcfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, MarginPoint{
+				Freq:          f,
+				Events:        events,
+				MarginPercent: res.MarginPercent,
+				Failed:        res.Failed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// NormalizeMargins rescales margins to the worst case (smallest
+// margin = most noise), as the paper's Figure 12 normalizes to "the
+// highest Vbias to fail". The returned slice maps one-to-one to the
+// input; values are margin minus the smallest margin observed.
+func NormalizeMargins(points []MarginPoint) []float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	min := points[0].MarginPercent
+	for _, p := range points[1:] {
+		if p.MarginPercent < min {
+			min = p.MarginPercent
+		}
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.MarginPercent - min
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package noise
+
+import (
+	"voltnoise/internal/core"
+	"voltnoise/internal/mapping"
+)
+
+// PlacementEvaluator returns a mapping.Evaluator that measures a
+// placement of synchronized maximum dI/dt stressmarks on the platform:
+// the workload-to-core mapping experiments of the paper's Figures 14
+// and 15.
+func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
+	cfg := l.Platform.Config()
+	spec := syncSpec(l.MaxSpec(freq), events)
+	wlProto, protoErr := spec.Workload(cfg.Core, l.table())
+	start, dur := measureWindow(spec)
+	return func(cores []int) (float64, int, error) {
+		if protoErr != nil {
+			return 0, 0, protoErr
+		}
+		var wl [core.NumCores]core.Workload
+		for _, c := range cores {
+			wl[c] = wlProto
+		}
+		m, err := l.Platform.Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
+		if err != nil {
+			return 0, 0, err
+		}
+		worst, worstCore := m.WorstP2P()
+		return worst, worstCore, nil
+	}
+}
+
+// MappingOpportunity runs the paper's Figure 15 study: the best/worst
+// placement gap for each workload count in ks.
+func (l *Lab) MappingOpportunity(freq float64, events int, ks []int) ([]mapping.Opportunity, error) {
+	return mapping.Study(ks, l.PlacementEvaluator(freq, events))
+}

@@ -1,0 +1,87 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+)
+
+// FindResonance automates the experimental resonance discovery the
+// paper describes as taking "hundreds (or even thousands) of test runs
+// with hand-crafted programs" when done manually: a coarse logarithmic
+// sweep locates the noisiest stimulus band, then the bracket is
+// refined by repeated subdivision until the frequency resolution
+// reaches tol (relative). It returns the discovered resonant frequency
+// and the noise level there.
+func (l *Lab) FindResonance(lo, hi float64, coarse int, tol float64) (freq, worstP2P float64, runs int, err error) {
+	if lo <= 0 || hi <= lo || coarse < 4 || tol <= 0 || tol >= 1 {
+		return 0, 0, 0, fmt.Errorf("noise: FindResonance(%g, %g, %d, %g)", lo, hi, coarse, tol)
+	}
+	measure := func(f float64) (float64, error) {
+		runs++
+		m, err := l.runSpec(l.MaxSpec(f), nil, false)
+		if err != nil {
+			return 0, err
+		}
+		w, _ := m.WorstP2P()
+		return w, nil
+	}
+	// Coarse sweep.
+	freqs := logSpace(lo, hi, coarse)
+	bestIdx, bestVal := 0, -1.0
+	vals := make([]float64, len(freqs))
+	for i, f := range freqs {
+		v, err := measure(f)
+		if err != nil {
+			return 0, 0, runs, err
+		}
+		vals[i] = v
+		if v > bestVal {
+			bestVal, bestIdx = v, i
+		}
+	}
+	loIdx, hiIdx := bestIdx-1, bestIdx+1
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if hiIdx > len(freqs)-1 {
+		hiIdx = len(freqs) - 1
+	}
+	loB := freqs[loIdx]
+	hiB := freqs[hiIdx]
+	bestF := freqs[bestIdx]
+	// Refine: subdivide the bracket until the span is within tol.
+	for hiB/loB-1 > tol {
+		mids := []float64{(loB + bestF) / 2, (bestF + hiB) / 2}
+		for _, f := range mids {
+			v, err := measure(f)
+			if err != nil {
+				return 0, 0, runs, err
+			}
+			if v > bestVal {
+				bestVal, bestF = v, f
+			}
+		}
+		// Narrow the bracket around the current best.
+		span := (hiB - loB) / 4
+		loB = bestF - span
+		hiB = bestF + span
+		if loB < lo {
+			loB = lo
+		}
+		if hiB > hi {
+			hiB = hi
+		}
+	}
+	return bestF, bestVal, runs, nil
+}
+
+func logSpace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / float64(n-1)
+		out[i] = lo * pow(hi/lo, t)
+	}
+	return out
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,41 @@
+package noise
+
+import "testing"
+
+func TestFindResonanceLocatesFirstDroop(t *testing.T) {
+	l := lab(t)
+	freq, worst, runs, err := l.FindResonance(200e3, 8e6, 8, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq < 1.2e6 || freq > 3.2e6 {
+		t.Errorf("resonance found at %g, want ~2MHz", freq)
+	}
+	if worst < 30 {
+		t.Errorf("resonant noise %g too low", worst)
+	}
+	if runs < 8 {
+		t.Errorf("only %d runs", runs)
+	}
+	// The automation uses dramatically fewer runs than the paper's
+	// "hundreds or thousands" of manual attempts.
+	if runs > 60 {
+		t.Errorf("%d runs, expected a few dozen at most", runs)
+	}
+}
+
+func TestFindResonanceValidation(t *testing.T) {
+	l := lab(t)
+	cases := [][4]float64{
+		{0, 1e6, 8, 0.1},   // lo <= 0
+		{1e6, 1e6, 8, 0.1}, // hi <= lo
+		{1e3, 1e6, 2, 0.1}, // coarse < 4
+		{1e3, 1e6, 8, 0},   // tol <= 0
+		{1e3, 1e6, 8, 2},   // tol >= 1
+	}
+	for _, c := range cases {
+		if _, _, _, err := l.FindResonance(c[0], c[1], int(c[2]), c[3]); err == nil {
+			t.Errorf("FindResonance(%v) accepted", c)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package noise
+
+import (
+	"fmt"
+
+	"voltnoise/internal/core"
+	"voltnoise/internal/signal"
+)
+
+// FreqPoint is one stimulus frequency of a sweep: the per-core %p2p
+// readings.
+type FreqPoint struct {
+	Freq float64
+	P2P  [core.NumCores]float64
+}
+
+// Worst returns the maximum per-core reading of the point.
+func (p FreqPoint) Worst() float64 {
+	w := p.P2P[0]
+	for _, v := range p.P2P[1:] {
+		if v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// FrequencySweep runs the maximum dI/dt stressmark (one copy per core)
+// across stimulus frequencies and reports per-core noise.
+//
+// With sync=false this is the paper's Figure 7a experiment
+// (unsynchronized copies; the resonant bands around ~40 kHz and ~2 MHz
+// emerge); with sync=true it is Figure 9 (TOD-synchronized bursts of
+// `events` consecutive ΔI events every ~4 ms; noise rises across the
+// whole spectrum).
+func (l *Lab) FrequencySweep(freqs []float64, sync bool, events int) ([]FreqPoint, error) {
+	out := make([]FreqPoint, 0, len(freqs))
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("noise: non-positive sweep frequency %g", f)
+		}
+		spec := l.MaxSpec(f)
+		if sync {
+			spec = syncSpec(spec, events)
+		}
+		m, err := l.runSpec(spec, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FreqPoint{Freq: f, P2P: m.P2P})
+	}
+	return out, nil
+}
+
+// Waveform records the per-core supply voltage while running the
+// synchronized maximum stressmark at the given stimulus frequency —
+// the paper's oscilloscope shot (Figure 8). The returned traces cover
+// the requested duration starting at the burst onset.
+func (l *Lab) Waveform(freq, duration float64) ([core.NumCores]*signal.Trace, error) {
+	var traces [core.NumCores]*signal.Trace
+	spec := syncSpec(l.MaxSpec(freq), 1000)
+	m, err := l.runSpecWindow(spec, nil, 0, duration, true)
+	if err != nil {
+		return traces, err
+	}
+	return m.Traces, nil
+}
+
+// MisalignPoint is one maximum-allowed-misalignment setting of the
+// Figure 10 study.
+type MisalignPoint struct {
+	// MaxTicks is the maximum allowed misalignment in 62.5 ns TOD
+	// ticks.
+	MaxTicks int
+	// MeanP2P is the per-core noise averaged over all placements.
+	MeanP2P [core.NumCores]float64
+	// Placements is how many stressmark-to-core placements were
+	// averaged.
+	Placements int
+}
+
+// Worst returns the maximum average per-core reading.
+func (p MisalignPoint) Worst() float64 {
+	w := p.MeanP2P[0]
+	for _, v := range p.MeanP2P[1:] {
+		if v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// MisalignmentSweep reproduces the paper's Figure 10 experiment: the
+// synchronized maximum stressmark at the given stimulus frequency,
+// with the per-core sync points distributed evenly within a maximum
+// allowed misalignment of maxTicks 62.5 ns quanta (e.g. maxTicks=2:
+// two marks at 0, two at 62.5 ns, two at 125 ns). All rotationally
+// distinct assignments of offsets to cores are run and averaged, up to
+// maxPlacements per point (deterministic subsampling beyond that).
+func (l *Lab) MisalignmentSweep(freq float64, maxTicksList []int, events, maxPlacements int) ([]MisalignPoint, error) {
+	if maxPlacements < 1 {
+		return nil, fmt.Errorf("noise: maxPlacements %d", maxPlacements)
+	}
+	out := make([]MisalignPoint, 0, len(maxTicksList))
+	for _, maxTicks := range maxTicksList {
+		if maxTicks < 0 {
+			return nil, fmt.Errorf("noise: negative misalignment %d", maxTicks)
+		}
+		offsets := evenOffsets(maxTicks)
+		placements := distinctPermutations(offsets)
+		if len(placements) > maxPlacements {
+			placements = subsample(placements, maxPlacements)
+		}
+		pt := MisalignPoint{MaxTicks: maxTicks, Placements: len(placements)}
+		spec := syncSpec(l.MaxSpec(freq), events)
+		for _, perm := range placements {
+			var offs [core.NumCores]uint64
+			copy(offs[:], perm)
+			m, err := l.runSpec(spec, &offs, false)
+			if err != nil {
+				return nil, err
+			}
+			for i := range pt.MeanP2P {
+				pt.MeanP2P[i] += m.P2P[i]
+			}
+		}
+		for i := range pt.MeanP2P {
+			pt.MeanP2P[i] /= float64(len(placements))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// evenOffsets distributes the six stressmarks evenly across the
+// misalignment range [0, maxTicks], in whole ticks, as the paper
+// describes ("the stressmarks are distributed evenly within the
+// misalignment range").
+func evenOffsets(maxTicks int) []uint64 {
+	out := make([]uint64, core.NumCores)
+	if maxTicks == 0 {
+		return out
+	}
+	slots := maxTicks + 1
+	if slots > core.NumCores {
+		slots = core.NumCores
+	}
+	for i := range out {
+		slot := i * slots / core.NumCores
+		out[i] = uint64(slot * maxTicks / (slots - 1))
+	}
+	return out
+}
+
+// distinctPermutations returns the distinct permutations of the offset
+// multiset (assignments of offsets to cores), deterministically
+// ordered.
+func distinctPermutations(offsets []uint64) [][]uint64 {
+	var out [][]uint64
+	n := len(offsets)
+	// Count the multiset.
+	counts := map[uint64]int{}
+	for _, o := range offsets {
+		counts[o]++
+	}
+	var keys []uint64
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sortUint64(keys)
+	current := make([]uint64, n)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			out = append(out, append([]uint64{}, current...))
+			return
+		}
+		for _, k := range keys {
+			if counts[k] == 0 {
+				continue
+			}
+			counts[k]--
+			current[pos] = k
+			rec(pos + 1)
+			counts[k]++
+		}
+	}
+	rec(0)
+	return out
+}
+
+func sortUint64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// subsample keeps exactly n placements, evenly spaced across the list
+// (deterministic).
+func subsample(placements [][]uint64, n int) [][]uint64 {
+	if len(placements) <= n {
+		return placements
+	}
+	out := make([][]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, placements[i*len(placements)/n])
+	}
+	return out
+}

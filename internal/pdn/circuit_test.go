@@ -1,0 +1,187 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodeCreationAndLookup(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	b := c.Node("b")
+	if a == b {
+		t.Fatal("distinct names map to same node")
+	}
+	if got := c.Node("a"); got != a {
+		t.Errorf("Node(a) second call = %d, want %d", got, a)
+	}
+	if c.NodeName(a) != "a" {
+		t.Errorf("NodeName = %q", c.NodeName(a))
+	}
+	if c.NodeName(Ground) != "gnd" {
+		t.Errorf("ground name = %q", c.NodeName(Ground))
+	}
+	if c.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestFixNode(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	c.FixNode(a, 1.05)
+	v, ok := c.FixedVoltage(a)
+	if !ok || v != 1.05 {
+		t.Errorf("FixedVoltage = %g,%v", v, ok)
+	}
+	if v, ok := c.FixedVoltage(Ground); !ok || v != 0 {
+		t.Errorf("ground FixedVoltage = %g,%v", v, ok)
+	}
+	if _, ok := c.FixedVoltage(c.Node("free")); ok {
+		t.Error("free node reported fixed")
+	}
+}
+
+func TestFixGroundPanics(t *testing.T) {
+	c := NewCircuit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.FixNode(Ground, 1)
+}
+
+func TestElementValidation(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Node("a"), c.Node("b")
+	cases := map[string]func(){
+		"zero R":        func() { c.AddResistor("r", a, b, 0) },
+		"negative L":    func() { c.AddInductor("l", a, b, -1) },
+		"zero C":        func() { c.AddCapacitor("c", a, b, 0, 0) },
+		"negative ESR":  func() { c.AddCapacitor("c", a, b, 1e-6, -1) },
+		"self loop":     func() { c.AddResistor("r", a, a, 1) },
+		"empty name":    func() { c.AddResistor("", a, b, 1) },
+		"load on gnd":   func() { c.AddLoad("l", Ground, func(float64) float64 { return 0 }) },
+		"nil load func": func() { c.AddLoad("l", a, nil) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCapacitorESRCreatesInternalNode(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	before := c.NumNodes()
+	c.AddCapacitor("cap", a, Ground, 1e-6, 1e-3)
+	if c.NumNodes() != before+1 {
+		t.Errorf("ESR cap should add one internal node, got %d new", c.NumNodes()-before)
+	}
+	if c.NumElements() != 2 {
+		t.Errorf("ESR cap should expand to 2 elements, got %d", c.NumElements())
+	}
+	// Without ESR: single element, no extra node.
+	c2 := NewCircuit()
+	a2 := c2.Node("a")
+	c2.AddCapacitor("cap", a2, Ground, 1e-6, 0)
+	if c2.NumElements() != 1 || c2.NumNodes() != 2 {
+		t.Errorf("ideal cap: %d elements, %d nodes", c2.NumElements(), c2.NumNodes())
+	}
+}
+
+func TestLoadsReturned(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	l := c.AddLoad("core", a, func(float64) float64 { return 2 })
+	if len(c.Loads()) != 1 || c.Loads()[0] != l {
+		t.Fatalf("Loads = %v", c.Loads())
+	}
+	if l.Name != "core" || l.Node != a || l.Current(0) != 2 {
+		t.Errorf("load fields wrong: %+v", l)
+	}
+}
+
+func TestUnknownsExcludesGroundAndFixed(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Node("a"), c.Node("b")
+	c.Node("c")
+	c.FixNode(a, 1)
+	idx, n := c.unknowns()
+	if n != 2 {
+		t.Fatalf("unknowns = %d, want 2", n)
+	}
+	if idx[Ground] != -1 || idx[a] != -1 {
+		t.Errorf("ground/fixed not excluded: %v", idx)
+	}
+	if idx[b] < 0 {
+		t.Errorf("free node excluded: %v", idx)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(1e3, 1e6, 4)
+	want := []float64{1e3, 1e4, 1e5, 1e6}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-6*want[i] {
+			t.Errorf("LogSpace[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+}
+
+func TestLogSpaceValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"lo<=0":  func() { LogSpace(0, 10, 3) },
+		"hi<=lo": func() { LogSpace(10, 10, 3) },
+		"n<2":    func() { LogSpace(1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRealLUSolvesKnownSystem(t *testing.T) {
+	// [3 1; 1 2] x = [5; 5] -> x = [1; 2]
+	a := []float64{3, 1, 1, 2}
+	lu, err := factorReal(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	lu.solveInto(x, []float64{5, 5})
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestRealLUPivoting(t *testing.T) {
+	a := []float64{0, 1, 1, 0}
+	lu, err := factorReal(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	lu.solveInto(x, []float64{7, 3})
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-7) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestRealLUSingular(t *testing.T) {
+	if _, err := factorReal([]float64{1, 2, 2, 4}, 2); err == nil {
+		t.Error("expected singular error")
+	}
+}

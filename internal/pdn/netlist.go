@@ -1,0 +1,86 @@
+package pdn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Netlist renders the circuit in SPICE deck syntax, with current loads
+// as comments (their waveforms are Go functions). It exists for
+// inspection and for cross-checking the calibrated network against
+// external circuit simulators — the role the paper's Cadence/Sigrity
+// deck played for its authors.
+func (c *Circuit) Netlist(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	fmt.Fprintf(&b, "* %d nodes, %d elements, %d loads\n", c.NumNodes(), c.NumElements(), len(c.loads))
+	// Fixed nodes render as voltage sources.
+	fixed := make([]int, 0, len(c.fixed))
+	for n := range c.fixed {
+		fixed = append(fixed, int(n))
+	}
+	sort.Ints(fixed)
+	for i, n := range fixed {
+		fmt.Fprintf(&b, "V%d %s 0 DC %g\n", i+1, c.spiceNode(NodeID(n)), c.fixed[NodeID(n)])
+	}
+	counts := map[elementKind]int{}
+	for _, e := range c.elements {
+		counts[e.kind]++
+		switch e.kind {
+		case kindResistor:
+			fmt.Fprintf(&b, "R%d %s %s %g ; %s\n", counts[e.kind], c.spiceNode(e.a), c.spiceNode(e.b), e.value, e.name)
+		case kindInductor:
+			fmt.Fprintf(&b, "L%d %s %s %g ; %s\n", counts[e.kind], c.spiceNode(e.a), c.spiceNode(e.b), e.value, e.name)
+		case kindCapacitor:
+			fmt.Fprintf(&b, "C%d %s %s %g ; %s\n", counts[e.kind], c.spiceNode(e.a), c.spiceNode(e.b), e.value, e.name)
+		}
+	}
+	for _, l := range c.loads {
+		fmt.Fprintf(&b, "* load %q at node %s (time-varying current sink)\n", l.Name, c.spiceNode(l.Node))
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// spiceNode renders node names in deck-safe form (ground is 0).
+func (c *Circuit) spiceNode(n NodeID) string {
+	if n == Ground {
+		return "0"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, c.NodeName(n))
+}
+
+// Stats summarizes a circuit for listings.
+type Stats struct {
+	Nodes, Resistors, Inductors, Capacitors, Loads int
+	// TotalCapacitance sums all capacitor values in farads.
+	TotalCapacitance float64
+	// SeriesResistance is the DC resistance from the first fixed node
+	// to each named node, computed on demand elsewhere; the summary
+	// here carries only structural counts.
+}
+
+// Summary returns the circuit's structural statistics.
+func (c *Circuit) Summary() Stats {
+	s := Stats{Nodes: c.NumNodes(), Loads: len(c.loads)}
+	for _, e := range c.elements {
+		switch e.kind {
+		case kindResistor:
+			s.Resistors++
+		case kindInductor:
+			s.Inductors++
+		case kindCapacitor:
+			s.Capacitors++
+			s.TotalCapacitance += e.value
+		}
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package pdn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNetlistRendersAllElements(t *testing.T) {
+	c, nodes := ZEC12(DefaultZEC12Config())
+	c.AddLoad("core0", nodes.Core[0], func(float64) float64 { return 1 })
+	deck := c.Netlist("zec12")
+	if !strings.HasPrefix(deck, "* zec12\n") {
+		t.Errorf("missing title: %q", deck[:40])
+	}
+	s := c.Summary()
+	for prefix, count := range map[string]int{"R": s.Resistors, "L": s.Inductors, "C": s.Capacitors} {
+		got := 0
+		for _, line := range strings.Split(deck, "\n") {
+			if strings.HasPrefix(line, prefix) && len(line) > 1 && line[1] >= '0' && line[1] <= '9' {
+				got++
+			}
+		}
+		if got != count {
+			t.Errorf("%s lines = %d, want %d", prefix, got, count)
+		}
+	}
+	if !strings.Contains(deck, "V1 vrm 0 DC") {
+		t.Error("VRM source missing")
+	}
+	if !strings.Contains(deck, `* load "core0"`) {
+		t.Error("load comment missing")
+	}
+	if !strings.HasSuffix(deck, ".end\n") {
+		t.Error("missing .end")
+	}
+	// Node names are deck-safe: the ESR internal nodes contain dots in
+	// Go but none may appear in the deck.
+	for _, line := range strings.Split(deck, "\n") {
+		if strings.HasPrefix(line, "*") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && strings.Contains(fields[1]+fields[2], ".") {
+			t.Errorf("unsafe node name in %q", line)
+		}
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	c.FixNode(a, 1)
+	b := c.Node("b")
+	c.AddResistor("r", a, b, 1)
+	c.AddInductor("l", a, b, 1e-9)
+	c.AddCapacitor("c1", b, Ground, 2e-6, 0)
+	c.AddCapacitor("c2", b, Ground, 3e-6, 1e-3) // ESR adds a resistor
+	c.AddLoad("x", b, func(float64) float64 { return 0 })
+	s := c.Summary()
+	if s.Resistors != 2 || s.Inductors != 1 || s.Capacitors != 2 || s.Loads != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.TotalCapacitance-5e-6) > 1e-18 {
+		t.Errorf("total capacitance = %g", s.TotalCapacitance)
+	}
+}

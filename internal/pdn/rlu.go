@@ -1,0 +1,86 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+)
+
+// realLU is a dense real LU factorization with partial pivoting, used
+// by the transient engine where the (constant) conductance matrix is
+// factored once and solved against a new right-hand side every step.
+type realLU struct {
+	n    int
+	lu   []float64
+	perm []int
+}
+
+// factorReal factors the n x n row-major matrix a. a is not modified.
+func factorReal(a []float64, n int) (*realLU, error) {
+	if len(a) != n*n {
+		panic(fmt.Sprintf("pdn: factorReal matrix length %d for n=%d", len(a), n))
+	}
+	lu := make([]float64, n*n)
+	copy(lu, a)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		maxMag := math.Abs(lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if mag := math.Abs(lu[r*n+col]); mag > maxMag {
+				maxMag = mag
+				pivot = r
+			}
+		}
+		if maxMag < 1e-300 {
+			return nil, fmt.Errorf("pdn: singular conductance matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				lu[col*n+j], lu[pivot*n+j] = lu[pivot*n+j], lu[col*n+j]
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r*n+col] * inv
+			lu[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu[r*n+j] -= f * lu[col*n+j]
+			}
+		}
+	}
+	return &realLU{n: n, lu: lu, perm: perm}, nil
+}
+
+// solveInto solves A*x = b, writing the solution into x. b is not
+// modified; x and b must both have length n and may not alias.
+func (f *realLU) solveInto(x, b []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("pdn: solveInto with len(x)=%d len(b)=%d n=%d", len(x), len(b), n))
+	}
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	for i := 1; i < n; i++ {
+		sum := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			sum -= v * x[j]
+		}
+		x[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = sum / f.lu[i*n+i]
+	}
+}

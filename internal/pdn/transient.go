@@ -1,0 +1,303 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"voltnoise/internal/signal"
+)
+
+// Transient integrates a circuit forward in time with the trapezoidal
+// rule. Reactive elements are replaced by their companion models: a
+// constant conductance (folded once into the nodal matrix, which is
+// then LU-factored once) plus a history current source recomputed each
+// step. This is the standard SPICE formulation and is A-stable, so
+// resonant PDNs integrate robustly at any step size that resolves the
+// waveforms of interest.
+type Transient struct {
+	c   *Circuit
+	dt  float64
+	lu  *realLU
+	idx []int // NodeID -> unknown index or -1
+	n   int   // number of unknowns
+
+	// Per-element companion state.
+	geq  []float64 // companion conductance per element (0 for resistors)
+	vab  []float64 // branch voltage at current time
+	ibr  []float64 // branch current at current time (a -> b)
+	pots []float64 // node potentials at current time (all nodes)
+
+	rhs []float64
+	sol []float64
+
+	time float64
+	step int
+}
+
+// NewTransient prepares a transient simulation of c with fixed timestep
+// dt, starting at time zero. See NewTransientAt.
+func NewTransient(c *Circuit, dt float64) (*Transient, error) {
+	return NewTransientAt(c, dt, 0)
+}
+
+// NewTransientAt prepares a transient simulation of c with fixed
+// timestep dt, starting at simulation time start. The circuit's DC
+// operating point (inductors shorted, capacitors open, loads evaluated
+// at the start time) is used as the initial condition, so a well-formed
+// circuit starts in steady state and shows no artificial start-up
+// transient.
+func NewTransientAt(c *Circuit, dt, start float64) (*Transient, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("pdn: non-positive timestep %g", dt)
+	}
+	idx, n := c.unknowns()
+	if n == 0 {
+		return nil, fmt.Errorf("pdn: circuit has no unknown nodes")
+	}
+	t := &Transient{
+		c: c, dt: dt, idx: idx, n: n, time: start,
+		geq:  make([]float64, len(c.elements)),
+		vab:  make([]float64, len(c.elements)),
+		ibr:  make([]float64, len(c.elements)),
+		pots: make([]float64, c.NumNodes()),
+		rhs:  make([]float64, n),
+		sol:  make([]float64, n),
+	}
+	// Companion conductances.
+	g := make([]float64, n*n)
+	for ei, e := range c.elements {
+		var ge float64
+		switch e.kind {
+		case kindResistor:
+			ge = 1 / e.value
+		case kindCapacitor:
+			ge = 2 * e.value / dt
+		case kindInductor:
+			ge = dt / (2 * e.value)
+		}
+		t.geq[ei] = ge
+		stampReal(g, n, idx, e.a, e.b, ge)
+	}
+	lu, err := factorReal(g, n)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: transient setup: %w", err)
+	}
+	t.lu = lu
+	if err := t.initDC(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// stampReal adds conductance ge between nodes a and b into the nodal
+// matrix of unknowns (rows/cols indexed by idx).
+func stampReal(g []float64, n int, idx []int, a, b NodeID, ge float64) {
+	ia, ib := idx[a], idx[b]
+	if ia >= 0 {
+		g[ia*n+ia] += ge
+	}
+	if ib >= 0 {
+		g[ib*n+ib] += ge
+	}
+	if ia >= 0 && ib >= 0 {
+		g[ia*n+ib] -= ge
+		g[ib*n+ia] -= ge
+	}
+}
+
+// initDC computes the DC operating point: inductors become tiny
+// resistances, capacitors are open, loads are evaluated at t = 0.
+func (t *Transient) initDC() error {
+	const shortOhms = 1e-9
+	c := t.c
+	g := make([]float64, t.n*t.n)
+	rhs := make([]float64, t.n)
+	for _, e := range c.elements {
+		var ge float64
+		switch e.kind {
+		case kindResistor:
+			ge = 1 / e.value
+		case kindInductor:
+			ge = 1 / shortOhms
+		case kindCapacitor:
+			continue
+		}
+		stampReal(g, t.n, t.idx, e.a, e.b, ge)
+		// Fixed-node contributions move to the RHS.
+		t.stampFixedRHS(rhs, e.a, e.b, ge)
+	}
+	for _, l := range c.loads {
+		if i := t.idx[l.Node]; i >= 0 {
+			rhs[i] -= l.Current(t.time)
+		}
+	}
+	lu, err := factorReal(g, t.n)
+	if err != nil {
+		return fmt.Errorf("pdn: DC operating point: %w (is every node connected to a source?)", err)
+	}
+	sol := make([]float64, t.n)
+	lu.solveInto(sol, rhs)
+	t.scatterPotentials(sol)
+	// Branch states from the DC solution.
+	for ei, e := range c.elements {
+		va, vb := t.pots[e.a], t.pots[e.b]
+		t.vab[ei] = va - vb
+		switch e.kind {
+		case kindResistor:
+			t.ibr[ei] = (va - vb) / e.value
+		case kindInductor:
+			t.ibr[ei] = (va - vb) / shortOhms
+			t.vab[ei] = 0 // an ideal inductor carries no DC voltage
+		case kindCapacitor:
+			t.ibr[ei] = 0
+		}
+	}
+	return nil
+}
+
+// stampFixedRHS accounts for a branch conductance touching a fixed
+// node: the fixed potential's contribution moves to the RHS.
+func (t *Transient) stampFixedRHS(rhs []float64, a, b NodeID, ge float64) {
+	ia, ib := t.idx[a], t.idx[b]
+	if ia >= 0 && ib < 0 {
+		rhs[ia] += ge * t.c.potentialOfFixed(b)
+	}
+	if ib >= 0 && ia < 0 {
+		rhs[ib] += ge * t.c.potentialOfFixed(a)
+	}
+}
+
+// scatterPotentials writes the solved unknowns plus the fixed
+// potentials into t.pots.
+func (t *Transient) scatterPotentials(sol []float64) {
+	for node, i := range t.idx {
+		if i >= 0 {
+			t.pots[node] = sol[i]
+		} else {
+			t.pots[node] = t.c.potentialOfFixed(NodeID(node))
+		}
+	}
+}
+
+// Time returns the current simulation time in seconds.
+func (t *Transient) Time() float64 { return t.time }
+
+// Dt returns the fixed timestep.
+func (t *Transient) Dt() float64 { return t.dt }
+
+// Voltage returns the potential of node n at the current time.
+func (t *Transient) Voltage(n NodeID) float64 {
+	t.c.checkNode(n)
+	return t.pots[n]
+}
+
+// BranchCurrent returns the current (a -> b) through element i in
+// insertion order. It is exported for white-box testing and
+// element-level probing.
+func (t *Transient) BranchCurrent(i int) float64 { return t.ibr[i] }
+
+// Step advances the simulation by one timestep.
+func (t *Transient) Step() error {
+	c := t.c
+	next := t.time + t.dt
+	for i := range t.rhs {
+		t.rhs[i] = 0
+	}
+	// History sources and fixed-node conductance contributions.
+	for ei, e := range c.elements {
+		ge := t.geq[ei]
+		t.stampFixedRHS(t.rhs, e.a, e.b, ge)
+		var hist float64
+		switch e.kind {
+		case kindResistor:
+			continue
+		case kindCapacitor:
+			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
+			// Branch current a->b contributes +hist into node a's RHS.
+			hist = t.geq[ei]*t.vab[ei] + t.ibr[ei]
+			t.addRHS(e.a, +hist)
+			t.addRHS(e.b, -hist)
+		case kindInductor:
+			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
+			hist = t.ibr[ei] + t.geq[ei]*t.vab[ei]
+			t.addRHS(e.a, -hist)
+			t.addRHS(e.b, +hist)
+		}
+	}
+	// Loads evaluated at the new time (backward-looking sources keep
+	// the trapezoidal solve linear).
+	for _, l := range c.loads {
+		if i := t.idx[l.Node]; i >= 0 {
+			t.rhs[i] -= l.Current(next)
+		}
+	}
+	t.lu.solveInto(t.sol, t.rhs)
+	for _, v := range t.sol {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("pdn: integration diverged at t=%g", next)
+		}
+	}
+	t.scatterPotentials(t.sol)
+	// Update branch states.
+	for ei, e := range c.elements {
+		v := t.pots[e.a] - t.pots[e.b]
+		switch e.kind {
+		case kindResistor:
+			t.ibr[ei] = v * t.geq[ei]
+		case kindCapacitor:
+			hist := t.geq[ei]*t.vab[ei] + t.ibr[ei]
+			t.ibr[ei] = t.geq[ei]*v - hist
+		case kindInductor:
+			hist := t.ibr[ei] + t.geq[ei]*t.vab[ei]
+			t.ibr[ei] = t.geq[ei]*v + hist
+		}
+		t.vab[ei] = v
+	}
+	t.time = next
+	t.step++
+	return nil
+}
+
+// Run advances the simulation for the given duration, recording the
+// potential of each probe node every step. The returned traces are
+// indexed like probes and start at the pre-run simulation time.
+func (t *Transient) Run(duration float64, probes []NodeID) ([]*signal.Trace, error) {
+	if duration < 0 {
+		return nil, fmt.Errorf("pdn: negative run duration %g", duration)
+	}
+	steps := int(math.Round(duration / t.dt))
+	traces := make([]*signal.Trace, len(probes))
+	for i, p := range probes {
+		t.c.checkNode(p)
+		tr := signal.NewTrace(t.dt, steps+1)
+		tr.Start = t.time
+		tr.Samples[0] = t.Voltage(p)
+		traces[i] = tr
+	}
+	for s := 1; s <= steps; s++ {
+		if err := t.Step(); err != nil {
+			return nil, err
+		}
+		for i, p := range probes {
+			traces[i].Samples[s] = t.Voltage(p)
+		}
+	}
+	return traces, nil
+}
+
+// RunUntil advances the simulation until the given absolute time
+// without recording anything. Useful for warm-up.
+func (t *Transient) RunUntil(until float64) error {
+	for t.time < until-t.dt/2 {
+		if err := t.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Transient) addRHS(n NodeID, v float64) {
+	if i := t.idx[n]; i >= 0 {
+		t.rhs[i] += v
+	}
+}

@@ -1,0 +1,334 @@
+package pdn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// rcCircuit builds: src(1V fixed) --R--> out, C from out to ground.
+func rcCircuit(r, c float64) (*Circuit, NodeID) {
+	ckt := NewCircuit()
+	src := ckt.Node("src")
+	out := ckt.Node("out")
+	ckt.FixNode(src, 1.0)
+	ckt.AddResistor("r", src, out, r)
+	ckt.AddCapacitor("c", out, Ground, c, 0)
+	return ckt, out
+}
+
+func TestTransientValidation(t *testing.T) {
+	ckt, _ := rcCircuit(1, 1e-6)
+	if _, err := NewTransient(ckt, 0); err == nil {
+		t.Error("expected error for zero dt")
+	}
+	if _, err := NewTransient(ckt, -1e-9); err == nil {
+		t.Error("expected error for negative dt")
+	}
+	// Circuit with no unknowns.
+	empty := NewCircuit()
+	if _, err := NewTransient(empty, 1e-9); err == nil {
+		t.Error("expected error for no unknowns")
+	}
+}
+
+func TestDCOperatingPoint(t *testing.T) {
+	// Voltage divider: 1V -- 1 Ohm -- out -- 1 Ohm -- gnd, plus a cap
+	// on out. DC solution: 0.5V.
+	ckt := NewCircuit()
+	src, out := ckt.Node("src"), ckt.Node("out")
+	ckt.FixNode(src, 1)
+	ckt.AddResistor("r1", src, out, 1)
+	ckt.AddResistor("r2", out, Ground, 1)
+	ckt.AddCapacitor("c", out, Ground, 1e-6, 0)
+	tr, err := NewTransient(ckt, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Voltage(out); math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("DC voltage = %g, want 0.5", v)
+	}
+	// With no excitation the state must hold steady.
+	for i := 0; i < 100; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := tr.Voltage(out); math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("steady state drifted to %g", v)
+	}
+}
+
+func TestDCWithLoad(t *testing.T) {
+	// 1V --0.1 Ohm--> out with a 2A constant load: IR drop 0.2V.
+	ckt := NewCircuit()
+	src, out := ckt.Node("src"), ckt.Node("out")
+	ckt.FixNode(src, 1)
+	ckt.AddResistor("r", src, out, 0.1)
+	ckt.AddCapacitor("c", out, Ground, 1e-6, 0)
+	ckt.AddLoad("load", out, func(float64) float64 { return 2 })
+	tr, err := NewTransient(ckt, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Voltage(out); math.Abs(v-0.8) > 1e-9 {
+		t.Errorf("DC with load = %g, want 0.8", v)
+	}
+}
+
+func TestRCStepResponseTimeConstant(t *testing.T) {
+	// Start in DC steady state with a 1A load, then drop the load to
+	// 0 at t=0: the output relaxes to 1V with tau = RC.
+	const r, c = 0.5, 2e-6 // tau = 1e-6
+	ckt, out := rcCircuit(r, c)
+	ckt.AddLoad("load", out, func(t float64) float64 {
+		if t <= 0 {
+			return 1
+		}
+		return 0
+	})
+	tr, err := NewTransient(ckt, 5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := tr.Voltage(out)
+	if math.Abs(v0-0.5) > 1e-9 {
+		t.Fatalf("initial = %g, want 0.5", v0)
+	}
+	// After one tau the response covers 1-1/e of the step.
+	const tau = r * c
+	if err := tr.RunUntil(tau); err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 0.5*math.Exp(-1)
+	if got := tr.Voltage(out); math.Abs(got-want) > 0.002 {
+		t.Errorf("v(tau) = %g, want %g", got, want)
+	}
+	// After many tau it settles at 1V.
+	if err := tr.RunUntil(10 * tau); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Voltage(out); math.Abs(got-1) > 1e-3 {
+		t.Errorf("v(10tau) = %g, want 1", got)
+	}
+}
+
+func TestRLCRingingFrequency(t *testing.T) {
+	// Series RLC from a fixed source; step the load and verify the
+	// ring frequency is ~1/(2*pi*sqrt(LC)).
+	const (
+		l = 1e-9  // 1 nH
+		c = 25e-6 // 25 uF -> fr = 1.007 MHz
+	)
+	ckt := NewCircuit()
+	src, mid, out := ckt.Node("src"), ckt.Node("mid"), ckt.Node("out")
+	ckt.FixNode(src, 1)
+	ckt.AddResistor("r", src, mid, 0.2e-3) // underdamped
+	ckt.AddInductor("l", mid, out, l)
+	ckt.AddCapacitor("c", out, Ground, c, 0)
+	ckt.AddLoad("load", out, func(t float64) float64 {
+		if t < 0.1e-6 {
+			return 0
+		}
+		return 10
+	})
+	tr, err := NewTransient(ckt, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := tr.Run(6e-6, []NodeID{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := traces[0].Slice(200, traces[0].Len()) // skip the step itself
+	period := ring.DominantPeriod()
+	wantPeriod := 2 * math.Pi * math.Sqrt(l*c)
+	if math.Abs(period-wantPeriod)/wantPeriod > 0.15 {
+		t.Errorf("ring period = %g, want ~%g", period, wantPeriod)
+	}
+}
+
+func TestTrapezoidalStability(t *testing.T) {
+	// A very lightly damped tank integrated far past its period must
+	// stay bounded (A-stability of the trapezoidal rule).
+	ckt := NewCircuit()
+	src, out := ckt.Node("src"), ckt.Node("out")
+	ckt.FixNode(src, 1)
+	mid := ckt.Node("mid")
+	ckt.AddResistor("r", src, mid, 1e-6)
+	ckt.AddInductor("l", mid, out, 1e-9)
+	ckt.AddCapacitor("c", out, Ground, 1e-6, 0)
+	ckt.AddLoad("load", out, func(t float64) float64 {
+		if t > 0 {
+			return 5
+		}
+		return 0
+	})
+	tr, err := NewTransient(ckt, 50e-9) // coarse step vs 0.2 us period
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if v := tr.Voltage(out); math.Abs(v) > 100 {
+			t.Fatalf("unbounded response %g at step %d", v, i)
+		}
+	}
+}
+
+func TestRunRecordsProbes(t *testing.T) {
+	ckt, out := rcCircuit(1, 1e-6)
+	tr, err := NewTransient(ckt, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := tr.Run(1e-6, []NodeID{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if traces[0].Len() != 101 {
+		t.Errorf("trace length = %d, want 101", traces[0].Len())
+	}
+	if traces[0].Dt != 1e-8 {
+		t.Errorf("trace dt = %g", traces[0].Dt)
+	}
+	if math.Abs(tr.Time()-1e-6) > 1e-12 {
+		t.Errorf("time after run = %g", tr.Time())
+	}
+	// Negative duration is an error.
+	if _, err := tr.Run(-1, nil); err == nil {
+		t.Error("expected error for negative duration")
+	}
+}
+
+func TestRunUntilAdvancesToTime(t *testing.T) {
+	ckt, _ := rcCircuit(1, 1e-6)
+	tr, err := NewTransient(ckt, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RunUntil(5e-7); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Time()-5e-7) > 1e-8 {
+		t.Errorf("time = %g, want 5e-7", tr.Time())
+	}
+}
+
+func TestVoltageOnFixedAndGround(t *testing.T) {
+	ckt, out := rcCircuit(1, 1e-6)
+	tr, err := NewTransient(ckt, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Voltage(Ground); v != 0 {
+		t.Errorf("ground = %g", v)
+	}
+	src := ckt.Node("src")
+	if v := tr.Voltage(src); v != 1 {
+		t.Errorf("fixed source = %g", v)
+	}
+	_ = out
+}
+
+// Energy sanity: with a resistive-only divider under constant load the
+// solution is time independent and matches Ohm's law exactly.
+func TestResistiveNetworkExactness(t *testing.T) {
+	ckt := NewCircuit()
+	src := ckt.Node("src")
+	n1 := ckt.Node("n1")
+	ckt.FixNode(src, 2)
+	ckt.AddResistor("r1", src, n1, 3)
+	ckt.AddResistor("r2", n1, Ground, 6)
+	// A capacitor keeps the matrix non-singular goalwise but the node
+	// is already determined; add load for current check.
+	ckt.AddCapacitor("c", n1, Ground, 1e-9, 0)
+	tr, err := NewTransient(ckt, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 * 6 / 9
+	for i := 0; i < 50; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Voltage(n1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("divider voltage = %g, want %g", got, want)
+	}
+	// Branch current through r1 = (2 - v)/3.
+	if got := tr.BranchCurrent(0); math.Abs(got-(2-want)/3) > 1e-9 {
+		t.Errorf("branch current = %g", got)
+	}
+}
+
+func TestChargeConservationRCStep(t *testing.T) {
+	// Integrate capacitor current over a full charge transient; the
+	// accumulated charge must equal C * deltaV.
+	const r, c = 1.0, 1e-6
+	ckt, out := rcCircuit(r, c)
+	ckt.AddLoad("load", out, func(t float64) float64 {
+		if t <= 0 {
+			return 0.5
+		}
+		return 0
+	})
+	tr, err := NewTransient(ckt, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := tr.Voltage(out)
+	charge := 0.0
+	// Element 1 is the capacitor (r added first).
+	for tr.Time() < 10*r*c {
+		prev := tr.BranchCurrent(1)
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		charge += 0.5 * (prev + tr.BranchCurrent(1)) * tr.Dt()
+	}
+	dv := tr.Voltage(out) - v0
+	if math.Abs(charge-c*dv) > 1e-3*math.Abs(c*dv) {
+		t.Errorf("accumulated charge %g, want %g", charge, c*dv)
+	}
+}
+
+func TestStepDetectsDivergence(t *testing.T) {
+	// Failure injection: a load that returns NaN poisons the solve and
+	// must surface as an explicit integration error, not silent NaNs.
+	ckt, out := rcCircuit(1, 1e-6)
+	ckt.AddLoad("poison", out, func(tm float64) float64 {
+		if tm > 0.5e-6 {
+			return math.NaN()
+		}
+		return 0
+	})
+	tr, err := NewTransient(ckt, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tr.RunUntil(2e-6)
+	if err == nil {
+		t.Fatal("NaN load did not fail the integration")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunStopsAtDivergence(t *testing.T) {
+	ckt, out := rcCircuit(1, 1e-6)
+	ckt.AddLoad("poison", out, func(tm float64) float64 { return math.Inf(1) })
+	tr, err := NewTransient(ckt, 1e-8)
+	if err == nil {
+		// DC solve may already blow up; if not, the first step must.
+		if _, err := tr.Run(1e-6, []NodeID{out}); err == nil {
+			t.Fatal("infinite load survived the run")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"voltnoise/internal/core"
+)
+
+// GenerateTrace builds a deterministic job trace: n jobs with
+// pseudo-exponential interarrival and service times (inverse-transform
+// sampling over a SplitMix64 stream), adjusted so at most
+// core.NumCores jobs are ever concurrent — arrivals that would
+// oversubscribe the machine queue until the next departure. The result
+// is time-sorted and ready for Run/Compare.
+func GenerateTrace(n int, meanInterarrival, meanService float64, seed uint64) ([]Event, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scheduler: trace of %d jobs", n)
+	}
+	if meanInterarrival <= 0 || meanService <= 0 {
+		return nil, fmt.Errorf("scheduler: non-positive means %g/%g", meanInterarrival, meanService)
+	}
+	rng := seed
+	next := func() float64 {
+		rng += 0x9E3779B97F4A7C15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+	exp := func(mean float64) float64 {
+		u := next()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		return -mean * math.Log(u)
+	}
+
+	type interval struct{ start, end float64 }
+	var active []interval // departure times of running jobs
+	var events []Event
+	t := 0.0
+	for j := 1; j <= n; j++ {
+		t += exp(meanInterarrival)
+		// Drop departed jobs.
+		live := active[:0]
+		for _, iv := range active {
+			if iv.end > t {
+				live = append(live, iv)
+			}
+		}
+		active = live
+		if len(active) == core.NumCores {
+			// Machine full: wait for the earliest departure.
+			earliest := active[0].end
+			for _, iv := range active[1:] {
+				if iv.end < earliest {
+					earliest = iv.end
+				}
+			}
+			t = earliest + 1e-9
+			live := active[:0]
+			for _, iv := range active {
+				if iv.end > t {
+					live = append(live, iv)
+				}
+			}
+			active = live
+		}
+		end := t + exp(meanService)
+		active = append(active, interval{t, end})
+		events = append(events, Event{Time: t, Arrive: true, Job: j})
+		events = append(events, Event{Time: end, Arrive: false, Job: j})
+	}
+	sort.SliceStable(events, func(i, k int) bool {
+		if events[i].Time != events[k].Time {
+			return events[i].Time < events[k].Time
+		}
+		// Departures before arrivals at equal times frees cores first.
+		return !events[i].Arrive && events[k].Arrive
+	})
+	return events, nil
+}

@@ -1,0 +1,100 @@
+package scheduler
+
+import (
+	"testing"
+
+	"voltnoise/internal/core"
+)
+
+func TestGenerateTraceShape(t *testing.T) {
+	trace, err := GenerateTrace(50, 1.0, 3.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 100 {
+		t.Fatalf("%d events for 50 jobs", len(trace))
+	}
+	// Time-sorted.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Time < trace[i-1].Time {
+			t.Fatalf("trace not sorted at %d", i)
+		}
+	}
+	// Concurrency never exceeds the core count.
+	live := 0
+	maxLive := 0
+	for _, ev := range trace {
+		if ev.Arrive {
+			live++
+		} else {
+			live--
+		}
+		if live > maxLive {
+			maxLive = live
+		}
+		if live < 0 {
+			t.Fatal("departure before arrival")
+		}
+	}
+	if maxLive > core.NumCores {
+		t.Errorf("max concurrency %d exceeds %d cores", maxLive, core.NumCores)
+	}
+	if maxLive < 2 {
+		t.Errorf("trace never overlaps jobs (max %d); too sparse for a scheduling study", maxLive)
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a, _ := GenerateTrace(20, 1, 2, 42)
+	b, _ := GenerateTrace(20, 1, 2, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces differ at %d", i)
+		}
+	}
+	c, _ := GenerateTrace(20, 1, 2, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateTraceRunsUnderAllPolicies(t *testing.T) {
+	trace, err := GenerateTrace(100, 1.0, 4.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := clusterModel()
+	results, err := Compare([]Policy{FirstFit(), RoundRobin(), NoiseAware()}, model, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under a saturating trace the noise-aware policy's mean noise must
+	// not exceed first-fit's.
+	if results[2].MeanNoise > results[0].MeanNoise+1e-9 {
+		t.Errorf("noise-aware mean %g above first-fit %g", results[2].MeanNoise, results[0].MeanNoise)
+	}
+	for _, r := range results {
+		if len(r.Placements) != 100 {
+			t.Errorf("%s placed %d jobs", r.Policy, len(r.Placements))
+		}
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	if _, err := GenerateTrace(0, 1, 1, 1); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	if _, err := GenerateTrace(5, 0, 1, 1); err == nil {
+		t.Error("zero interarrival accepted")
+	}
+	if _, err := GenerateTrace(5, 1, -1, 1); err == nil {
+		t.Error("negative service accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length of x must be a power of two.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("signal: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT of x in place. The length of x must be
+// a power of two.
+func IFFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SpectrumPoint is one bin of a magnitude spectrum.
+type SpectrumPoint struct {
+	// Freq is the bin center frequency in hertz.
+	Freq float64
+	// Mag is the single-sided amplitude at that frequency.
+	Mag float64
+}
+
+// Spectrum computes the single-sided amplitude spectrum of the trace.
+// The trace is zero-padded (after mean removal) to a power-of-two
+// length. Only bins up to Nyquist are returned.
+func Spectrum(t *Trace) []SpectrumPoint {
+	n := len(t.Samples)
+	if n == 0 {
+		return nil
+	}
+	mean := t.Mean()
+	m := NextPow2(n)
+	buf := make([]complex128, m)
+	for i, v := range t.Samples {
+		buf[i] = complex(v-mean, 0)
+	}
+	FFT(buf)
+	out := make([]SpectrumPoint, m/2)
+	df := 1 / (float64(m) * t.Dt)
+	for i := range out {
+		mag := cmplx.Abs(buf[i]) * 2 / float64(n)
+		out[i] = SpectrumPoint{Freq: float64(i) * df, Mag: mag}
+	}
+	return out
+}
+
+// DominantFrequency returns the frequency of the largest spectral bin
+// above DC. Returns 0 for traces too short to analyze.
+func DominantFrequency(t *Trace) float64 {
+	spec := Spectrum(t)
+	if len(spec) < 2 {
+		return 0
+	}
+	best := 1
+	for i := 2; i < len(spec); i++ {
+		if spec[i].Mag > spec[best].Mag {
+			best = i
+		}
+	}
+	return spec[best].Freq
+}

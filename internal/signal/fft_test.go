@@ -1,0 +1,188 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+	// FFT of a constant is an impulse at DC.
+	y := []complex128{1, 1, 1, 1}
+	FFT(y)
+	if cmplx.Abs(y[0]-4) > 1e-12 {
+		t.Errorf("DC bin = %v", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Errorf("non-DC bin %d = %v", i, y[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 64
+	x := make([]complex128, n)
+	k := 5
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*float64(k*i)/n), 0)
+	}
+	FFT(x)
+	// Energy should be at bins k and n-k, each n/2.
+	for i := range x {
+		want := 0.0
+		if i == k || i == n-k {
+			want = n / 2
+		}
+		if math.Abs(cmplx.Abs(x[i])-want) > 1e-9 {
+			t.Errorf("bin %d = %g, want %g", i, cmplx.Abs(x[i]), want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	FFT(nil) // must not panic
+	x := []complex128{42}
+	FFT(x)
+	if x[0] != 42 {
+		t.Errorf("single-element FFT = %v", x[0])
+	}
+	IFFT(nil)
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	x := []complex128{1, 2 + 1i, -3, 0.5, 7, -2i, 0, 9}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Errorf("round trip [%d]: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(re, im [16]float64) bool {
+		x := make([]complex128, 16)
+		for i := range x {
+			r, m := re[i], im[i]
+			if math.IsNaN(r) || math.IsInf(r, 0) || math.Abs(r) > 1e10 {
+				r = 1
+			}
+			if math.IsNaN(m) || math.IsInf(m, 0) || math.Abs(m) > 1e10 {
+				m = -1
+			}
+			x[i] = complex(r, m)
+		}
+		orig := make([]complex128, len(x))
+		copy(orig, x)
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-6*(1+cmplx.Abs(orig[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parseval's theorem: sum |x|^2 == (1/N) sum |X|^2.
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(re [32]float64) bool {
+		x := make([]complex128, 32)
+		timeE := 0.0
+		for i := range x {
+			v := re[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e10 {
+				v = 0.5
+			}
+			x[i] = complex(v, 0)
+			timeE += v * v
+		}
+		FFT(x)
+		freqE := 0.0
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(len(x))
+		return math.Abs(timeE-freqE) <= 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	}
+	for _, tt := range tests {
+		if got := NextPow2(tt.in); got != tt.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSpectrumAndDominantFrequency(t *testing.T) {
+	// 250 kHz tone sampled at 10 ns over ~100 us.
+	tr := Sine(10e-9, 10000, 250e3, 1, 3)
+	freq := DominantFrequency(tr)
+	if math.Abs(freq-250e3) > 10e3 {
+		t.Errorf("DominantFrequency = %g, want ~250k", freq)
+	}
+	spec := Spectrum(tr)
+	// Find the strongest bin; its magnitude should be ~1 (the amplitude).
+	best := SpectrumPoint{}
+	for _, p := range spec[1:] {
+		if p.Mag > best.Mag {
+			best = p
+		}
+	}
+	if math.Abs(best.Mag-1) > 0.1 {
+		t.Errorf("peak magnitude = %g, want ~1", best.Mag)
+	}
+}
+
+func TestSpectrumEmpty(t *testing.T) {
+	if got := Spectrum(NewTrace(1, 0)); got != nil {
+		t.Errorf("Spectrum of empty = %v", got)
+	}
+	if got := DominantFrequency(NewTrace(1, 0)); got != 0 {
+		t.Errorf("DominantFrequency of empty = %g", got)
+	}
+}
+
+func TestDominantFrequencySquareWave(t *testing.T) {
+	// A 2 MHz square wave's dominant component is its fundamental.
+	w := SquareWave{Low: 0, High: 1, Period: 0.5e-6, Duty: 0.5}
+	tr := w.Render(5e-9, 8192)
+	freq := DominantFrequency(tr)
+	if math.Abs(freq-2e6) > 0.1e6 {
+		t.Errorf("DominantFrequency = %g, want ~2e6", freq)
+	}
+}

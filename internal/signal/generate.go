@@ -1,0 +1,113 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// SquareWave describes a periodic two-level waveform with slew-limited
+// transitions, used to model the current envelope of a dI/dt stressmark:
+// the value alternates between Low (low-power instruction sequence) and
+// High (high-power sequence) at the stimulus frequency.
+type SquareWave struct {
+	// Low and High are the two levels.
+	Low, High float64
+	// Period is the full cycle duration in seconds.
+	Period float64
+	// Duty is the fraction of the period spent at High, in (0,1).
+	Duty float64
+	// Rise is the transition time between levels in seconds
+	// (applied symmetrically to both edges). Zero means ideal edges.
+	Rise float64
+	// Phase shifts the waveform in time: the high phase begins at
+	// t = Phase (mod Period).
+	Phase float64
+}
+
+// Value returns the waveform value at time t.
+func (w SquareWave) Value(t float64) float64 {
+	if w.Period <= 0 {
+		panic(fmt.Sprintf("signal: square wave with period %g", w.Period))
+	}
+	if w.Duty <= 0 || w.Duty >= 1 {
+		panic(fmt.Sprintf("signal: square wave with duty %g", w.Duty))
+	}
+	pos := math.Mod(t-w.Phase, w.Period)
+	if pos < 0 {
+		pos += w.Period
+	}
+	highLen := w.Duty * w.Period
+	rise := w.Rise
+	if rise > highLen {
+		rise = highLen
+	}
+	if rise > w.Period-highLen {
+		rise = w.Period - highLen
+	}
+	switch {
+	case rise > 0 && pos < rise:
+		// Rising edge.
+		return w.Low + (w.High-w.Low)*(pos/rise)
+	case pos < highLen:
+		return w.High
+	case rise > 0 && pos < highLen+rise:
+		// Falling edge.
+		return w.High - (w.High-w.Low)*((pos-highLen)/rise)
+	default:
+		return w.Low
+	}
+}
+
+// Fill renders the waveform into an existing trace.
+func (w SquareWave) Fill(t *Trace) {
+	for i := range t.Samples {
+		t.Samples[i] = w.Value(t.Time(i))
+	}
+}
+
+// Render allocates a trace of n samples at interval dt and fills it.
+func (w SquareWave) Render(dt float64, n int) *Trace {
+	t := NewTrace(dt, n)
+	w.Fill(t)
+	return t
+}
+
+// Sine returns a trace of n samples of amplitude*sin(2*pi*f*t)+offset.
+func Sine(dt float64, n int, f, amplitude, offset float64) *Trace {
+	t := NewTrace(dt, n)
+	w := 2 * math.Pi * f
+	for i := range t.Samples {
+		t.Samples[i] = offset + amplitude*math.Sin(w*t.Time(i))
+	}
+	return t
+}
+
+// Step returns a trace that is `before` until time t0 and `after` from
+// t0 on, with an optional linear ramp of the given duration.
+func Step(dt float64, n int, t0, ramp, before, after float64) *Trace {
+	if ramp < 0 {
+		panic("signal: negative ramp")
+	}
+	t := NewTrace(dt, n)
+	for i := range t.Samples {
+		x := t.Time(i)
+		switch {
+		case x < t0:
+			t.Samples[i] = before
+		case ramp > 0 && x < t0+ramp:
+			t.Samples[i] = before + (after-before)*(x-t0)/ramp
+		default:
+			t.Samples[i] = after
+		}
+	}
+	return t
+}
+
+// Constant returns a trace of n samples all equal to v.
+func Constant(dt float64, n int, v float64) *Trace {
+	t := NewTrace(dt, n)
+	for i := range t.Samples {
+		t.Samples[i] = v
+	}
+	return t
+}

@@ -1,0 +1,251 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace(dt float64, vals ...float64) *Trace {
+	t := NewTrace(dt, len(vals))
+	copy(t.Samples, vals)
+	return t
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dt":    func() { NewTrace(0, 4) },
+		"negative n": func() { NewTrace(1e-9, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTraceBasics(t *testing.T) {
+	tr := mkTrace(2e-9, 1, 3, 2, -1)
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Duration(); !approx(got, 8e-9) {
+		t.Errorf("Duration = %g", got)
+	}
+	if got := tr.Time(3); !approx(got, 6e-9) {
+		t.Errorf("Time(3) = %g", got)
+	}
+	if got := tr.Min(); got != -1 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := tr.Max(); got != 3 {
+		t.Errorf("Max = %g", got)
+	}
+	if got := tr.PeakToPeak(); got != 4 {
+		t.Errorf("PeakToPeak = %g", got)
+	}
+	if got := tr.Mean(); !approx(got, 1.25) {
+		t.Errorf("Mean = %g", got)
+	}
+	wantRMS := math.Sqrt((1 + 9 + 4 + 1) / 4.0)
+	if got := tr.RMS(); !approx(got, wantRMS) {
+		t.Errorf("RMS = %g, want %g", got, wantRMS)
+	}
+}
+
+func TestTraceAtInterpolates(t *testing.T) {
+	tr := mkTrace(1, 0, 10, 20)
+	if got := tr.At(0.5); !approx(got, 5) {
+		t.Errorf("At(0.5) = %g", got)
+	}
+	if got := tr.At(-5); got != 0 {
+		t.Errorf("At before start = %g", got)
+	}
+	if got := tr.At(100); got != 20 {
+		t.Errorf("At past end = %g", got)
+	}
+}
+
+func TestTraceAtRespectsStart(t *testing.T) {
+	tr := mkTrace(1, 0, 10)
+	tr.Start = 100
+	if got := tr.At(100.5); !approx(got, 5) {
+		t.Errorf("At with offset start = %g", got)
+	}
+}
+
+func TestSliceSharesStorageAndShiftsStart(t *testing.T) {
+	tr := mkTrace(1, 0, 1, 2, 3, 4)
+	s := tr.Slice(2, 4)
+	if s.Len() != 2 || s.Samples[0] != 2 {
+		t.Fatalf("Slice contents wrong: %+v", s)
+	}
+	if s.Start != 2 {
+		t.Errorf("Slice start = %g", s.Start)
+	}
+	s.Samples[0] = 99
+	if tr.Samples[2] != 99 {
+		t.Error("Slice does not share storage")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	tr := mkTrace(1, 0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Slice(2, 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := mkTrace(1, 1, 2)
+	c := tr.Clone()
+	c.Samples[0] = 50
+	if tr.Samples[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	tr := mkTrace(1, 4, 1, 3, 2)
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, tt := range tests {
+		if got := tr.Percentile(tt.p); !approx(got, tt.want) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	single := mkTrace(1, 7)
+	if got := single.Percentile(50); got != 7 {
+		t.Errorf("Percentile of single = %g", got)
+	}
+}
+
+func TestPercentileRangeCheck(t *testing.T) {
+	tr := mkTrace(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Percentile(101)
+}
+
+func TestAddScaledAndScaleAndOffset(t *testing.T) {
+	a := mkTrace(1, 1, 2, 3)
+	b := mkTrace(1, 10, 10, 10)
+	a.AddScaled(b, 0.5)
+	want := []float64{6, 7, 8}
+	for i, w := range want {
+		if !approx(a.Samples[i], w) {
+			t.Errorf("AddScaled[%d] = %g, want %g", i, a.Samples[i], w)
+		}
+	}
+	a.Scale(2)
+	if !approx(a.Samples[0], 12) {
+		t.Errorf("Scale[0] = %g", a.Samples[0])
+	}
+	a.Offset(-12)
+	if !approx(a.Samples[0], 0) {
+		t.Errorf("Offset[0] = %g", a.Samples[0])
+	}
+}
+
+func TestAddScaledMismatchPanics(t *testing.T) {
+	a := mkTrace(1, 1, 2)
+	b := mkTrace(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.AddScaled(b, 1)
+}
+
+func TestDownsample(t *testing.T) {
+	tr := mkTrace(1, 1, 3, 5, 7, 9)
+	d := tr.Downsample(2)
+	if d.Len() != 3 {
+		t.Fatalf("Downsample len = %d", d.Len())
+	}
+	if !approx(d.Samples[0], 2) || !approx(d.Samples[1], 6) || !approx(d.Samples[2], 9) {
+		t.Errorf("Downsample = %v", d.Samples)
+	}
+	if !approx(d.Dt, 2) {
+		t.Errorf("Downsample dt = %g", d.Dt)
+	}
+}
+
+func TestCrossingCountAndDominantPeriod(t *testing.T) {
+	// 40 full sine periods: crossings at every half period except the
+	// t=0 boundary where the waveform starts exactly on the mean.
+	tr := Sine(1e-3, 40000, 1.0, 1.0, 0) // 1 Hz over 40 s
+	if got := tr.CrossingCount(0); got != 79 {
+		t.Errorf("CrossingCount = %d, want 79", got)
+	}
+	p := tr.DominantPeriod()
+	if math.Abs(p-1.0) > 0.05 {
+		t.Errorf("DominantPeriod = %g, want ~1", p)
+	}
+	flat := Constant(1, 10, 5)
+	if got := flat.DominantPeriod(); got != 0 {
+		t.Errorf("DominantPeriod of constant = %g", got)
+	}
+}
+
+func TestEmptyTracePanics(t *testing.T) {
+	tr := NewTrace(1, 0)
+	for name, fn := range map[string]func(){
+		"Min":  func() { tr.Min() },
+		"Mean": func() { tr.Mean() },
+		"RMS":  func() { tr.RMS() },
+		"At":   func() { tr.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty trace: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: peak-to-peak is non-negative and zero only for constant
+// traces; mean lies within [min, max].
+func TestTraceStatsProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e50 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		tr := mkTrace(1e-9, vals...)
+		p2p := tr.PeakToPeak()
+		if p2p < 0 {
+			return false
+		}
+		m := tr.Mean()
+		return m >= tr.Min()-1e-6*math.Max(1, math.Abs(tr.Min())) &&
+			m <= tr.Max()+1e-6*math.Max(1, math.Abs(tr.Max()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,243 @@
+// Package skitter models the on-chip timing-uncertainty measurement
+// macros ("skitters") of IBM mainframe processors, the paper's primary
+// voltage-noise sensor.
+//
+// A skitter macro is a latched-tapped delay line of inverters whose
+// per-stage delay is strongly voltage dependent. Each cycle, sampling
+// latches capture how far the clock edge travelled down the line; the
+// captured tap position therefore encodes the instantaneous supply
+// voltage. In sticky mode the macro accumulates the min/max positions
+// seen over a measurement window, and results are reported as
+// percentage peak-to-peak variation (%p2p) — "the higher the %p2p
+// noise, the higher the voltage droop". The model reproduces the two
+// measurement artifacts the paper leans on: the step-function
+// discretization of readings (integer tap positions) and the reduced
+// linearity at large droops (tap positions compress as the edge
+// position saturates).
+package skitter
+
+import (
+	"fmt"
+	"math"
+
+	"voltnoise/internal/signal"
+)
+
+// Config describes a skitter macro and its electrical environment.
+type Config struct {
+	// Taps is the length of the inverter delay line (zEC12: 129).
+	Taps int
+	// NominalDelay is the per-inverter delay in seconds at Vnom
+	// (5-8 ps on the paper's platform).
+	NominalDelay float64
+	// ClockPeriod is the sampled clock period in seconds.
+	ClockPeriod float64
+	// Vnom is the voltage at which NominalDelay is calibrated.
+	Vnom float64
+	// VThreshold and Alpha parameterize the alpha-power delay model:
+	// delay(V) ∝ V / (V - VThreshold)^Alpha. The effective threshold
+	// of a long inverter chain sets the voltage sensitivity of the
+	// reading.
+	VThreshold float64
+	// Alpha is the velocity-saturation exponent.
+	Alpha float64
+	// Gain scales the deviation of the edge position from nominal,
+	// modelling per-macro process variation (1.0 = nominal macro).
+	Gain float64
+	// Jitter is the half-range, in taps, of the random cycle-to-cycle
+	// clock jitter the delay line inevitably samples alongside the
+	// supply noise. The dither it applies to the quantizer is what
+	// lets long sticky measurements resolve sub-tap voltage
+	// differences, as on real hardware. Zero disables it.
+	Jitter float64
+}
+
+// DefaultConfig returns the calibrated zEC12-like skitter model.
+func DefaultConfig() Config {
+	return Config{
+		Taps:         129,
+		NominalDelay: 5.0e-12,
+		ClockPeriod:  1 / 5.5e9,
+		Vnom:         1.05,
+		VThreshold:   0.66,
+		Alpha:        1.3,
+		Gain:         1.0,
+		Jitter:       1.0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Taps < 2:
+		return fmt.Errorf("skitter: %d taps", c.Taps)
+	case c.NominalDelay <= 0:
+		return fmt.Errorf("skitter: non-positive nominal delay %g", c.NominalDelay)
+	case c.ClockPeriod <= 0:
+		return fmt.Errorf("skitter: non-positive clock period %g", c.ClockPeriod)
+	case c.Vnom <= c.VThreshold:
+		return fmt.Errorf("skitter: Vnom %g must exceed threshold %g", c.Vnom, c.VThreshold)
+	case c.Alpha <= 0:
+		return fmt.Errorf("skitter: non-positive alpha %g", c.Alpha)
+	case c.Gain <= 0:
+		return fmt.Errorf("skitter: non-positive gain %g", c.Gain)
+	case c.Jitter < 0:
+		return fmt.Errorf("skitter: negative jitter %g", c.Jitter)
+	}
+	return nil
+}
+
+// Delay returns the per-inverter delay at supply voltage v, following
+// the alpha-power law normalized to NominalDelay at Vnom. Voltages at
+// or below the threshold saturate to a very large delay (the line
+// stops propagating).
+func (c Config) Delay(v float64) float64 {
+	if v <= c.VThreshold {
+		return math.Inf(1)
+	}
+	num := v / math.Pow(v-c.VThreshold, c.Alpha)
+	den := c.Vnom / math.Pow(c.Vnom-c.VThreshold, c.Alpha)
+	return c.NominalDelay * num / den
+}
+
+// NominalPosition returns the tap position of the clock edge at Vnom.
+func (c Config) NominalPosition() int {
+	return c.position(c.Vnom)
+}
+
+// EdgePosition returns the (integer) tap position captured at supply
+// voltage v with no jitter: the number of inverters the edge traverses
+// in one clock period, clipped to the physical line, with the macro's
+// gain applied to the deviation from nominal.
+func (c Config) EdgePosition(v float64) int {
+	return c.quantize(c.edgePositionF(v))
+}
+
+// edgePositionF is the continuous (pre-quantization) edge position.
+func (c Config) edgePositionF(v float64) float64 {
+	nom := c.positionF(c.Vnom)
+	return nom + c.Gain*(c.positionF(v)-nom)
+}
+
+func (c Config) quantize(pos float64) int {
+	p := int(math.Round(pos))
+	if p < 0 {
+		p = 0
+	}
+	if p > c.Taps {
+		p = c.Taps
+	}
+	return p
+}
+
+func (c Config) positionF(v float64) float64 {
+	d := c.Delay(v)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	pos := c.ClockPeriod / d
+	if pos > float64(c.Taps) {
+		pos = float64(c.Taps)
+	}
+	return pos
+}
+
+func (c Config) position(v float64) int {
+	return int(c.positionF(v))
+}
+
+// Macro is a skitter instance accumulating sticky min/max edge
+// positions over a measurement window. The cycle-to-cycle jitter
+// dither uses a deterministic generator so every run reproduces
+// exactly.
+type Macro struct {
+	cfg     Config
+	minPos  int
+	maxPos  int
+	samples int64
+	rng     uint64
+}
+
+// NewMacro builds a macro; the configuration must validate.
+func NewMacro(cfg Config) (*Macro, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Macro{cfg: cfg}
+	m.Reset()
+	return m, nil
+}
+
+// Config returns the macro's configuration.
+func (m *Macro) Config() Config { return m.cfg }
+
+// Reset clears the sticky min/max state and restarts the jitter
+// sequence, so repeated measurements of the same waveform read
+// identically.
+func (m *Macro) Reset() {
+	m.minPos = m.cfg.Taps + 1
+	m.maxPos = -1
+	m.samples = 0
+	m.rng = 0x9E3779B97F4A7C15
+}
+
+// Sample captures one cycle at supply voltage v.
+func (m *Macro) Sample(v float64) {
+	pos := m.cfg.quantize(m.cfg.edgePositionF(v) + m.jitter())
+	if pos < m.minPos {
+		m.minPos = pos
+	}
+	if pos > m.maxPos {
+		m.maxPos = pos
+	}
+	m.samples++
+}
+
+// jitter returns the next dither value, uniform in [-Jitter, +Jitter],
+// from a deterministic SplitMix64 stream.
+func (m *Macro) jitter() float64 {
+	if m.cfg.Jitter == 0 {
+		return 0
+	}
+	m.rng += 0x9E3779B97F4A7C15
+	z := m.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53) // [0,1)
+	return (2*u - 1) * m.cfg.Jitter
+}
+
+// ObserveTrace samples every point of a voltage trace (the simulation
+// surrogate for running in sticky mode during a workload window).
+func (m *Macro) ObserveTrace(tr *signal.Trace) {
+	for _, v := range tr.Samples {
+		m.Sample(v)
+	}
+}
+
+// Samples returns the number of accumulated samples.
+func (m *Macro) Samples() int64 { return m.samples }
+
+// PositionRange returns the sticky (min, max) tap positions. It panics
+// if no samples were taken.
+func (m *Macro) PositionRange() (min, max int) {
+	if m.samples == 0 {
+		panic("skitter: PositionRange with no samples")
+	}
+	return m.minPos, m.maxPos
+}
+
+// PeakToPeakPercent returns the %p2p reading: the sticky position
+// range as a percentage of the nominal edge position. This is the
+// quantity the paper reports in every noise figure.
+func (m *Macro) PeakToPeakPercent() float64 {
+	if m.samples == 0 {
+		panic("skitter: PeakToPeakPercent with no samples")
+	}
+	nom := m.cfg.NominalPosition()
+	if nom == 0 {
+		return 0
+	}
+	return float64(m.maxPos-m.minPos) / float64(nom) * 100
+}

@@ -1,0 +1,150 @@
+package uarch
+
+import (
+	"voltnoise/internal/isa"
+)
+
+// GroupStats summarizes steady-state dispatch-group formation for a
+// cyclic program.
+type GroupStats struct {
+	// GroupsPerIteration is the exact number of dispatch groups per
+	// loop iteration in steady state (may be fractional if the group
+	// pattern's period spans several iterations).
+	GroupsPerIteration float64
+	// AvgGroupSize is micro-ops per group.
+	AvgGroupSize float64
+}
+
+// FormGroups computes exact steady-state dispatch-group statistics for
+// the cyclic instruction stream of p. Group formation is simulated
+// instruction by instruction; because the only carried state is the
+// fill level of the open group at an iteration boundary, the pattern
+// becomes periodic within DispatchWidth+1 iterations and the stats are
+// measured over exactly one period.
+func (c Config) FormGroups(p *Program) GroupStats {
+	width := c.DispatchWidth
+	// fill -> iteration index when first seen, plus cumulative groups
+	// and micro-ops at that point. fill < width, so a dense array
+	// suffices (this runs ~10^6 times inside the sequence search).
+	type snapshot struct {
+		iter   int
+		groups int
+		uops   int
+	}
+	seen := make([]snapshot, width)
+	present := make([]bool, width)
+	present[0] = true
+	fill := 0
+	groups, uops := 0, 0
+	for iter := 1; ; iter++ {
+		for _, in := range p.Body {
+			switch in.Issue {
+			case isa.IssueAlone:
+				if fill > 0 {
+					groups++
+					fill = 0
+				}
+				groups++ // the alone instruction's own group
+				uops += in.MicroOps
+			case isa.IssueEndsGroup:
+				if fill+in.MicroOps > width {
+					groups++
+					fill = 0
+				}
+				uops += in.MicroOps
+				groups++ // branch closes its group
+				fill = 0
+			default:
+				if fill+in.MicroOps > width {
+					groups++
+					fill = 0
+				}
+				fill += in.MicroOps
+				uops += in.MicroOps
+				if fill == width {
+					groups++
+					fill = 0
+				}
+			}
+		}
+		if present[fill] {
+			prev := seen[fill]
+			dGroups := groups - prev.groups
+			dUops := uops - prev.uops
+			dIter := iter - prev.iter
+			// Count the open partial group proportionally: it belongs
+			// to the next period, so exclude it; over the period the
+			// fill state is identical at both ends, making the count
+			// exact.
+			return GroupStats{
+				GroupsPerIteration: float64(dGroups) / float64(dIter),
+				AvgGroupSize:       float64(dUops) / float64(dGroups),
+			}
+		}
+		present[fill] = true
+		seen[fill] = snapshot{iter: iter, groups: groups, uops: uops}
+	}
+}
+
+// SteadyState summarizes the steady-state behaviour of a cyclic
+// program on the modelled core.
+type SteadyState struct {
+	// CyclesPerIteration is the steady-state cycles per loop iteration.
+	CyclesPerIteration float64
+	// IPC is micro-ops per cycle (the paper's IPC definition: "the
+	// micro-operations executed per cycle").
+	IPC float64
+	// InstrPerSecond is architected instructions per second.
+	InstrPerSecond float64
+	// PowerWatts is the core's steady-state power (static + dynamic).
+	PowerWatts float64
+	// Groups is the dispatch-group statistics.
+	Groups GroupStats
+	// LimitingUnit is the unit bounding throughput, or -1 when
+	// dispatch-group formation is the bottleneck.
+	LimitingUnit isa.Unit
+}
+
+// Analyze computes the steady-state metrics of p analytically: cycles
+// per iteration is the maximum of the dispatch bound (one group per
+// cycle) and each unit's occupancy demand. The analytic model and the
+// cycle executor agree for dependency-free streams; the executor
+// additionally produces per-cycle energy traces.
+func (c Config) Analyze(p *Program) SteadyState {
+	gs := c.FormGroups(p)
+	cycles := gs.GroupsPerIteration
+	limiting := isa.Unit(-1)
+	var demand [isa.NumUnits]float64
+	for _, in := range p.Body {
+		demand[in.Unit] += float64(in.MicroOps) * float64(in.InitInterval)
+	}
+	for u := range demand {
+		d := demand[u] / float64(c.UnitCapacity[u])
+		if d > cycles {
+			cycles = d
+			limiting = isa.Unit(u)
+		}
+	}
+	totalUops := float64(p.TotalMicroOps())
+	energy := 0.0
+	for _, in := range p.Body {
+		energy += c.EnergyPerInstruction(in)
+	}
+	iterTime := cycles * c.CycleTime()
+	return SteadyState{
+		CyclesPerIteration: cycles,
+		IPC:                totalUops / cycles,
+		InstrPerSecond:     float64(p.Len()) / iterTime,
+		PowerWatts:         c.StaticPower + energy/iterTime,
+		Groups:             gs,
+		LimitingUnit:       limiting,
+	}
+}
+
+// Power is a convenience wrapper returning only the steady-state power
+// of p in watts.
+func (c Config) Power(p *Program) float64 { return c.Analyze(p).PowerWatts }
+
+// IPC is a convenience wrapper returning only the steady-state
+// micro-ops per cycle of p.
+func (c Config) IPC(p *Program) float64 { return c.Analyze(p).IPC }

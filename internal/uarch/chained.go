@@ -1,0 +1,52 @@
+package uarch
+
+// The paper explored "the addition of instruction dependencies between
+// high and low power sequences to ensure a sharper activity change but
+// results were similar". AnalyzeChained models that variant: the body
+// executes as one serial dependency chain (each instruction consumes
+// the previous one's result), so issue is latency-bound instead of
+// bandwidth-bound.
+
+// ChainedSteadyState summarizes a serially dependent loop.
+type ChainedSteadyState struct {
+	// CyclesPerIteration is the latency-bound iteration time.
+	CyclesPerIteration float64
+	// IPC is micro-ops per cycle under the chain.
+	IPC float64
+	// PowerWatts is the steady-state power under the chain.
+	PowerWatts float64
+}
+
+// AnalyzeChained computes the steady state of p executed as a serial
+// dependency chain: each instruction starts only when its predecessor's
+// result is ready, so the iteration takes the sum of latencies (with
+// the structural floor of the independent-stream analysis — the chain
+// can never beat structural limits).
+func (c Config) AnalyzeChained(p *Program) ChainedSteadyState {
+	latency := 0.0
+	energy := 0.0
+	for _, in := range p.Body {
+		latency += float64(in.Latency)
+		energy += c.EnergyPerInstruction(in)
+	}
+	structural := c.Analyze(p).CyclesPerIteration
+	cycles := latency
+	if structural > cycles {
+		cycles = structural
+	}
+	iterTime := cycles * c.CycleTime()
+	return ChainedSteadyState{
+		CyclesPerIteration: cycles,
+		IPC:                float64(p.TotalMicroOps()) / cycles,
+		PowerWatts:         c.StaticPower + energy/iterTime,
+	}
+}
+
+// SharperEdge quantifies the paper's motivation for the experiment:
+// the relative power drop of the chained variant versus the
+// independent-stream one. The high-power sequence loses most of its
+// power when chained (it was bandwidth-bound), which is why the paper
+// kept dependency-free sequences.
+func (c Config) SharperEdge(p *Program) (independent, chained float64) {
+	return c.Power(p), c.AnalyzeChained(p).PowerWatts
+}

@@ -1,0 +1,54 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"voltnoise/internal/isa"
+)
+
+func TestAnalyzeChainedLatencyBound(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("max", []*isa.Instruction{ins("CHHSI"), ins("CHHSI"), ins("CIB")})
+	ss := cfg.AnalyzeChained(p)
+	// Latencies: CHHSI 1 + CHHSI 1 + CIB 2 = 4 cycles (vs 1 cycle
+	// independent).
+	if math.Abs(ss.CyclesPerIteration-4) > 1e-12 {
+		t.Errorf("chained cycles = %g, want 4", ss.CyclesPerIteration)
+	}
+	if math.Abs(ss.IPC-3.0/4) > 1e-12 {
+		t.Errorf("chained IPC = %g, want 0.75", ss.IPC)
+	}
+}
+
+func TestChainedNeverBeatsIndependent(t *testing.T) {
+	cfg := DefaultConfig()
+	programs := []*Program{
+		MustProgram("max", []*isa.Instruction{ins("CHHSI"), ins("CHHSI"), ins("CIB")}),
+		MustProgram("dfp", []*isa.Instruction{ins("DDTRA")}),
+		MustProgram("sys", []*isa.Instruction{ins("SRNM")}),
+	}
+	for _, p := range programs {
+		ind, chained := cfg.SharperEdge(p)
+		if chained > ind+1e-9 {
+			t.Errorf("%s: chained power %g above independent %g", p.Name, chained, ind)
+		}
+	}
+}
+
+// The paper's finding that motivated keeping dependency-free
+// sequences: chaining collapses the high-power sequence's power.
+func TestChainedCollapsesHighPower(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("max", []*isa.Instruction{ins("CHHSI"), ins("CHHSI"), ins("CIB")})
+	ind, chained := cfg.SharperEdge(p)
+	if chained > ind*0.6 {
+		t.Errorf("chained %g W not well below independent %g W", chained, ind)
+	}
+	// A serialized loop is unaffected: it was already latency-bound.
+	slow := MustProgram("srnm", []*isa.Instruction{ins("SRNM")})
+	indS, chainedS := cfg.SharperEdge(slow)
+	if math.Abs(indS-chainedS) > 0.01*indS {
+		t.Errorf("serialized loop changed: %g vs %g", indS, chainedS)
+	}
+}

@@ -1,0 +1,121 @@
+// Package uarch models the zEC12-like out-of-order superscalar core at
+// the level of detail the paper's methodology consumes: dispatch-group
+// formation (groups of up to three micro-ops, branches close groups,
+// serializing operations dispatch alone), per-unit issue bandwidth and
+// initiation intervals, steady-state IPC, and per-cycle energy.
+//
+// The power model is anchored to the ISA's relative-power table: the
+// energy of an instruction is derived such that an independent-operand
+// single-instruction loop burns exactly RelPower * BaselinePower watts,
+// the quantity the paper's EPI profile measures. Sequences mixing
+// instructions then reach power levels no single-instruction loop can
+// (the premise of the maximum-power sequence search).
+package uarch
+
+import (
+	"fmt"
+
+	"voltnoise/internal/isa"
+)
+
+// Config describes the modelled core.
+type Config struct {
+	// FrequencyHz is the core clock (zEC12: 5.5 GHz).
+	FrequencyHz float64
+	// DispatchWidth is the maximum micro-ops per dispatch group
+	// (zEC12: 3).
+	DispatchWidth int
+	// UnitCapacity[u] is the number of micro-ops unit u accepts per
+	// cycle when pipelined.
+	UnitCapacity [isa.NumUnits]int
+	// StaticPower is the always-on core power in watts (leakage,
+	// clock grid).
+	StaticPower float64
+	// BaselinePower is the absolute core power in watts of the
+	// lowest-power single-instruction loop (the SRNM loop, relative
+	// power 1.0). The EPI profile's relative powers scale from it.
+	BaselinePower float64
+}
+
+// DefaultConfig returns the calibrated zEC12-like core model.
+func DefaultConfig() Config {
+	var cap [isa.NumUnits]int
+	cap[isa.UnitFXU] = 2
+	cap[isa.UnitBranch] = 1
+	cap[isa.UnitLSU] = 2
+	cap[isa.UnitBFU] = 1
+	cap[isa.UnitDFU] = 1
+	cap[isa.UnitSystem] = 1
+	return Config{
+		FrequencyHz:   5.5e9,
+		DispatchWidth: 3,
+		UnitCapacity:  cap,
+		StaticPower:   6.0,
+		BaselinePower: 16.0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.FrequencyHz <= 0:
+		return fmt.Errorf("uarch: non-positive frequency %g", c.FrequencyHz)
+	case c.DispatchWidth < 1:
+		return fmt.Errorf("uarch: dispatch width %d < 1", c.DispatchWidth)
+	case c.StaticPower < 0:
+		return fmt.Errorf("uarch: negative static power %g", c.StaticPower)
+	case c.BaselinePower <= c.StaticPower:
+		return fmt.Errorf("uarch: baseline power %g must exceed static power %g", c.BaselinePower, c.StaticPower)
+	}
+	for u, cap := range c.UnitCapacity {
+		if cap < 1 {
+			return fmt.Errorf("uarch: unit %s capacity %d < 1", isa.Unit(u), cap)
+		}
+	}
+	return nil
+}
+
+// CycleTime returns the clock period in seconds.
+func (c Config) CycleTime() float64 { return 1 / c.FrequencyHz }
+
+// LoopRate returns the steady-state execution rate, in instructions
+// per second, of an independent-operand loop consisting solely of in.
+// It is limited by dispatch-group formation, unit bandwidth and the
+// instruction's initiation interval.
+func (c Config) LoopRate(in *isa.Instruction) float64 {
+	return c.loopRatePerCycle(in) * c.FrequencyHz
+}
+
+// loopRatePerCycle is LoopRate in instructions per cycle.
+func (c Config) loopRatePerCycle(in *isa.Instruction) float64 {
+	// Dispatch limit (instructions per cycle).
+	var dispatch float64
+	switch in.Issue {
+	case isa.IssueNormal:
+		dispatch = float64(c.DispatchWidth) / float64(in.MicroOps)
+	case isa.IssueEndsGroup, isa.IssueAlone:
+		// One instruction per group, one group per cycle.
+		dispatch = 1
+	}
+	// Unit limit: capacity micro-ops per cycle when pipelined, scaled
+	// down by the initiation interval, spread over the instruction's
+	// micro-ops.
+	unit := float64(c.UnitCapacity[in.Unit]) / float64(in.InitInterval) / float64(in.MicroOps)
+	if unit < dispatch {
+		return unit
+	}
+	return dispatch
+}
+
+// EnergyPerInstruction returns the modelled dynamic energy in joules
+// of one execution of in (all its micro-ops), derived so that the
+// instruction's single-instruction loop burns RelPower*BaselinePower:
+//
+//	P_loop = StaticPower + E * LoopRate == RelPower * BaselinePower.
+func (c Config) EnergyPerInstruction(in *isa.Instruction) float64 {
+	dyn := in.RelPower*c.BaselinePower - c.StaticPower
+	return dyn / c.LoopRate(in)
+}
+
+// IdlePower returns the power of a core running no workload.
+func (c Config) IdlePower() float64 { return c.StaticPower }

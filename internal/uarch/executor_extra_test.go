@@ -1,0 +1,108 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"voltnoise/internal/isa"
+)
+
+func TestEnergyTraceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("max", []*isa.Instruction{ins("CHHSI"), ins("CHHSI"), ins("CIB")})
+	ex, err := NewExecutor(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ex.EnergyTrace(1000)
+	if tr.Len() != 1000 {
+		t.Fatalf("trace length %d", tr.Len())
+	}
+	if tr.Dt != cfg.CycleTime() {
+		t.Errorf("trace dt %g, want cycle time %g", tr.Dt, cfg.CycleTime())
+	}
+	// A saturated stream dissipates energy every cycle.
+	if tr.Min() <= 0 {
+		t.Errorf("zero-energy cycle in saturated stream (min %g)", tr.Min())
+	}
+	// Steady state: per-cycle energy is constant for this stream.
+	if tr.PeakToPeak() > 1e-15 {
+		t.Errorf("per-cycle energy varies by %g for a uniform stream", tr.PeakToPeak())
+	}
+}
+
+func TestEnergyTraceSerializedStreamIsBursty(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("srnm", []*isa.Instruction{ins("SRNM")})
+	ex, err := NewExecutor(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ex.EnergyTrace(64)
+	zero, nonzero := 0, 0
+	for _, e := range tr.Samples {
+		if e == 0 {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	// One dispatch per 8 cycles: 8 of 64 cycles carry energy.
+	if nonzero != 8 || zero != 56 {
+		t.Errorf("serialized stream: %d energetic, %d idle cycles", nonzero, zero)
+	}
+}
+
+func TestAveragePowerPanicsOnEmptyWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("x", []*isa.Instruction{ins("CIB")})
+	ex, _ := NewExecutor(cfg, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ex.AveragePower(0, 0)
+}
+
+func TestCycleCounterAdvances(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("x", []*isa.Instruction{ins("CHHSI")})
+	ex, _ := NewExecutor(cfg, p)
+	if ex.Cycle() != 0 {
+		t.Errorf("initial cycle %d", ex.Cycle())
+	}
+	for i := 0; i < 10; i++ {
+		ex.StepCycle()
+	}
+	if ex.Cycle() != 10 {
+		t.Errorf("after 10 steps cycle = %d", ex.Cycle())
+	}
+}
+
+func TestMultiMicroOpDispatchSplitsAcrossCycles(t *testing.T) {
+	// A 3-uop LSU instruction (crypto class) must respect the 2-pipe
+	// LSU bandwidth: its uops split across cycles.
+	cfg := DefaultConfig()
+	var crypto *isa.Instruction
+	for _, in := range tab().Instructions() {
+		if in.Unit == isa.UnitLSU && in.MicroOps == 3 {
+			crypto = in
+			break
+		}
+	}
+	if crypto == nil {
+		t.Skip("no 3-uop LSU instruction in table")
+	}
+	p := MustProgram("crypto", []*isa.Instruction{crypto})
+	ss := cfg.Analyze(p)
+	ex, _ := NewExecutor(cfg, p)
+	for i := 0; i < 500; i++ {
+		ex.StepCycle()
+	}
+	_, c := ex.RunWithCounters(2000)
+	gotIPC := float64(c.MicroOps) / float64(c.Cycles)
+	if math.Abs(gotIPC-ss.IPC)/ss.IPC > 0.05 {
+		t.Errorf("executor IPC %g vs analytic %g for multi-uop stream", gotIPC, ss.IPC)
+	}
+}

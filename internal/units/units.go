@@ -1,0 +1,177 @@
+// Package units provides physical quantity types and helpers used across
+// the voltage-noise simulation stack.
+//
+// All quantities are represented as float64 in SI base units (volts,
+// amperes, ohms, farads, henries, hertz, seconds). Distinct named types
+// document intent at API boundaries without the cost of a full
+// dimensional-analysis system; conversion between a named type and its
+// underlying float64 is explicit at call sites.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Named quantity types. Values are in SI base units.
+type (
+	// Volt is an electric potential in volts.
+	Volt float64
+	// Ampere is an electric current in amperes.
+	Ampere float64
+	// Ohm is a resistance in ohms.
+	Ohm float64
+	// Farad is a capacitance in farads.
+	Farad float64
+	// Henry is an inductance in henries.
+	Henry float64
+	// Hertz is a frequency in hertz.
+	Hertz float64
+	// Second is a duration in seconds.
+	Second float64
+	// Watt is a power in watts.
+	Watt float64
+	// Joule is an energy in joules.
+	Joule float64
+)
+
+// Common scale constants.
+const (
+	Milli = 1e-3
+	Micro = 1e-6
+	Nano  = 1e-9
+	Pico  = 1e-12
+	Femto = 1e-15
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// Period returns the period of the frequency. It panics on a
+// non-positive frequency, which is always a programming error in this
+// code base.
+func (f Hertz) Period() Second {
+	if f <= 0 {
+		panic(fmt.Sprintf("units: period of non-positive frequency %v", float64(f)))
+	}
+	return Second(1 / float64(f))
+}
+
+// Frequency returns the frequency whose period is s. It panics on a
+// non-positive duration.
+func (s Second) Frequency() Hertz {
+	if s <= 0 {
+		panic(fmt.Sprintf("units: frequency of non-positive period %v", float64(s)))
+	}
+	return Hertz(1 / float64(s))
+}
+
+// ResonantFrequency returns the resonant frequency of an LC pair:
+// f = 1 / (2*pi*sqrt(L*C)).
+func ResonantFrequency(l Henry, c Farad) Hertz {
+	if l <= 0 || c <= 0 {
+		panic("units: resonant frequency requires positive L and C")
+	}
+	return Hertz(1 / (2 * math.Pi * math.Sqrt(float64(l)*float64(c))))
+}
+
+// InductanceFor returns the inductance that resonates with capacitance c
+// at frequency f.
+func InductanceFor(f Hertz, c Farad) Henry {
+	if f <= 0 || c <= 0 {
+		panic("units: inductance-for requires positive f and C")
+	}
+	w := 2 * math.Pi * float64(f)
+	return Henry(1 / (w * w * float64(c)))
+}
+
+// CapacitanceFor returns the capacitance that resonates with inductance
+// l at frequency f.
+func CapacitanceFor(f Hertz, l Henry) Farad {
+	if f <= 0 || l <= 0 {
+		panic("units: capacitance-for requires positive f and L")
+	}
+	w := 2 * math.Pi * float64(f)
+	return Farad(1 / (w * w * float64(l)))
+}
+
+// ApproxEqual reports whether a and b are equal within relative
+// tolerance rel (and a tiny absolute floor for values near zero).
+func ApproxEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-30 {
+		return diff < 1e-30
+	}
+	return diff/scale <= rel
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic("units: Clamp with lo > hi")
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1]; t outside
+// the range extrapolates.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// siPrefixes maps power-of-ten thresholds to prefixes, largest first.
+var siPrefixes = []struct {
+	scale  float64
+	prefix string
+}{
+	{1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+	{1, ""},
+	{1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+}
+
+// FormatSI renders v with an SI prefix and the given unit symbol, e.g.
+// FormatSI(2.5e6, "Hz") == "2.5MHz". Zero renders without a prefix.
+func FormatSI(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	av := math.Abs(v)
+	for _, p := range siPrefixes {
+		if av >= p.scale {
+			return trimFloat(v/p.scale) + p.prefix + unit
+		}
+	}
+	// Smaller than the smallest prefix: fall back to scientific notation.
+	return fmt.Sprintf("%.3g%s", v, unit)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros, then a trailing dot.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func (v Volt) String() string   { return FormatSI(float64(v), "V") }
+func (a Ampere) String() string { return FormatSI(float64(a), "A") }
+func (o Ohm) String() string    { return FormatSI(float64(o), "Ohm") }
+func (c Farad) String() string  { return FormatSI(float64(c), "F") }
+func (l Henry) String() string  { return FormatSI(float64(l), "H") }
+func (f Hertz) String() string  { return FormatSI(float64(f), "Hz") }
+func (s Second) String() string { return FormatSI(float64(s), "s") }
+func (w Watt) String() string   { return FormatSI(float64(w), "W") }
+func (j Joule) String() string  { return FormatSI(float64(j), "J") }

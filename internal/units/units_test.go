@@ -1,0 +1,209 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodFrequencyRoundTrip(t *testing.T) {
+	cases := []Hertz{1, 40e3, 2e6, 5.5e9}
+	for _, f := range cases {
+		got := f.Period().Frequency()
+		if !ApproxEqual(float64(got), float64(f), 1e-12) {
+			t.Errorf("round trip of %v: got %v", f, got)
+		}
+	}
+}
+
+func TestPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero frequency")
+		}
+	}()
+	Hertz(0).Period()
+}
+
+func TestFrequencyPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative period")
+		}
+	}()
+	Second(-1).Frequency()
+}
+
+func TestResonantFrequency(t *testing.T) {
+	// 1 nH with ~6.33 uF resonates near 2 MHz.
+	f := ResonantFrequency(1e-9, 6.33e-6)
+	if f < 1.9e6 || f > 2.1e6 {
+		t.Errorf("resonant frequency = %v, want ~2MHz", f)
+	}
+}
+
+func TestInductanceCapacitanceForInvertResonance(t *testing.T) {
+	targets := []Hertz{40e3, 2e6, 30e6}
+	for _, f := range targets {
+		c := Farad(1e-6)
+		l := InductanceFor(f, c)
+		got := ResonantFrequency(l, c)
+		if !ApproxEqual(float64(got), float64(f), 1e-9) {
+			t.Errorf("InductanceFor(%v): resonance %v", f, got)
+		}
+		l2 := Henry(5e-9)
+		c2 := CapacitanceFor(f, l2)
+		got2 := ResonantFrequency(l2, c2)
+		if !ApproxEqual(float64(got2), float64(f), 1e-9) {
+			t.Errorf("CapacitanceFor(%v): resonance %v", f, got2)
+		}
+	}
+}
+
+func TestResonanceHelpersPanicOnInvalid(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ResonantFrequency": func() { ResonantFrequency(0, 1) },
+		"InductanceFor":     func() { InductanceFor(-1, 1) },
+		"CapacitanceFor":    func() { CapacitanceFor(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	tests := []struct {
+		a, b, rel float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1.0005, 1e-3, true},
+		{1, 1.01, 1e-3, false},
+		{0, 0, 1e-9, true},
+		{0, 1e-31, 1e-9, true},
+		{-5, -5.0001, 1e-4, true},
+		{1e12, 1.0001e12, 1e-3, true},
+	}
+	for _, tt := range tests {
+		if got := ApproxEqual(tt.a, tt.b, tt.rel); got != tt.want {
+			t.Errorf("ApproxEqual(%g,%g,%g) = %v, want %v", tt.a, tt.b, tt.rel, got, tt.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestClampPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Clamp(1, 2, 0)
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp mid = %g", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Errorf("Lerp 0 = %g", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Errorf("Lerp 1 = %g", got)
+	}
+	if got := Lerp(0, 10, 1.5); got != 15 {
+		t.Errorf("Lerp extrapolation = %g", got)
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	tests := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.5e6, "Hz", "2.5MHz"},
+		{40e3, "Hz", "40kHz"},
+		{0, "V", "0V"},
+		{1.05, "V", "1.05V"},
+		{62.5e-9, "s", "62.5ns"},
+		{4e-3, "s", "4ms"},
+		{48e-6, "F", "48uF"},
+		{1e-9, "H", "1nH"},
+		{5.5e9, "Hz", "5.5GHz"},
+		{3.3e-12, "F", "3.3pF"},
+		{2e-15, "F", "2fF"},
+	}
+	for _, tt := range tests {
+		if got := FormatSI(tt.v, tt.unit); got != tt.want {
+			t.Errorf("FormatSI(%g,%q) = %q, want %q", tt.v, tt.unit, got, tt.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Hertz(2e6).String(); got != "2MHz" {
+		t.Errorf("Hertz.String = %q", got)
+	}
+	if got := Volt(1.1).String(); got != "1.1V" {
+		t.Errorf("Volt.String = %q", got)
+	}
+	if got := Second(62.5e-9).String(); got != "62.5ns" {
+		t.Errorf("Second.String = %q", got)
+	}
+}
+
+// Property: lerp at t in [0,1] always lies within [min(a,b), max(a,b)].
+func TestLerpBoundedProperty(t *testing.T) {
+	f := func(a, b float64, tRaw uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep magnitudes sane to avoid float overflow artifacts.
+		if math.Abs(a) > 1e100 || math.Abs(b) > 1e100 {
+			return true
+		}
+		tt := float64(tRaw) / 255
+		v := Lerp(a, b, tt)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		const eps = 1e-9
+		span := math.Max(1, hi-lo)
+		return v >= lo-eps*span && v <= hi+eps*span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resonance round-trips for positive finite inputs.
+func TestResonanceRoundTripProperty(t *testing.T) {
+	f := func(fRaw, cRaw uint32) bool {
+		freq := Hertz(1 + float64(fRaw%1_000_000_00)) // up to ~100 MHz
+		c := Farad(1e-12 * (1 + float64(cRaw%1_000_000)))
+		l := InductanceFor(freq, c)
+		back := ResonantFrequency(l, c)
+		return ApproxEqual(float64(back), float64(freq), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package vmin implements Vmin experiments: the paper's "ultimate
+// bullet-proof method to check the available voltage margin". The
+// operating voltage is lowered in the service element's 0.5% steps
+// until the first failure, detected here by a critical-path timing
+// model: a core fails when its supply dips below the voltage at which
+// the critical path no longer closes at the operating frequency (the
+// event the R-Unit would catch and recover on real hardware).
+package vmin
+
+import (
+	"fmt"
+
+	"voltnoise/internal/core"
+)
+
+// DefaultFailVoltage is the calibrated critical-path failure threshold
+// in volts: the deepest momentary supply the modelled core tolerates
+// at 5.5 GHz. With the calibrated platform it reproduces the paper's
+// Figure 12 margin bands: synchronized stressmarks fail within ~0-2%
+// of nominal, unsynchronized ones leave 5-7%.
+const DefaultFailVoltage = 0.875
+
+// Window is one measurement window per bias step. Experiments choose
+// windows that cover the workload's noisiest episodes (e.g. a
+// synchronized burst onset).
+type Window struct {
+	Start, Duration float64
+}
+
+// Config parameterizes a Vmin experiment.
+type Config struct {
+	// FailVoltage is the critical-path threshold.
+	FailVoltage float64
+	// StartBias is the first (highest) bias probed.
+	StartBias float64
+	// MinBias bounds the search from below.
+	MinBias float64
+	// Windows are the measurement windows checked at each step.
+	Windows []Window
+}
+
+// DefaultConfig returns the standard experiment setup for workloads
+// whose noisy episode starts at t=0 (synchronized bursts at the TOD
+// origin) and for free-running marks.
+func DefaultConfig() Config {
+	return Config{
+		FailVoltage: DefaultFailVoltage,
+		StartBias:   1.0,
+		MinBias:     0.80,
+		Windows: []Window{
+			{Start: -10e-6, Duration: 60e-6},
+		},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.FailVoltage <= 0:
+		return fmt.Errorf("vmin: non-positive fail voltage %g", c.FailVoltage)
+	case c.StartBias <= c.MinBias:
+		return fmt.Errorf("vmin: start bias %g must exceed min bias %g", c.StartBias, c.MinBias)
+	case len(c.Windows) == 0:
+		return fmt.Errorf("vmin: no measurement windows")
+	}
+	for _, w := range c.Windows {
+		if w.Duration <= 0 {
+			return fmt.Errorf("vmin: window with non-positive duration")
+		}
+	}
+	return nil
+}
+
+// Result reports a Vmin experiment.
+type Result struct {
+	// Failed reports whether a failure was reached before MinBias.
+	Failed bool
+	// FailBias is the first bias at which a failure occurred (only
+	// meaningful when Failed).
+	FailBias float64
+	// MarginPercent is the available margin: how far below nominal the
+	// supply could go before first failure, in percent of nominal.
+	// This is the paper's "amount of Vbias required to get the first
+	// failure" (Figure 12's y-axis, before normalization).
+	MarginPercent float64
+	// Steps is the number of bias steps probed.
+	Steps int
+	// MinVoltageSeen is the deepest droop observed at the last safe
+	// bias.
+	MinVoltageSeen float64
+}
+
+// Run performs the experiment: starting at StartBias, lower the bias
+// step by step ("0.5% every two minutes" on the real machine; the
+// simulator is faster) and measure each window until a core's supply
+// crosses the failure threshold.
+func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	defer p.SetVoltageBias(1.0) // leave the platform at nominal
+
+	lastSafe := cfg.StartBias
+	for bias := cfg.StartBias; bias >= cfg.MinBias-1e-9; bias -= core.BiasStep {
+		if err := p.SetVoltageBias(bias); err != nil {
+			return nil, err
+		}
+		res.Steps++
+		minV := 2.0
+		for _, w := range cfg.Windows {
+			m, err := p.Run(core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
+			if err != nil {
+				return nil, err
+			}
+			if v := m.MinVoltage(); v < minV {
+				minV = v
+			}
+		}
+		if minV < cfg.FailVoltage {
+			res.Failed = true
+			res.FailBias = p.VoltageBias()
+			res.MarginPercent = (1 - lastSafe) * 100
+			return res, nil
+		}
+		lastSafe = p.VoltageBias()
+		res.MinVoltageSeen = minV
+	}
+	// No failure down to MinBias: report the margin as the full range.
+	res.MarginPercent = (1 - cfg.MinBias) * 100
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package vmin
+
+import (
+	"math"
+	"testing"
+
+	"voltnoise/internal/core"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(Config) Config{
+		"zero fail V":  func(c Config) Config { c.FailVoltage = 0; return c },
+		"start <= min": func(c Config) Config { c.StartBias = c.MinBias; return c },
+		"no windows":   func(c Config) Config { c.Windows = nil; return c },
+		"empty window": func(c Config) Config { c.Windows = []Window{{Duration: 0}}; return c },
+	}
+	for name, mutate := range cases {
+		if err := mutate(DefaultConfig()).Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	p, _ := core.New(core.DefaultConfig())
+	bad := DefaultConfig()
+	bad.Windows = nil
+	var wl [core.NumCores]core.Workload
+	if _, err := Run(p, wl, bad); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestIdleWorkloadHasLargeMargin(t *testing.T) {
+	p, _ := core.New(core.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.MinBias = 0.90
+	cfg.Windows = []Window{{Start: 0, Duration: 10e-6}}
+	var wl [core.NumCores]core.Workload
+	res, err := Run(p, wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An idle chip at bias 0.90 sits around 0.94V > 0.90V: no failure.
+	if res.Failed {
+		t.Errorf("idle chip failed at bias %g", res.FailBias)
+	}
+	if res.MarginPercent < 9.9 {
+		t.Errorf("idle margin %g%%, want full 10%%", res.MarginPercent)
+	}
+	// Platform must be restored to nominal.
+	if p.VoltageBias() != 1.0 {
+		t.Errorf("bias left at %g", p.VoltageBias())
+	}
+}
+
+func TestNoisyWorkloadFailsEarlier(t *testing.T) {
+	p, _ := core.New(core.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.MinBias = 0.80
+	cfg.Windows = []Window{{Start: 0, Duration: 30e-6}}
+
+	// A violent aligned 2 MHz oscillation on all cores.
+	var noisy [core.NumCores]core.Workload
+	for i := range noisy {
+		noisy[i] = core.FuncWorkload{Label: "osc", Fn: func(tm float64) float64 {
+			if math.Mod(tm, 0.5e-6) < 0.25e-6 {
+				return 50
+			}
+			return 16
+		}}
+	}
+	resNoisy, err := Run(p, noisy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A steady workload of the same mean power.
+	var steadyWl [core.NumCores]core.Workload
+	for i := range steadyWl {
+		steadyWl[i] = core.Steady("steady", 33)
+	}
+	resSteady, err := Run(p, steadyWl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resNoisy.Failed {
+		t.Fatal("noisy workload never failed")
+	}
+	if resSteady.Failed && resSteady.FailBias >= resNoisy.FailBias {
+		t.Errorf("steady failed at bias %g >= noisy %g", resSteady.FailBias, resNoisy.FailBias)
+	}
+	if resSteady.MarginPercent <= resNoisy.MarginPercent {
+		t.Errorf("steady margin %g%% <= noisy margin %g%%", resSteady.MarginPercent, resNoisy.MarginPercent)
+	}
+	if resNoisy.Steps < 1 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestMarginQuantizedToBiasSteps(t *testing.T) {
+	p, _ := core.New(core.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.MinBias = 0.92
+	cfg.Windows = []Window{{Start: 0, Duration: 5e-6}}
+	var wl [core.NumCores]core.Workload
+	res, err := Run(p, wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Margin must be a multiple of the 0.5% step.
+	steps := res.MarginPercent / (core.BiasStep * 100)
+	if math.Abs(steps-math.Round(steps)) > 1e-6 {
+		t.Errorf("margin %g%% is not step-quantized", res.MarginPercent)
+	}
+}
