@@ -1,0 +1,45 @@
+# voltnoise build and verification targets.
+#
+#   make            tier-1 gate: build, vet, full test suite
+#   make race       race detector over all internal packages
+#   make bench      serial-vs-parallel engine benchmarks
+#   make ci         everything the CI gate runs (tier-1 + race)
+
+GO ?= go
+
+.PHONY: all build vet test tier1 race bench ci clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the repo's compatibility gate: every change must keep it
+# green.
+tier1: build vet test
+
+# race runs the internal packages under the race detector. The
+# deterministic worker-pool engine (internal/exec) and every study
+# adopted onto it must stay race-clean; the determinism tests double
+# as race probes because they run serial and 8-worker variants of the
+# same studies.
+race:
+	$(GO) test -race ./internal/...
+
+# bench compares the serial (Workers=1) and parallel (one worker per
+# CPU) paths of the hot studies. On a multi-core host the parallel
+# variants should show >= 2x speedup; results are bit-identical either
+# way.
+bench:
+	$(GO) test -run NONE -bench 'FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)' -benchtime 3x .
+
+ci: tier1 race
+
+clean:
+	$(GO) clean -testcache

@@ -332,6 +332,52 @@ func BenchmarkGeneticSearch(b *testing.B) {
 	}
 }
 
+// benchFrequencySweep is the shared body of the serial/parallel
+// frequency-sweep pair: 8 synchronized sweep points, pinned to the
+// given worker count (1 = serial path, 0 = one worker per CPU).
+func benchFrequencySweep(b *testing.B, workers int) {
+	l := *benchSetup(b)
+	l.Workers = workers
+	freqs := voltnoise.LogSpace(100e3, 5e6, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := l.FrequencySweep(freqs, true, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].Worst(), "p2p-last")
+	}
+}
+
+// BenchmarkFrequencySweepSerial and BenchmarkFrequencySweepParallel
+// measure the worker-pool speedup on the noise sweep. Results are
+// bit-identical between the two; compare ns/op (the parallel variant
+// approaches serial/NumCPU on a multi-core host and matches serial on
+// a single-CPU one).
+func BenchmarkFrequencySweepSerial(b *testing.B)   { benchFrequencySweep(b, 1) }
+func BenchmarkFrequencySweepParallel(b *testing.B) { benchFrequencySweep(b, 0) }
+
+// benchEPIProfile is the shared body of the serial/parallel EPI pair:
+// the full 1301-instruction profile at a reduced measurement window.
+func benchEPIProfile(b *testing.B, workers int) {
+	cfg := voltnoise.DefaultEPIConfig()
+	cfg.MeasureCycles = 1024
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := voltnoise.EPIProfileWith(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(prof.Entries[0].RelPower, "top-relpower")
+	}
+}
+
+// BenchmarkEPIProfileSerial and BenchmarkEPIProfileParallel measure
+// the worker-pool speedup on per-instruction power profiling.
+func BenchmarkEPIProfileSerial(b *testing.B)   { benchEPIProfile(b, 1) }
+func BenchmarkEPIProfileParallel(b *testing.B) { benchEPIProfile(b, 0) }
+
 // BenchmarkResonanceDiscovery measures the automated resonance search.
 func BenchmarkResonanceDiscovery(b *testing.B) {
 	lab := benchSetup(b)

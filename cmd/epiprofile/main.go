@@ -5,38 +5,55 @@
 //
 // Usage:
 //
-//	epiprofile [-n 5] [-all] [-unit FXU]
+//	epiprofile [-n 5] [-all] [-unit FXU] [-workers N]
+//
+// -workers caps the parallel measurement workers (0 = one per CPU,
+// 1 = serial); the profile is bit-identical for every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"voltnoise"
 )
 
 func main() {
-	n := flag.Int("n", 5, "entries to show from each end of the rank")
-	all := flag.Bool("all", false, "dump the full ranking")
-	unit := flag.String("unit", "", "restrict the dump to one functional unit (FXU, BRU, LSU, BFU, DFU, SYS)")
-	flag.Parse()
-
-	prof, err := voltnoise.EPIProfile()
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "epiprofile: %v\n", err)
 		os.Exit(1)
 	}
-	if !*all && *unit == "" {
-		fmt.Print(prof.TableI(*n))
-		return
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("epiprofile", flag.ContinueOnError)
+	n := fs.Int("n", 5, "entries to show from each end of the rank")
+	all := fs.Bool("all", false, "dump the full ranking")
+	unit := fs.String("unit", "", "restrict the dump to one functional unit (FXU, BRU, LSU, BFU, DFU, SYS)")
+	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	fmt.Printf("%-5s %-10s %-6s %-55s %6s %6s\n", "Rank", "Instr.", "Unit", "Description", "Power", "IPC")
+
+	cfg := voltnoise.DefaultEPIConfig()
+	cfg.Workers = *workers
+	prof, err := voltnoise.EPIProfileWith(cfg)
+	if err != nil {
+		return err
+	}
+	if !*all && *unit == "" {
+		fmt.Fprint(out, prof.TableI(*n))
+		return nil
+	}
+	fmt.Fprintf(out, "%-5s %-10s %-6s %-55s %6s %6s\n", "Rank", "Instr.", "Unit", "Description", "Power", "IPC")
 	for i, e := range prof.Entries {
 		if *unit != "" && e.Instr.Unit.String() != *unit {
 			continue
 		}
-		fmt.Printf("%-5d %-10s %-6s %-55s %6.2f %6.2f\n",
+		fmt.Fprintf(out, "%-5d %-10s %-6s %-55s %6.2f %6.2f\n",
 			i+1, e.Instr.Mnemonic, e.Instr.Unit, e.Instr.Desc, e.RelPower, e.IPC)
 	}
+	return nil
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableISmoke runs the default Table I view through the real CLI
+// entry point.
+func TestTableISmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "3", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "Rank") {
+		t.Fatalf("missing header:\n%s", s)
+	}
+	// 3 top + separator + 3 bottom under the header.
+	if lines := strings.Split(strings.TrimSpace(s), "\n"); len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "SRNM") {
+		t.Errorf("bottom of the rank should show SRNM (relative power 1.00):\n%s", s)
+	}
+}
+
+// TestUnitFilterSmoke exercises the -unit dump path.
+func TestUnitFilterSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-unit", "BRU", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("no BRU entries:\n%s", out.String())
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "BRU") {
+			t.Fatalf("non-BRU row in filtered dump: %q", l)
+		}
+	}
+}
+
+// TestWorkersFlagDeterminism: serial and parallel profiles render
+// byte-identically.
+func TestWorkersFlagDeterminism(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-n", "2", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "2", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-workers changed the output:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}

@@ -200,6 +200,7 @@ func runSummary(e *env) error {
 	e.printf("primary factors dominate:   %v\n", s.Primary())
 
 	vcfg := voltnoise.DefaultVminConfig()
+	vcfg.Workers = e.workers
 	vcfg.MinBias = 0.85
 	cust, err := e.lab.CustomerCodeMargin(2e6, vcfg)
 	if err != nil {
@@ -311,7 +312,7 @@ func runChips(e *env) error {
 	if !e.quick {
 		n = 5
 	}
-	plats, err := voltnoise.ChipPopulation(voltnoise.DefaultPlatformConfig(), n)
+	plats, err := voltnoise.ChipPopulationN(voltnoise.DefaultPlatformConfig(), n, e.workers)
 	if err != nil {
 		return err
 	}

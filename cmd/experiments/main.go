@@ -32,6 +32,9 @@ type env struct {
 	quick  bool
 	csvDir string
 	out    *os.File
+	// workers is the -workers flag: the measurement worker cap handed
+	// to every study and Vmin config.
+	workers int
 
 	// mappingStudy caches the (expensive) exhaustive mapping dataset
 	// shared by Fig11a, Fig11b and Fig13a.
@@ -80,6 +83,7 @@ func main() {
 	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	quick := flag.Bool("quick", false, "reduced sweep sizes")
 	csvDir := flag.String("csv", "", "directory for CSV output")
+	workers := flag.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial); results are bit-identical for every setting")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -122,11 +126,12 @@ func main() {
 		}
 	}
 
-	e := &env{quick: *quick, csvDir: *csvDir, out: os.Stdout}
+	e := &env{quick: *quick, csvDir: *csvDir, out: os.Stdout, workers: *workers}
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
 	}
+	scfg.Parallelism = *workers
 	start := time.Now()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
@@ -138,6 +143,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	lab.Workers = *workers
 	e.lab = lab
 	e.printf("platform ready in %v (max-power sequence: %s, %.1f W)\n\n",
 		time.Since(start).Round(time.Millisecond), lab.MaxSeq.Mnemonics(),
@@ -176,6 +182,7 @@ func idList(exps []experiment) string {
 
 func runTable1(e *env) error {
 	cfg := voltnoise.DefaultEPIConfig()
+	cfg.Workers = e.workers
 	if e.quick {
 		cfg.MeasureCycles = 1024
 	}
@@ -350,6 +357,7 @@ func runFig12(e *env) error {
 		events = []int{10, 0}
 	}
 	vcfg := voltnoise.DefaultVminConfig()
+	vcfg.Workers = e.workers
 	vcfg.MinBias = 0.88
 	pts, err := e.lab.ConsecutiveEventStudy(freqs, events, vcfg)
 	if err != nil {

@@ -3,52 +3,69 @@
 //
 // Usage:
 //
-//	noisesweep -mode freq [-sync] [-lo 1e3] [-hi 20e6] [-points 30]
+//	noisesweep -mode freq [-sync] [-lo 1e3] [-hi 20e6] [-points 30] [-workers N]
 //	noisesweep -mode misalign [-freq 2e6] [-maxticks 16]
 //	noisesweep -mode deltai [-freq 2e6]
+//
+// -workers caps the parallel measurement workers (0 = one per CPU,
+// 1 = serial); the output is bit-identical for every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"voltnoise"
 )
 
 func main() {
-	mode := flag.String("mode", "freq", "sweep kind: freq, misalign, deltai")
-	sync := flag.Bool("sync", false, "synchronize bursts (freq mode)")
-	lo := flag.Float64("lo", 1e3, "sweep start frequency (freq mode)")
-	hi := flag.Float64("hi", 20e6, "sweep end frequency (freq mode)")
-	points := flag.Int("points", 30, "sweep points (freq mode)")
-	freq := flag.Float64("freq", 2e6, "stimulus frequency (misalign/deltai modes)")
-	maxTicks := flag.Int("maxticks", 16, "largest misalignment in 62.5ns ticks (misalign mode)")
-	quick := flag.Bool("quick", false, "reduced search")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "noisesweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("noisesweep", flag.ContinueOnError)
+	mode := fs.String("mode", "freq", "sweep kind: freq, misalign, deltai")
+	sync := fs.Bool("sync", false, "synchronize bursts (freq mode)")
+	lo := fs.Float64("lo", 1e3, "sweep start frequency (freq mode)")
+	hi := fs.Float64("hi", 20e6, "sweep end frequency (freq mode)")
+	points := fs.Int("points", 30, "sweep points (freq mode)")
+	freq := fs.Float64("freq", 2e6, "stimulus frequency (misalign/deltai modes)")
+	maxTicks := fs.Int("maxticks", 16, "largest misalignment in 62.5ns ticks (misalign mode)")
+	quick := fs.Bool("quick", false, "reduced search")
+	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
 	}
+	scfg.Parallelism = *workers
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	lab, err := voltnoise.NewLab(plat, scfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	lab.Workers = *workers
 
 	switch *mode {
 	case "freq":
 		pts, err := lab.FrequencySweep(voltnoise.LogSpace(*lo, *hi, *points), *sync, 1000)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("freq_hz,c0,c1,c2,c3,c4,c5,worst")
+		fmt.Fprintln(out, "freq_hz,c0,c1,c2,c3,c4,c5,worst")
 		for _, p := range pts {
-			fmt.Printf("%g,%g,%g,%g,%g,%g,%g,%g\n",
+			fmt.Fprintf(out, "%g,%g,%g,%g,%g,%g,%g,%g\n",
 				p.Freq, p.P2P[0], p.P2P[1], p.P2P[2], p.P2P[3], p.P2P[4], p.P2P[5], p.Worst())
 		}
 	case "misalign":
@@ -58,28 +75,24 @@ func main() {
 		}
 		pts, err := lab.MisalignmentSweep(*freq, ticks, 500, 12)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("max_misalign_s,worst_p2p,placements")
+		fmt.Fprintln(out, "max_misalign_s,worst_p2p,placements")
 		for _, p := range pts {
-			fmt.Printf("%g,%g,%d\n", float64(p.MaxTicks)*voltnoise.TODTickSeconds, p.Worst(), p.Placements)
+			fmt.Fprintf(out, "%g,%g,%d\n", float64(p.MaxTicks)*voltnoise.TODTickSeconds, p.Worst(), p.Placements)
 		}
 	case "deltai":
 		runs, err := lab.MappingStudy(*freq, 100, false)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("delta_i_pct,active_cores,worst_p2p,min_voltage")
+		fmt.Fprintln(out, "delta_i_pct,active_cores,worst_p2p,min_voltage")
 		for _, r := range runs {
 			w, _ := r.Worst()
-			fmt.Printf("%g,%d,%g,%g\n", r.DeltaIPercent, r.ActiveCores(), w, r.MinVoltage)
+			fmt.Fprintf(out, "%g,%d,%g,%g\n", r.DeltaIPercent, r.ActiveCores(), w, r.MinVoltage)
 		}
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "noisesweep: %v\n", err)
-	os.Exit(1)
+	return nil
 }

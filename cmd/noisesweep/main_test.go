@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFreqSweepSmoke runs a tiny quick-config frequency sweep through
+// the real CLI entry point and sanity-checks the CSV.
+func TestFreqSweepSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-quick", "-mode", "freq", "-lo", "1e6", "-hi", "4e6", "-points", "2", "-workers", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "freq_hz,c0,c1,c2,c3,c4,c5,worst" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 points:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines[1:] {
+		if cols := strings.Split(l, ","); len(cols) != 8 {
+			t.Fatalf("row %q has %d columns", l, len(cols))
+		}
+	}
+}
+
+// TestWorkersFlagDeterminism: the -workers flag changes scheduling
+// only — serial and parallel invocations emit byte-identical CSV.
+func TestWorkersFlagDeterminism(t *testing.T) {
+	args := []string{"-quick", "-mode", "freq", "-lo", "1e6", "-hi", "4e6", "-points", "2"}
+	var serial, parallel strings.Builder
+	if err := run(append([]string{"-workers", "1"}, args...), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-workers", "8"}, args...), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-workers changed the output:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}
+
+// TestBadModeErrors: an unknown mode is a clean error, not a crash.
+func TestBadModeErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-mode", "nope"}, &out); err == nil {
+		t.Fatal("no error for unknown mode")
+	}
+}

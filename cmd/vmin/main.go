@@ -5,39 +5,57 @@
 //
 // Usage:
 //
-//	vmin [-freq 2.5e6] [-events 1000] [-nosync] [-failv 0.875] [-quick]
+//	vmin [-freq 2.5e6] [-events 1000] [-nosync] [-failv 0.875] [-quick] [-workers N]
+//
+// -workers caps the parallel measurement workers (0 = one per CPU,
+// 1 = serial); the reported margin is bit-identical for every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"voltnoise"
 )
 
 func main() {
-	freq := flag.Float64("freq", 2.5e6, "stimulus frequency in Hz")
-	events := flag.Int("events", 1000, "consecutive delta-I events per burst (sync mode)")
-	nosync := flag.Bool("nosync", false, "run the stressmark free-running instead of TOD-synchronized")
-	failV := flag.Float64("failv", 0, "critical-path failure threshold in volts (0 = calibrated default)")
-	quick := flag.Bool("quick", false, "reduced search")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "vmin: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vmin", flag.ContinueOnError)
+	freq := fs.Float64("freq", 2.5e6, "stimulus frequency in Hz")
+	events := fs.Int("events", 1000, "consecutive delta-I events per burst (sync mode)")
+	nosync := fs.Bool("nosync", false, "run the stressmark free-running instead of TOD-synchronized")
+	failV := fs.Float64("failv", 0, "critical-path failure threshold in volts (0 = calibrated default)")
+	quick := fs.Bool("quick", false, "reduced search")
+	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
 	}
+	scfg.Parallelism = *workers
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	lab, err := voltnoise.NewLab(plat, scfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	lab.Workers = *workers
 
 	vcfg := voltnoise.DefaultVminConfig()
+	vcfg.Workers = *workers
 	if *failV > 0 {
 		vcfg.FailVoltage = *failV
 	}
@@ -47,23 +65,19 @@ func main() {
 	}
 	pts, err := lab.ConsecutiveEventStudy([]float64{*freq}, eventList, vcfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p := pts[0]
 	mode := "synchronized"
 	if *nosync {
 		mode = "unsynchronized"
 	}
-	fmt.Printf("stressmark: %s at %g Hz (%s)\n", lab.MaxSeq.Mnemonics(), *freq, mode)
-	fmt.Printf("fail threshold: %.3f V; bias lowered in %.1f%% steps\n", vcfg.FailVoltage, 0.5)
+	fmt.Fprintf(out, "stressmark: %s at %g Hz (%s)\n", lab.MaxSeq.Mnemonics(), *freq, mode)
+	fmt.Fprintf(out, "fail threshold: %.3f V; bias lowered in %.1f%% steps\n", vcfg.FailVoltage, 0.5)
 	if p.Failed {
-		fmt.Printf("available margin: %.1f%% of nominal before first failure\n", p.MarginPercent)
+		fmt.Fprintf(out, "available margin: %.1f%% of nominal before first failure\n", p.MarginPercent)
 	} else {
-		fmt.Printf("no failure down to bias %.3f; margin at least %.1f%%\n", vcfg.MinBias, p.MarginPercent)
+		fmt.Fprintf(out, "no failure down to bias %.3f; margin at least %.1f%%\n", vcfg.MinBias, p.MarginPercent)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vmin: %v\n", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVminSmoke runs a quick synchronized Vmin experiment through the
+// real CLI entry point and checks the report shape.
+func TestVminSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-events", "100", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "stressmark:") || !strings.Contains(s, "fail threshold:") {
+		t.Fatalf("report missing sections:\n%s", s)
+	}
+	if !strings.Contains(s, "margin") {
+		t.Fatalf("report missing margin line:\n%s", s)
+	}
+}
+
+// TestWorkersFlagDeterminism: the reported margin is identical for
+// serial and parallel bias walks.
+func TestWorkersFlagDeterminism(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-quick", "-events", "100", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-events", "100", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-workers changed the report:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}

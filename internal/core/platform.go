@@ -88,6 +88,16 @@ func New(cfg Config) (*Platform, error) {
 // Config returns the platform configuration.
 func (p *Platform) Config() Config { return p.cfg }
 
+// Clone returns an independent platform on the same (read-only)
+// configuration with the same current voltage bias. Run never mutates
+// the platform, but SetVoltageBias does; parallel experiment workers
+// therefore operate on clones so concurrent studies never race on the
+// service-element state.
+func (p *Platform) Clone() *Platform {
+	cp := *p
+	return &cp
+}
+
 // SetVoltageBias sets the supply scaling factor, quantized to the
 // service element's 0.5% steps. Bias must land in [0.70, 1.10].
 func (p *Platform) SetVoltageBias(bias float64) error {

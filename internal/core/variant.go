@@ -1,5 +1,11 @@
 package core
 
+import (
+	"context"
+
+	"voltnoise/internal/exec"
+)
+
 // The paper runs its experiments "on different processors multiple
 // times to check their reproducibility". ChipVariant models that chip
 // population: it derives a deterministic manufacturing variant of a
@@ -47,15 +53,19 @@ func ChipVariant(cfg Config, id uint64) Config {
 }
 
 // ChipPopulation builds n platforms: the reference chip plus n-1
-// deterministic variants.
+// deterministic variants. Construction runs across the default worker
+// pool; chip id i always lands at index i.
 func ChipPopulation(cfg Config, n int) ([]*Platform, error) {
-	out := make([]*Platform, 0, n)
-	for id := uint64(0); id < uint64(n); id++ {
-		p, err := New(ChipVariant(cfg, id))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
+	return ChipPopulationN(cfg, n, 0)
+}
+
+// ChipPopulationN is ChipPopulation with an explicit worker count
+// (<= 0 selects one worker per CPU).
+func ChipPopulationN(cfg Config, n, workers int) ([]*Platform, error) {
+	if n < 0 {
+		n = 0
 	}
-	return out, nil
+	return exec.Map(context.Background(), n, workers, func(_ context.Context, i int) (*Platform, error) {
+		return New(ChipVariant(cfg, uint64(i)))
+	})
 }

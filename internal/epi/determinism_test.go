@@ -1,0 +1,35 @@
+package epi
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterminism: the profile is bit-identical whether the
+// per-instruction measurements run serially (Workers=1) or across 8
+// workers, and two parallel runs agree run-to-run. The comparison is
+// exact — the parallel path stores measurements by table index and
+// normalizes in the same order as the serial path.
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 128
+	cfg.MeasureCycles = 512
+
+	run := func(workers int) *Profile {
+		c := cfg
+		c.Workers = workers
+		p, err := Generate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("Generate Workers=1 vs 8 profiles differ")
+	}
+	if again := run(8); !reflect.DeepEqual(parallel, again) {
+		t.Error("Generate parallel run-to-run drift")
+	}
+}

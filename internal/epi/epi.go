@@ -8,10 +8,12 @@
 package epi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"voltnoise/internal/exec"
 	"voltnoise/internal/isa"
 	"voltnoise/internal/uarch"
 )
@@ -30,6 +32,10 @@ type Config struct {
 	// defaults keep the full 1301-instruction profile under a second
 	// while staying in steady state.
 	WarmupCycles, MeasureCycles int
+	// Workers caps the concurrent per-instruction measurement workers.
+	// Zero selects one worker per CPU; one forces the serial path. The
+	// profile is bit-identical for every setting.
+	Workers int
 }
 
 // DefaultConfig returns the standard profiling setup.
@@ -88,27 +94,34 @@ func MicroBenchmark(in *isa.Instruction) *uarch.Program {
 // Generate profiles every instruction in the table and returns the
 // ranked profile. Measurement runs on the cycle-level executor — the
 // simulation stand-in for the paper's hardware power/counter readings.
+// The per-instruction runs are independent, so they fan out across
+// cfg.Workers; ordered reduction keeps the entries in table order
+// before ranking, making the profile bit-identical to a serial run.
 func Generate(cfg Config) (*Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	entries := make([]Entry, 0, cfg.Table.Size())
-	for _, in := range cfg.Table.Instructions() {
+	instrs := cfg.Table.Instructions()
+	entries, err := exec.Map(context.Background(), len(instrs), cfg.Workers, func(_ context.Context, i int) (Entry, error) {
+		in := instrs[i]
 		bench := MicroBenchmark(in)
 		ex, err := uarch.NewExecutor(cfg.Core, bench)
 		if err != nil {
-			return nil, fmt.Errorf("epi: %s: %w", in.Mnemonic, err)
+			return Entry{}, fmt.Errorf("epi: %s: %w", in.Mnemonic, err)
 		}
-		for i := 0; i < cfg.WarmupCycles; i++ {
+		for c := 0; c < cfg.WarmupCycles; c++ {
 			ex.StepCycle()
 		}
 		trace, counters := ex.RunWithCounters(cfg.MeasureCycles)
 		power := cfg.Core.StaticPower + trace.Mean()/cfg.Core.CycleTime()
-		entries = append(entries, Entry{
+		return Entry{
 			Instr:      in,
 			PowerWatts: power,
 			IPC:        float64(counters.MicroOps) / float64(counters.Cycles),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Rank by descending power; stable to keep table order for ties.
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].PowerWatts > entries[j].PowerWatts })

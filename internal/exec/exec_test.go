@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderAndValues: for arbitrary (n, workers) combinations —
+// including workers 0 (default), 1 (serial), workers > n, and n == 0 —
+// Map returns exactly [f(0), ..., f(n-1)] in order.
+func TestMapOrderAndValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ n, workers int }{
+		{0, 4}, {1, 0}, {1, 1}, {1, 8}, {5, 0}, {5, 1}, {5, 2}, {5, 5}, {5, 64}, {100, 7},
+	}
+	for i := 0; i < 20; i++ {
+		cases = append(cases, struct{ n, workers int }{rng.Intn(200), rng.Intn(20)})
+	}
+	for _, c := range cases {
+		out, err := Map(context.Background(), c.n, c.workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d workers=%d: %v", c.n, c.workers, err)
+		}
+		if len(out) != c.n {
+			t.Fatalf("n=%d workers=%d: got %d results", c.n, c.workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("n=%d workers=%d: out[%d] = %d", c.n, c.workers, i, v)
+			}
+		}
+	}
+}
+
+// TestMapRunToRunDeterminism: two parallel runs over a
+// scheduling-sensitive function (random sleeps) agree exactly with
+// each other and with the serial run.
+func TestMapRunToRunDeterminism(t *testing.T) {
+	fn := func(_ context.Context, i int) (float64, error) {
+		time.Sleep(time.Duration(i%7) * 100 * time.Microsecond) // scramble completion order
+		return float64(i) * 1.5, nil
+	}
+	serial, err := Map(context.Background(), 50, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		par, err := Map(context.Background(), 50, 8, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("run %d: par[%d] = %g, serial %g", run, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestMapNegativeN: a negative item count is an error, not a hang.
+func TestMapNegativeN(t *testing.T) {
+	_, err := Map(context.Background(), -1, 4, func(context.Context, int) (int, error) { return 0, nil })
+	if err == nil {
+		t.Fatal("no error for n = -1")
+	}
+}
+
+// TestErrorPropagation: with several failing items, the lowest-index
+// error is returned under every worker count — matching what a serial
+// loop reports first.
+func TestErrorPropagation(t *testing.T) {
+	fail := map[int]bool{3: true, 7: true, 12: true}
+	fn := func(_ context.Context, i int) (int, error) {
+		if fail[i] {
+			return 0, fmt.Errorf("item %d failed", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 2, 8, 32} {
+		_, err := Map(context.Background(), 20, workers, fn)
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 3 failed", workers, err)
+		}
+	}
+}
+
+// TestErrorCancelsOutstanding: after an error, items beyond the
+// failure are cancelled rather than all executed.
+func TestErrorCancelsOutstanding(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	fn := func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Items sleep so the cancellation lands before the pool drains
+		// the whole range.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+			return i, nil
+		}
+	}
+	_, err := Map(context.Background(), 1000, 4, fn)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n > 100 {
+		t.Errorf("%d items started after early failure", n)
+	}
+}
+
+// TestContextCancellation: cancelling the parent context mid-flight
+// surfaces context.Canceled and stops issuing work.
+func TestContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		fn := func(ctx context.Context, i int) (int, error) {
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+			return i, nil
+		}
+		_, err := Map(ctx, 10000, workers, fn)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := calls.Load(); n > 1000 {
+			t.Errorf("workers=%d: %d calls after cancellation", workers, n)
+		}
+	}
+}
+
+// TestPanicRecovery: a panicking item surfaces as *PanicError instead
+// of crashing the process, under every worker count.
+func TestPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(context.Background(), 10, workers, func(_ context.Context, i int) (int, error) {
+			if i == 4 {
+				panic("measurement exploded")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 4 || pe.Value != "measurement exploded" {
+			t.Fatalf("workers=%d: panic = %+v", workers, pe)
+		}
+		if !strings.Contains(pe.Error(), "measurement exploded") || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error lacks detail: %v", workers, pe)
+		}
+	}
+}
+
+// TestMapOrderedStreamsInOrder: the reduction callback sees items
+// strictly in index order whatever the completion order.
+func TestMapOrderedStreamsInOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var seen []int
+		err := MapOrdered(context.Background(), 40, workers,
+			func(_ context.Context, i int) (int, error) {
+				time.Sleep(time.Duration((40-i)%5) * 100 * time.Microsecond)
+				return i, nil
+			},
+			func(i, v int) error {
+				if i != v {
+					t.Fatalf("item %d carries value %d", i, v)
+				}
+				seen = append(seen, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 40 {
+			t.Fatalf("workers=%d: reduced %d items", workers, len(seen))
+		}
+		for i, v := range seen {
+			if v != i {
+				t.Fatalf("workers=%d: reduction order %v", workers, seen)
+			}
+		}
+	}
+}
+
+// TestMapOrderedEarlyStop: ErrStop ends the reduction deterministically
+// — the same items are reduced under any worker count, and MapOrdered
+// returns nil.
+func TestMapOrderedEarlyStop(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var reduced []int
+		err := MapOrdered(context.Background(), 100, workers,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				reduced = append(reduced, i)
+				if i == 6 {
+					return ErrStop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(reduced) != 7 || reduced[6] != 6 {
+			t.Fatalf("workers=%d: reduced %v, want [0..6]", workers, reduced)
+		}
+	}
+}
+
+// TestMapOrderedEachError: a non-ErrStop reduction error is returned
+// as-is.
+func TestMapOrderedEachError(t *testing.T) {
+	boom := errors.New("reduce failed")
+	for _, workers := range []int{1, 4} {
+		err := MapOrdered(context.Background(), 10, workers,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				if i == 2 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+// TestForEach covers the no-result convenience wrapper.
+func TestForEach(t *testing.T) {
+	var hits [25]atomic.Int64
+	if err := ForEach(context.Background(), 25, 5, func(_ context.Context, i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("item %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+// TestClamp pins the workers-resolution rules.
+func TestClamp(t *testing.T) {
+	if got := Clamp(0, 1000); got != DefaultWorkers() {
+		t.Errorf("Clamp(0, 1000) = %d, want %d", got, DefaultWorkers())
+	}
+	if got := Clamp(-3, 1000); got != DefaultWorkers() {
+		t.Errorf("Clamp(-3, 1000) = %d, want %d", got, DefaultWorkers())
+	}
+	if got := Clamp(16, 4); got != 4 {
+		t.Errorf("Clamp(16, 4) = %d", got)
+	}
+	if got := Clamp(16, 0); got != 1 {
+		t.Errorf("Clamp(16, 0) = %d", got)
+	}
+}

@@ -1,0 +1,44 @@
+package mapping
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBestWorstNDeterminism: the parallel placement search returns
+// exactly the serial answer for every worker count — including the
+// tie-break (earliest placement in enumeration order wins), which the
+// ordered reduction preserves.
+func TestBestWorstNDeterminism(t *testing.T) {
+	wantBest, wantWorst, err := BestWorst(3, fakeEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		best, worst, err := BestWorstN(3, workers, fakeEval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(best, wantBest) || !reflect.DeepEqual(worst, wantWorst) {
+			t.Errorf("workers=%d: got best=%+v worst=%+v, want %+v / %+v",
+				workers, best, worst, wantBest, wantWorst)
+		}
+	}
+}
+
+// TestStudyNDeterminism: the whole opportunity study is bit-identical
+// across worker counts.
+func TestStudyNDeterminism(t *testing.T) {
+	ks := []int{1, 2, 3}
+	want, err := Study(ks, fakeEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StudyN(ks, 8, fakeEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("StudyN(8) differs from serial Study:\n%+v\n%+v", got, want)
+	}
+}

@@ -11,10 +11,12 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 
 	"voltnoise/internal/analysis"
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 )
 
 // Evaluator measures one placement: given the set of cores running the
@@ -34,40 +36,54 @@ type Placement struct {
 
 // BestWorst enumerates all C(NumCores, k) placements of k workloads
 // and returns the quietest and the noisiest placement (by worst-case
-// per-core noise).
+// per-core noise). Evaluations run serially; use BestWorstN to fan
+// them out.
 func BestWorst(k int, eval Evaluator) (best, worst Placement, err error) {
+	return BestWorstN(k, 1, eval)
+}
+
+// BestWorstN is BestWorst with the placement evaluations spread
+// across `workers` concurrent workers (<= 0 selects one per CPU).
+// The evaluator must then be safe for concurrent use. The reduction
+// is ordered, so ties resolve to the earliest placement in
+// enumeration order — the same winners the serial scan picks — under
+// every worker count.
+func BestWorstN(k, workers int, eval Evaluator) (best, worst Placement, err error) {
 	if k < 1 || k > core.NumCores {
 		return best, worst, fmt.Errorf("mapping: %d workloads on %d cores", k, core.NumCores)
 	}
 	if eval == nil {
 		return best, worst, fmt.Errorf("mapping: nil evaluator")
 	}
-	first := true
-	var evalErr error
+	var placements [][]int
 	analysis.Combinations(core.NumCores, k, func(cores []int) {
-		if evalErr != nil {
-			return
-		}
-		w, wc, err := eval(cores)
-		if err != nil {
-			evalErr = err
-			return
-		}
-		p := Placement{Cores: append([]int{}, cores...), WorstP2P: w, WorstCore: wc}
-		if first {
-			best, worst = p, p
-			first = false
-			return
-		}
-		if p.WorstP2P < best.WorstP2P {
-			best = p
-		}
-		if p.WorstP2P > worst.WorstP2P {
-			worst = p
-		}
+		placements = append(placements, append([]int{}, cores...))
 	})
-	if evalErr != nil {
-		return Placement{}, Placement{}, evalErr
+	first := true
+	err = exec.MapOrdered(context.Background(), len(placements), workers,
+		func(_ context.Context, i int) (Placement, error) {
+			w, wc, err := eval(placements[i])
+			if err != nil {
+				return Placement{}, err
+			}
+			return Placement{Cores: placements[i], WorstP2P: w, WorstCore: wc}, nil
+		},
+		func(_ int, p Placement) error {
+			if first {
+				best, worst = p, p
+				first = false
+				return nil
+			}
+			if p.WorstP2P < best.WorstP2P {
+				best = p
+			}
+			if p.WorstP2P > worst.WorstP2P {
+				worst = p
+			}
+			return nil
+		})
+	if err != nil {
+		return Placement{}, Placement{}, err
 	}
 	return best, worst, nil
 }
@@ -85,11 +101,19 @@ type Opportunity struct {
 }
 
 // Study evaluates the mapping opportunity for each workload count in
-// ks (the paper sweeps 1..6).
+// ks (the paper sweeps 1..6). Evaluations run serially; use StudyN to
+// fan them out.
 func Study(ks []int, eval Evaluator) ([]Opportunity, error) {
+	return StudyN(ks, 1, eval)
+}
+
+// StudyN is Study with each count's placement evaluations spread
+// across `workers` concurrent workers (the evaluator must then be
+// safe for concurrent use).
+func StudyN(ks []int, workers int, eval Evaluator) ([]Opportunity, error) {
 	out := make([]Opportunity, 0, len(ks))
 	for _, k := range ks {
-		best, worst, err := BestWorst(k, eval)
+		best, worst, err := BestWorstN(k, workers, eval)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,114 @@
+package noise
+
+import (
+	"reflect"
+	"testing"
+
+	"voltnoise/internal/mapping"
+	"voltnoise/internal/vmin"
+)
+
+// Golden determinism tests: every parallelized study must produce
+// bit-identical results for Workers=1 (the serial path) and Workers=8,
+// and agree run-to-run at the same worker count. Floating-point
+// comparison is deliberately exact (reflect.DeepEqual) — the engine
+// promises ordered reduction with no accumulation-order drift, not
+// "close enough".
+
+// withWorkers returns a copy of the shared test lab pinned to the
+// given worker count (the underlying platform and sequences are
+// shared read-only state).
+func withWorkers(t *testing.T, workers int) *Lab {
+	l := *lab(t)
+	l.Workers = workers
+	return &l
+}
+
+func TestFrequencySweepDeterminism(t *testing.T) {
+	freqs := []float64{1e6, 2e6, 3e6}
+	run := func(workers int) []FreqPoint {
+		pts, err := withWorkers(t, workers).FrequencySweep(freqs, true, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("FrequencySweep Workers=1 vs 8 differ:\n%v\n%v", serial, parallel)
+	}
+	if again := run(8); !reflect.DeepEqual(parallel, again) {
+		t.Errorf("FrequencySweep parallel run-to-run drift:\n%v\n%v", parallel, again)
+	}
+}
+
+func TestMisalignmentSweepDeterminism(t *testing.T) {
+	run := func(workers int) []MisalignPoint {
+		pts, err := withWorkers(t, workers).MisalignmentSweep(2e6, []int{0, 2}, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("MisalignmentSweep Workers=1 vs 8 differ:\n%v\n%v", serial, parallel)
+	}
+}
+
+func TestMappingRunsDeterminism(t *testing.T) {
+	assigns := [][6]WorkloadKind{
+		{KindMax, KindIdle, KindIdle, KindIdle, KindIdle, KindIdle},
+		{KindMax, KindMedium, KindIdle, KindIdle, KindIdle, KindIdle},
+		{KindMax, KindMax, KindMedium, KindMedium, KindIdle, KindIdle},
+		{KindMax, KindMax, KindMax, KindMax, KindMax, KindMax},
+	}
+	run := func(workers int) []MappingRun {
+		runs, err := withWorkers(t, workers).runMappings(2e6, 50, assigns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("runMappings Workers=1 vs 8 differ:\n%v\n%v", serial, parallel)
+	}
+}
+
+func TestConsecutiveEventStudyDeterminism(t *testing.T) {
+	vcfg := vmin.DefaultConfig()
+	vcfg.MinBias = 0.97
+	run := func(labWorkers, vminWorkers int) []MarginPoint {
+		cfg := vcfg
+		cfg.Workers = vminWorkers
+		pts, err := withWorkers(t, labWorkers).ConsecutiveEventStudy([]float64{2.5e6}, []int{100, 0}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	serial := run(1, 1)
+	parallel := run(8, 4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("ConsecutiveEventStudy serial vs parallel differ:\n%v\n%v", serial, parallel)
+	}
+}
+
+func TestMappingOpportunityDeterminism(t *testing.T) {
+	run := func(workers int) []mapping.Opportunity {
+		ops, err := withWorkers(t, workers).MappingOpportunity(2e6, 50, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("MappingOpportunity Workers=1 vs 8 differ:\n%+v\n%+v", serial, parallel)
+	}
+}

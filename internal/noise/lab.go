@@ -30,6 +30,22 @@ type Lab struct {
 	MaxSeq, MedSeq, MinSeq *uarch.Program
 	// SearchFunnel records the search pipeline counts.
 	SearchFunnel *stressmark.SearchResult
+	// Workers caps the concurrent measurement workers the parallel
+	// studies (FrequencySweep, MisalignmentSweep, MappingStudy,
+	// ConsecutiveEventStudy, MappingOpportunity) fan out to. Zero
+	// selects one worker per CPU; one forces the serial path. Results
+	// are bit-identical for every setting — the engine reduces in item
+	// order (see internal/exec).
+	Workers int
+}
+
+// workerLab returns a shallow copy of the lab whose platform is an
+// independent clone — what one parallel worker drives, so workers
+// never share mutable service-element state.
+func (l *Lab) workerLab() *Lab {
+	cl := *l
+	cl.Platform = l.Platform.Clone()
+	return &cl
 }
 
 // NewLab builds a lab: constructs the platform, runs the

@@ -1,10 +1,12 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 
 	"voltnoise/internal/analysis"
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 )
 
 // WorkloadKind labels the three workloads of the paper's ΔI study
@@ -154,7 +156,10 @@ func isSortedRun(a []int) bool {
 	return true
 }
 
-// runMappings measures each assignment.
+// runMappings measures each assignment, fanned out across l.Workers.
+// The stressmark workloads are pure (Power(t) reads immutable state),
+// so the two prototypes are safely shared by every worker; each run
+// drives its own platform clone.
 func (l *Lab) runMappings(freq float64, events int, assigns [][core.NumCores]WorkloadKind) ([]MappingRun, error) {
 	cfg := l.Platform.Config()
 	maxSpec := syncSpec(l.MaxSpec(freq), events)
@@ -168,8 +173,8 @@ func (l *Lab) runMappings(freq float64, events int, assigns [][core.NumCores]Wor
 		return nil, err
 	}
 	start, dur := measureWindow(maxSpec)
-	out := make([]MappingRun, 0, len(assigns))
-	for _, assign := range assigns {
+	return exec.Map(context.Background(), len(assigns), l.Workers, func(_ context.Context, j int) (MappingRun, error) {
+		assign := assigns[j]
 		var wl [core.NumCores]core.Workload
 		for i, k := range assign {
 			switch k {
@@ -179,18 +184,17 @@ func (l *Lab) runMappings(freq float64, events int, assigns [][core.NumCores]Wor
 				wl[i] = medWl
 			}
 		}
-		m, err := l.Platform.Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
+		m, err := l.Platform.Clone().Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
 		if err != nil {
-			return nil, err
+			return MappingRun{}, err
 		}
-		out = append(out, MappingRun{
+		return MappingRun{
 			Assign:        assign,
 			P2P:           m.P2P,
 			DeltaIPercent: deltaIPercent(assign),
 			MinVoltage:    m.MinVoltage(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // DeltaIPoint is one point of the Figure 11a scatter: for a given ΔI

@@ -1,7 +1,10 @@
 package noise
 
 import (
+	"context"
+
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 	"voltnoise/internal/stressmark"
 	"voltnoise/internal/vmin"
 )
@@ -29,41 +32,53 @@ type MarginPoint struct {
 // configuration's windows are adapted per point to cover the burst.
 func (l *Lab) ConsecutiveEventStudy(freqs []float64, eventCounts []int, vcfg vmin.Config) ([]MarginPoint, error) {
 	cfg := l.Platform.Config()
-	var out []MarginPoint
+	// Grid cells are independent Vmin experiments; fan them out across
+	// l.Workers. Each cell drives its own platform clone (Vmin mutates
+	// the voltage bias); the cell's inner bias walk parallelizes
+	// further per vcfg.Workers — goroutines beyond GOMAXPROCS just
+	// queue, so nesting the pools is safe.
+	type cell struct {
+		freq   float64
+		events int
+	}
+	cells := make([]cell, 0, len(freqs)*len(eventCounts))
 	for _, f := range freqs {
 		for _, events := range eventCounts {
-			var spec stressmark.Spec
-			if events == 0 {
-				spec = l.MaxSpec(f)
-			} else {
-				spec = syncSpec(l.MaxSpec(f), events)
-			}
-			var wl [core.NumCores]core.Workload
-			var err error
-			if spec.Sync != nil {
-				wl, err = stressmark.SyncWorkloads(spec, cfg.Core, l.table(), nil)
-			} else {
-				wl, err = stressmark.UnsyncWorkloads(spec, cfg.Core, l.table())
-			}
-			if err != nil {
-				return nil, err
-			}
-			start, dur := measureWindow(spec)
-			pcfg := vcfg
-			pcfg.Windows = []vmin.Window{{Start: start, Duration: dur}}
-			res, err := vmin.Run(l.Platform, wl, pcfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, MarginPoint{
-				Freq:          f,
-				Events:        events,
-				MarginPercent: res.MarginPercent,
-				Failed:        res.Failed,
-			})
+			cells = append(cells, cell{freq: f, events: events})
 		}
 	}
-	return out, nil
+	return exec.Map(context.Background(), len(cells), l.Workers, func(_ context.Context, i int) (MarginPoint, error) {
+		c := cells[i]
+		var spec stressmark.Spec
+		if c.events == 0 {
+			spec = l.MaxSpec(c.freq)
+		} else {
+			spec = syncSpec(l.MaxSpec(c.freq), c.events)
+		}
+		var wl [core.NumCores]core.Workload
+		var err error
+		if spec.Sync != nil {
+			wl, err = stressmark.SyncWorkloads(spec, cfg.Core, l.table(), nil)
+		} else {
+			wl, err = stressmark.UnsyncWorkloads(spec, cfg.Core, l.table())
+		}
+		if err != nil {
+			return MarginPoint{}, err
+		}
+		start, dur := measureWindow(spec)
+		pcfg := vcfg
+		pcfg.Windows = []vmin.Window{{Start: start, Duration: dur}}
+		res, err := vmin.Run(l.Platform.Clone(), wl, pcfg)
+		if err != nil {
+			return MarginPoint{}, err
+		}
+		return MarginPoint{
+			Freq:          c.freq,
+			Events:        c.events,
+			MarginPercent: res.MarginPercent,
+			Failed:        res.Failed,
+		}, nil
+	})
 }
 
 // NormalizeMargins rescales margins to the worst case (smallest

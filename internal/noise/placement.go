@@ -8,7 +8,9 @@ import (
 // PlacementEvaluator returns a mapping.Evaluator that measures a
 // placement of synchronized maximum dI/dt stressmarks on the platform:
 // the workload-to-core mapping experiments of the paper's Figures 14
-// and 15.
+// and 15. The evaluator is safe for concurrent use (each call drives
+// its own platform clone), so it can feed mapping.BestWorstN and
+// scheduler.FitPairwiseN directly.
 func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
 	cfg := l.Platform.Config()
 	spec := syncSpec(l.MaxSpec(freq), events)
@@ -22,7 +24,7 @@ func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
 		for _, c := range cores {
 			wl[c] = wlProto
 		}
-		m, err := l.Platform.Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
+		m, err := l.Platform.Clone().Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -32,7 +34,8 @@ func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
 }
 
 // MappingOpportunity runs the paper's Figure 15 study: the best/worst
-// placement gap for each workload count in ks.
+// placement gap for each workload count in ks, with the placement
+// measurements fanned out across l.Workers.
 func (l *Lab) MappingOpportunity(freq float64, events int, ks []int) ([]mapping.Opportunity, error) {
-	return mapping.Study(ks, l.PlacementEvaluator(freq, events))
+	return mapping.StudyN(ks, l.Workers, l.PlacementEvaluator(freq, events))
 }

@@ -1,9 +1,11 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 	"voltnoise/internal/signal"
 )
 
@@ -33,23 +35,26 @@ func (p FreqPoint) Worst() float64 {
 // emerge); with sync=true it is Figure 9 (TOD-synchronized bursts of
 // `events` consecutive ΔI events every ~4 ms; noise rises across the
 // whole spectrum).
+// Sweep points are independent measurement runs, so they fan out
+// across l.Workers; ordered reduction keeps the output bit-identical
+// to the serial loop.
 func (l *Lab) FrequencySweep(freqs []float64, sync bool, events int) ([]FreqPoint, error) {
-	out := make([]FreqPoint, 0, len(freqs))
-	for _, f := range freqs {
+	return exec.Map(context.Background(), len(freqs), l.Workers, func(_ context.Context, i int) (FreqPoint, error) {
+		f := freqs[i]
 		if f <= 0 {
-			return nil, fmt.Errorf("noise: non-positive sweep frequency %g", f)
+			return FreqPoint{}, fmt.Errorf("noise: non-positive sweep frequency %g", f)
 		}
-		spec := l.MaxSpec(f)
+		w := l.workerLab()
+		spec := w.MaxSpec(f)
 		if sync {
 			spec = syncSpec(spec, events)
 		}
-		m, err := l.runSpec(spec, nil, false)
+		m, err := w.runSpec(spec, nil, false)
 		if err != nil {
-			return nil, err
+			return FreqPoint{}, err
 		}
-		out = append(out, FreqPoint{Freq: f, P2P: m.P2P})
-	}
-	return out, nil
+		return FreqPoint{Freq: f, P2P: m.P2P}, nil
+	})
 }
 
 // Waveform records the per-core supply voltage while running the
@@ -101,6 +106,15 @@ func (l *Lab) MisalignmentSweep(freq float64, maxTicksList []int, events, maxPla
 	if maxPlacements < 1 {
 		return nil, fmt.Errorf("noise: maxPlacements %d", maxPlacements)
 	}
+	// Enumerate the full (point, placement) grid up front — the
+	// combinatorics are cheap — then fan the measurement runs out as
+	// one flat job list, which keeps every worker busy even when
+	// points have few placements.
+	type job struct {
+		point int
+		offs  [core.NumCores]uint64
+	}
+	var jobs []job
 	out := make([]MisalignPoint, 0, len(maxTicksList))
 	for _, maxTicks := range maxTicksList {
 		if maxTicks < 0 {
@@ -111,23 +125,38 @@ func (l *Lab) MisalignmentSweep(freq float64, maxTicksList []int, events, maxPla
 		if len(placements) > maxPlacements {
 			placements = subsample(placements, maxPlacements)
 		}
-		pt := MisalignPoint{MaxTicks: maxTicks, Placements: len(placements)}
-		spec := syncSpec(l.MaxSpec(freq), events)
 		for _, perm := range placements {
-			var offs [core.NumCores]uint64
-			copy(offs[:], perm)
-			m, err := l.runSpec(spec, &offs, false)
-			if err != nil {
-				return nil, err
-			}
-			for i := range pt.MeanP2P {
-				pt.MeanP2P[i] += m.P2P[i]
-			}
+			j := job{point: len(out)}
+			copy(j.offs[:], perm)
+			jobs = append(jobs, j)
 		}
+		out = append(out, MisalignPoint{MaxTicks: maxTicks, Placements: len(placements)})
+	}
+	spec := syncSpec(l.MaxSpec(freq), events)
+	readings, err := exec.Map(context.Background(), len(jobs), l.Workers, func(_ context.Context, i int) ([core.NumCores]float64, error) {
+		w := l.workerLab()
+		offs := jobs[i].offs
+		m, err := w.runSpec(spec, &offs, false)
+		if err != nil {
+			return [core.NumCores]float64{}, err
+		}
+		return m.P2P, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate in job order — exactly the serial summation order, so
+	// the averages carry no floating-point drift from parallelism.
+	for j, p2p := range readings {
+		pt := &out[jobs[j].point]
 		for i := range pt.MeanP2P {
-			pt.MeanP2P[i] /= float64(len(placements))
+			pt.MeanP2P[i] += p2p[i]
 		}
-		out = append(out, pt)
+	}
+	for k := range out {
+		for i := range out[k].MeanP2P {
+			out[k].MeanP2P[i] /= float64(out[k].Placements)
+		}
 	}
 	return out, nil
 }

@@ -9,10 +9,12 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 	"voltnoise/internal/pdn"
 )
 
@@ -161,35 +163,52 @@ func (m *PairwiseModel) WorstNoise(busy [core.NumCores]bool) float64 {
 // jobs (the same shape as mapping.Evaluator, taking the busy set).
 type Evaluator func(cores []int) (float64, error)
 
-// FitPairwise builds a pairwise model by measuring singles and pairs.
+// FitPairwise builds a pairwise model by measuring singles and pairs,
+// serially. Use FitPairwiseN to fan the measurements out.
 func FitPairwise(eval Evaluator) (*PairwiseModel, error) {
+	return FitPairwiseN(1, eval)
+}
+
+// FitPairwiseN is FitPairwise with the 6 single and 15 pair
+// measurements spread across `workers` concurrent workers (<= 0
+// selects one per CPU); the evaluator must then be safe for
+// concurrent use. Each measurement depends only on its core set, so
+// the fitted model is bit-identical for every worker count.
+func FitPairwiseN(workers int, eval Evaluator) (*PairwiseModel, error) {
 	m := &PairwiseModel{}
-	for i := 0; i < core.NumCores; i++ {
-		n, err := eval([]int{i})
-		if err != nil {
-			return nil, err
-		}
-		m.Base[i] = n
+	singles, err := exec.Map(context.Background(), core.NumCores, workers, func(_ context.Context, i int) (float64, error) {
+		return eval([]int{i})
+	})
+	if err != nil {
+		return nil, err
 	}
+	copy(m.Base[:], singles)
+	var pairs [][2]int
 	for i := 0; i < core.NumCores; i++ {
 		for j := i + 1; j < core.NumCores; j++ {
-			n, err := eval([]int{i, j})
-			if err != nil {
-				return nil, err
-			}
-			// Attribute the pair's excess over the louder single to
-			// both directions symmetrically.
-			base := m.Base[i]
-			if m.Base[j] > base {
-				base = m.Base[j]
-			}
-			excess := n - base
-			if excess < 0 {
-				excess = 0
-			}
-			m.Coupling[i][j] = excess
-			m.Coupling[j][i] = excess
+			pairs = append(pairs, [2]int{i, j})
 		}
+	}
+	noises, err := exec.Map(context.Background(), len(pairs), workers, func(_ context.Context, k int) (float64, error) {
+		return eval(pairs[k][:])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, pair := range pairs {
+		i, j := pair[0], pair[1]
+		// Attribute the pair's excess over the louder single to both
+		// directions symmetrically.
+		base := m.Base[i]
+		if m.Base[j] > base {
+			base = m.Base[j]
+		}
+		excess := noises[k] - base
+		if excess < 0 {
+			excess = 0
+		}
+		m.Coupling[i][j] = excess
+		m.Coupling[j][i] = excess
 	}
 	return m, nil
 }

@@ -24,10 +24,11 @@
 package stressmark
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
+	"voltnoise/internal/exec"
 	"voltnoise/internal/isa"
 	"voltnoise/internal/uarch"
 )
@@ -56,7 +57,8 @@ type SearchConfig struct {
 	// evaluation stage. The paper notes its evaluations "can run in
 	// parallel using different cores and machines"; results are
 	// deterministic regardless of worker count (ties break toward the
-	// earlier candidate). Zero or one evaluates serially.
+	// earlier candidate). Zero selects one worker per CPU; one
+	// evaluates serially.
 	Parallelism int
 }
 
@@ -256,51 +258,19 @@ func FindMaxPowerSequence(cfg SearchConfig) (*SearchResult, error) {
 
 	// Power evaluation: run each survivor on the cycle-level executor
 	// (the simulation stand-in for the paper's hardware measurements)
-	// and keep the highest power. Workers split the survivors; the
-	// final reduction breaks ties toward the earliest survivor so the
-	// result is independent of Parallelism.
-	powers := make([]float64, len(survivors))
-	evalRange := func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			prog := &uarch.Program{Name: fmt.Sprintf("seq%d", i), Body: survivors[i].body}
-			ex, err := uarch.NewExecutor(cfg.Core, prog)
-			if err != nil {
-				return err
-			}
-			powers[i] = ex.AveragePower(cfg.EvalCycles/4, cfg.EvalCycles)
+	// and keep the highest power. The evaluations fan out over the
+	// exec worker pool; the final reduction breaks ties toward the
+	// earliest survivor so the result is independent of Parallelism.
+	powers, err := exec.Map(context.Background(), len(survivors), cfg.Parallelism, func(_ context.Context, i int) (float64, error) {
+		prog := &uarch.Program{Name: fmt.Sprintf("seq%d", i), Body: survivors[i].body}
+		ex, err := uarch.NewExecutor(cfg.Core, prog)
+		if err != nil {
+			return 0, err
 		}
-		return nil
-	}
-	workers := cfg.Parallelism
-	if workers <= 1 {
-		if err := evalRange(0, len(survivors)); err != nil {
-			return nil, err
-		}
-	} else {
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
-		chunk := (len(survivors) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(survivors) {
-				hi = len(survivors)
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				errs[w] = evalRange(lo, hi)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+		return ex.AveragePower(cfg.EvalCycles/4, cfg.EvalCycles), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	bestIdx := -1
 	for i, p := range powers {

@@ -1,0 +1,67 @@
+package vmin
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"voltnoise/internal/core"
+)
+
+// TestRunDeterminism: the bias walk reports the identical Result for
+// Workers=1 (serial walk) and Workers=8 (parallel probe with ordered
+// reduction), in both the failing and the non-failing regime. The
+// parallel walk may probe biases past the first failure, but ordered
+// reduction discards them, so Steps/FailBias/MarginPercent and
+// MinVoltageSeen match the serial walk exactly.
+func TestRunDeterminism(t *testing.T) {
+	var noisy [core.NumCores]core.Workload
+	for i := range noisy {
+		noisy[i] = core.FuncWorkload{Label: "osc", Fn: func(tm float64) float64 {
+			if math.Mod(tm, 0.5e-6) < 0.25e-6 {
+				return 50
+			}
+			return 16
+		}}
+	}
+	var idle [core.NumCores]core.Workload
+
+	cases := []struct {
+		name string
+		wl   [core.NumCores]core.Workload
+	}{
+		{"failing", noisy},
+		{"no_failure", idle},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MinBias = 0.90
+			cfg.Windows = []Window{{Start: 0, Duration: 20e-6}}
+			run := func(workers int) *Result {
+				c := cfg
+				c.Workers = workers
+				p, err := core.New(core.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(p, tc.wl, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.VoltageBias() != 1.0 {
+					t.Fatalf("bias left at %g", p.VoltageBias())
+				}
+				return res
+			}
+			serial := run(1)
+			parallel := run(8)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("Run Workers=1 vs 8 differ:\n%+v\n%+v", serial, parallel)
+			}
+			if again := run(8); !reflect.DeepEqual(parallel, again) {
+				t.Errorf("Run parallel run-to-run drift:\n%+v\n%+v", parallel, again)
+			}
+		})
+	}
+}

@@ -8,9 +8,11 @@
 package vmin
 
 import (
+	"context"
 	"fmt"
 
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 )
 
 // DefaultFailVoltage is the calibrated critical-path failure threshold
@@ -37,6 +39,13 @@ type Config struct {
 	MinBias float64
 	// Windows are the measurement windows checked at each step.
 	Windows []Window
+	// Workers caps the concurrent bias-step workers. Zero selects one
+	// worker per CPU; one forces the serial walk. Each step runs on its
+	// own platform clone, and the failure scan reduces in descending-
+	// bias order, so the result is bit-identical for every setting
+	// (parallel runs may probe a few steps past the failure and
+	// discard them).
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment setup for workloads
@@ -94,39 +103,64 @@ type Result struct {
 // step by step ("0.5% every two minutes" on the real machine; the
 // simulator is faster) and measure each window until a core's supply
 // crosses the failure threshold.
+//
+// The steps of the grid are independent measurements, so they fan out
+// across cfg.Workers, each on its own platform clone. The reduction
+// walks the steps in descending-bias order and stops at the first
+// failure — exactly the serial schedule — so Steps, FailBias and
+// MarginPercent never depend on the worker count.
 func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	defer p.SetVoltageBias(1.0) // leave the platform at nominal
 
-	lastSafe := cfg.StartBias
+	var biases []float64
 	for bias := cfg.StartBias; bias >= cfg.MinBias-1e-9; bias -= core.BiasStep {
-		if err := p.SetVoltageBias(bias); err != nil {
-			return nil, err
-		}
-		res.Steps++
-		minV := 2.0
-		for _, w := range cfg.Windows {
-			m, err := p.Run(core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
-			if err != nil {
-				return nil, err
-			}
-			if v := m.MinVoltage(); v < minV {
-				minV = v
-			}
-		}
-		if minV < cfg.FailVoltage {
-			res.Failed = true
-			res.FailBias = p.VoltageBias()
-			res.MarginPercent = (1 - lastSafe) * 100
-			return res, nil
-		}
-		lastSafe = p.VoltageBias()
-		res.MinVoltageSeen = minV
+		biases = append(biases, bias)
 	}
-	// No failure down to MinBias: report the margin as the full range.
-	res.MarginPercent = (1 - cfg.MinBias) * 100
+	type step struct {
+		bias float64 // quantized bias actually applied
+		minV float64 // deepest droop across the windows
+	}
+	res := &Result{}
+	lastSafe := cfg.StartBias
+	err := exec.MapOrdered(context.Background(), len(biases), cfg.Workers,
+		func(_ context.Context, i int) (step, error) {
+			wp := p.Clone()
+			if err := wp.SetVoltageBias(biases[i]); err != nil {
+				return step{}, err
+			}
+			minV := 2.0
+			for _, w := range cfg.Windows {
+				m, err := wp.Run(core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
+				if err != nil {
+					return step{}, err
+				}
+				if v := m.MinVoltage(); v < minV {
+					minV = v
+				}
+			}
+			return step{bias: wp.VoltageBias(), minV: minV}, nil
+		},
+		func(_ int, s step) error {
+			res.Steps++
+			if s.minV < cfg.FailVoltage {
+				res.Failed = true
+				res.FailBias = s.bias
+				res.MarginPercent = (1 - lastSafe) * 100
+				return exec.ErrStop
+			}
+			lastSafe = s.bias
+			res.MinVoltageSeen = s.minV
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Failed {
+		// No failure down to MinBias: report the margin as the full range.
+		res.MarginPercent = (1 - cfg.MinBias) * 100
+	}
 	return res, nil
 }

@@ -93,6 +93,13 @@ func ISATable() *isa.Table { return isa.ZEC12Table() }
 
 // Lab bundles a platform with the discovered stressmark sequences and
 // exposes every characterization experiment of the paper.
+//
+// The measurement-heavy studies (FrequencySweep, MisalignmentSweep,
+// MappingStudy, ConsecutiveEventStudy, MappingOpportunity) fan their
+// independent runs across a worker pool sized by Lab.Workers (zero:
+// one worker per CPU, one: serial). Results are bit-identical for
+// every worker count — the engine reduces in item order, so
+// parallelism is safe by default.
 type Lab = noise.Lab
 
 // NewLab runs the maximum-power sequence search on the given platform
@@ -157,7 +164,9 @@ const TODTickSeconds = tod.TickSeconds
 
 // EPIProfile generates the energy-per-instruction profile of the full
 // ISA (the paper's Table I) by running one micro-benchmark per
-// instruction on the cycle-level executor.
+// instruction on the cycle-level executor. The per-instruction runs
+// execute in parallel (one worker per CPU; see EPIConfig.Workers);
+// the profile is bit-identical to a serial run.
 func EPIProfile() (*epi.Profile, error) { return epi.Generate(epi.DefaultConfig()) }
 
 // EPIProfileWith generates the profile with explicit settings.
@@ -179,7 +188,10 @@ func DefaultVminConfig() VminConfig { return vmin.DefaultConfig() }
 type VminResult = vmin.Result
 
 // RunVmin lowers the supply in 0.5% steps until first failure and
-// reports the available margin.
+// reports the available margin. The bias grid is probed in parallel
+// (VminConfig.Workers; zero = one worker per CPU) with a
+// deterministic descending-bias reduction, so the result matches the
+// serial walk exactly.
 func RunVmin(p *Platform, workloads [NumCores]Workload, cfg VminConfig) (*VminResult, error) {
 	return vmin.Run(p, workloads, cfg)
 }
@@ -364,6 +376,14 @@ func FitPairwiseNoiseModel(eval func(cores []int) (float64, error)) (*PairwiseNo
 	return scheduler.FitPairwise(eval)
 }
 
+// FitPairwiseNoiseModelN is FitPairwiseNoiseModel with the 21
+// measurements spread across `workers` concurrent workers (<= 0
+// selects one per CPU); the evaluator must be safe for concurrent
+// use. The fitted model is bit-identical for every worker count.
+func FitPairwiseNoiseModelN(workers int, eval func(cores []int) (float64, error)) (*PairwiseNoiseModel, error) {
+	return scheduler.FitPairwiseN(workers, eval)
+}
+
 // CompareSchedulers replays the trace under each policy.
 func CompareSchedulers(policies []SchedulerPolicy, model *PairwiseNoiseModel, trace []SchedulerEvent) ([]*SchedulerResult, error) {
 	return scheduler.Compare(policies, model, trace)
@@ -395,7 +415,13 @@ func AppSuite(table *isa.Table) []*App { return apps.Suite(table) }
 func ChipVariant(cfg PlatformConfig, id uint64) PlatformConfig { return core.ChipVariant(cfg, id) }
 
 // ChipPopulation builds the reference platform plus n-1 deterministic
-// manufacturing variants.
+// manufacturing variants, constructed in parallel (chip i always
+// lands at index i).
 func ChipPopulation(cfg PlatformConfig, n int) ([]*Platform, error) {
 	return core.ChipPopulation(cfg, n)
+}
+
+// ChipPopulationN is ChipPopulation with an explicit worker count.
+func ChipPopulationN(cfg PlatformConfig, n, workers int) ([]*Platform, error) {
+	return core.ChipPopulationN(cfg, n, workers)
 }
