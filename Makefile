@@ -1,13 +1,19 @@
 # voltnoise build and verification targets.
 #
-#   make            tier-1 gate: build, vet, full test suite
-#   make race       race detector over all internal packages
-#   make bench      serial-vs-parallel engine benchmarks
-#   make ci         everything the CI gate runs (tier-1 + race)
+#   make             tier-1 gate: build, vet, full test suite
+#   make race        race detector over all internal packages
+#   make bench       serial-vs-parallel engine benchmarks
+#   make bench-json  benchmark snapshot -> BENCH_PR3.json
+#   make run-service start the voltnoised HTTP service on :8080
+#   make ci          everything the CI gate runs (tier-1 + race gates)
+#
+# BENCH_SELECT narrows bench/bench-json; BENCH_OUT moves the snapshot.
 
 GO ?= go
+BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)
+BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: all build vet test tier1 race bench ci clean
+.PHONY: all build vet test tier1 race bench bench-json run-service ci clean
 
 all: tier1
 
@@ -37,9 +43,25 @@ race:
 # variants should show >= 2x speedup; results are bit-identical either
 # way.
 bench:
-	$(GO) test -run NONE -bench 'FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)' -benchtime 3x .
+	$(GO) test -run NONE -bench '$(BENCH_SELECT)' -benchtime 3x .
 
-ci: tier1 race
+# bench-json captures the same benchmarks (with allocation stats) as a
+# committed JSON snapshot, so perf baselines diff across PRs.
+bench-json:
+	$(GO) test -run NONE -bench '$(BENCH_SELECT)' -benchtime 3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# run-service starts the voltnoised characterization service; stop it
+# with SIGINT/SIGTERM for a graceful queue drain.
+run-service:
+	$(GO) run ./cmd/voltnoised serve -addr :8080
+
+# ci is the full gate: tier-1 plus the race detector over the service
+# (always, it is the concurrency hot spot) and the internal packages.
+ci: tier1
+	$(GO) test -race ./internal/service/...
+	$(GO) test -race ./internal/...
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON snapshot, so benchmark baselines can be
+// committed and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run NONE -bench X -benchmem ./... | benchjson [-o out.json]
+//
+// It reads benchmark result lines from stdin, e.g.
+//
+//	BenchmarkFrequencySweepSerial-8   3   394861219 ns/op   2052 B/op   17 allocs/op
+//
+// and writes a sorted JSON array of {name, iterations, ns_per_op,
+// bytes_per_op, allocs_per_op}. Lines that are not benchmark results
+// (package headers, PASS/ok trailers) are ignored; duplicate names
+// keep the last run. Exits non-zero if no benchmark lines were seen.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix trimmed.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the reported B/op (0 when -benchmem was off).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is the reported allocs/op (0 when -benchmem was off).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	outPath := ""
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o", "--o", "-out":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("missing path after %s", args[i-1])
+			}
+			outPath = args[i]
+		default:
+			return fmt.Errorf("unknown argument %q (usage: benchjson [-o out.json] < bench-output)", args[i])
+		}
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, b, 0o644)
+	}
+	_, err = out.Write(b)
+	return err
+}
+
+// parse extracts benchmark results, last run winning on duplicates.
+func parse(in io.Reader) ([]Result, error) {
+	byName := map[string]Result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if ok {
+			byName[r.Name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(byName))
+	for _, r := range byName {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+// parseLine parses one `Benchmark<Name>-P  N  X ns/op [Y B/op  Z
+// allocs/op]` line.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v := f[i]
+		switch f[i+1] {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+				return Result{}, false
+			}
+			seen = true
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return Result{}, false
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return Result{}, false
+			}
+		}
+	}
+	return r, seen
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: voltnoise
+cpu: Some CPU
+BenchmarkFrequencySweepSerial-8   	       3	 394861219 ns/op	    2052 B/op	      17 allocs/op
+BenchmarkFrequencySweepParallel-8 	       3	 101234567 ns/op	    4096 B/op	      34 allocs/op
+BenchmarkNoMem-8                  	    1000	      1234 ns/op
+not a benchmark line
+PASS
+ok  	voltnoise	2.345s
+`
+
+func TestParseSample(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	// Sorted by name; the -8 GOMAXPROCS suffix is trimmed.
+	if results[0].Name != "BenchmarkFrequencySweepParallel" {
+		t.Errorf("first result %q", results[0].Name)
+	}
+	serial := results[1]
+	if serial.Name != "BenchmarkFrequencySweepSerial" || serial.Iterations != 3 ||
+		serial.NsPerOp != 394861219 || serial.BytesPerOp != 2052 || serial.AllocsPerOp != 17 {
+		t.Errorf("serial = %+v", serial)
+	}
+	if nomem := results[2]; nomem.NsPerOp != 1234 || nomem.BytesPerOp != 0 || nomem.AllocsPerOp != 0 {
+		t.Errorf("no-benchmem result = %+v", nomem)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-o", path}, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, data)
+	}
+	if len(results) != 3 {
+		t.Errorf("file has %d results, want 3", len(results))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run([]string{"-o"}, strings.NewReader(sampleOutput), &out); err == nil {
+		t.Error("dangling -o accepted")
+	}
+	if err := run([]string{"-bogus"}, strings.NewReader(sampleOutput), &out); err == nil {
+		t.Error("unknown argument accepted")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ type env struct {
 	lab    *voltnoise.Lab
 	quick  bool
 	csvDir string
-	out    *os.File
+	out    io.Writer
 	// workers is the -workers flag: the measurement worker cap handed
 	// to every study and Vmin config.
 	workers int
@@ -80,11 +81,21 @@ func (e *env) csv(id string, header string, rows [][]float64) {
 }
 
 func main() {
-	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
-	quick := flag.Bool("quick", false, "reduced sweep sizes")
-	csvDir := flag.String("csv", "", "directory for CSV output")
-	workers := flag.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial); results are bit-identical for every setting")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	quick := fs.Bool("quick", false, "reduced sweep sizes")
+	csvDir := fs.String("csv", "", "directory for CSV output")
+	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial); results are bit-identical for every setting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	experiments := []experiment{
 		{"Table1", "EPI profile: first and last five instructions", runTable1},
@@ -113,20 +124,18 @@ func main() {
 		}
 		for id := range selected {
 			if !hasExperiment(experiments, id) {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q; known: %s\n", id, idList(experiments))
-				os.Exit(2)
+				return fmt.Errorf("unknown id %q; known: %s", id, idList(experiments))
 			}
 		}
 	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
-	e := &env{quick: *quick, csvDir: *csvDir, out: os.Stdout, workers: *workers}
+	e := &env{quick: *quick, csvDir: *csvDir, out: out, workers: *workers}
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
@@ -135,13 +144,11 @@ func main() {
 	start := time.Now()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	lab, err := voltnoise.NewLab(plat, scfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	lab.Workers = *workers
 	e.lab = lab
@@ -156,11 +163,11 @@ func main() {
 		t0 := time.Now()
 		e.printf("=== %s: %s ===\n", exp.id, exp.title)
 		if err := exp.run(e); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", exp.id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", exp.id, err)
 		}
 		e.printf("(%s in %v)\n\n", exp.id, time.Since(t0).Round(time.Millisecond))
 	}
+	return nil
 }
 
 func hasExperiment(exps []experiment, id string) bool {

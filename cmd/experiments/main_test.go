@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFunnelSmoke runs the cheapest experiment through the real CLI
+// entry point.
+func TestFunnelSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "Funnel"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"platform ready",
+		"=== Funnel:",
+		"candidates:",
+		"winner:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestGuardbandCSV: the -csv flag materializes data series on disk.
+func TestGuardbandCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-quick", "-run", "Fig7a", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7a.csv"))
+	if err != nil {
+		t.Fatalf("fig7a.csv not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "freq_hz,c0,c1,c2,c3,c4,c5" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Errorf("csv has no data rows:\n%s", data)
+	}
+}
+
+// TestUnknownExperimentErrors: a bad -run id is a clean error listing
+// the known ids.
+func TestUnknownExperimentErrors(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-quick", "-run", "Fig99"}, &out)
+	if err == nil {
+		t.Fatal("no error for unknown experiment id")
+	}
+	if !strings.Contains(err.Error(), "Fig99") || !strings.Contains(err.Error(), "Table1") {
+		t.Errorf("error %q does not name the bad id and the known ids", err)
+	}
+}
+
+// TestBadFlagErrors: an unknown flag is a clean error.
+func TestBadFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("no error for unknown flag")
+	}
+}

@@ -4,42 +4,57 @@
 //
 // Usage:
 //
-//	stressgen [-quick] [-freq 2e6] [-events 1000] [-sync] [-misalign N]
+//	stressgen [-quick] [-freq 2e6] [-events 1000] [-sync] [-misalign N] [-workers N]
+//
+// -workers caps the parallel search workers (0 = one per CPU,
+// 1 = serial); the output is bit-identical for every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"voltnoise"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced search (5 candidates, length 3)")
-	freq := flag.Float64("freq", 2e6, "stimulus frequency in Hz")
-	events := flag.Int("events", 1000, "consecutive delta-I events per burst")
-	sync := flag.Bool("sync", false, "synchronize bursts to the TOD (every ~4ms)")
-	misalign := flag.Uint64("misalign", 0, "misalign the sync point by N 62.5ns ticks")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "stressgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stressgen", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced search (5 candidates, length 3)")
+	freq := fs.Float64("freq", 2e6, "stimulus frequency in Hz")
+	events := fs.Int("events", 1000, "consecutive delta-I events per burst")
+	sync := fs.Bool("sync", false, "synchronize bursts to the TOD (every ~4ms)")
+	misalign := fs.Uint64("misalign", 0, "misalign the sync point by N 62.5ns ticks")
+	workers := fs.Int("workers", 0, "parallel search workers (0 = one per CPU, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
 	}
+	scfg.Parallelism = *workers
 	res, err := voltnoise.FindMaxPowerSequence(scfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stressgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	minSeq := voltnoise.MinPowerSequence(scfg)
 
-	fmt.Println("search funnel:")
-	fmt.Printf("  candidates:        %d\n", len(res.Candidates))
-	fmt.Printf("  combinations:      %d\n", res.Generated)
-	fmt.Printf("  after uarch filter:%d\n", res.AfterUarchFilter)
-	fmt.Printf("  after IPC filter:  %d\n", res.AfterIPCFilter)
-	fmt.Printf("  winner power:      %.2f W\n\n", res.BestPower)
+	fmt.Fprintln(out, "search funnel:")
+	fmt.Fprintf(out, "  candidates:        %d\n", len(res.Candidates))
+	fmt.Fprintf(out, "  combinations:      %d\n", res.Generated)
+	fmt.Fprintf(out, "  after uarch filter:%d\n", res.AfterUarchFilter)
+	fmt.Fprintf(out, "  after IPC filter:  %d\n", res.AfterIPCFilter)
+	fmt.Fprintf(out, "  winner power:      %.2f W\n\n", res.BestPower)
 
 	spec := voltnoise.StressmarkSpec{
 		HighSeq:      res.Best,
@@ -55,32 +70,32 @@ func main() {
 		spec.Sync = &cond
 		spec.Events = *events
 		if maxEv := int(cond.Period() * 0.9 * *freq); spec.Events > maxEv && maxEv >= 1 {
-			fmt.Printf("note: clamping events to %d to fit the sync period\n", maxEv)
+			fmt.Fprintf(out, "note: clamping events to %d to fit the sync period\n", maxEv)
 			spec.Events = maxEv
 		}
 	}
 	if err := spec.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "stressgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	coreCfg := scfg.Core
-	fmt.Println("high-power sequence:")
-	fmt.Print(res.Best.Listing())
-	fmt.Printf("  steady power %.2f W, IPC %.2f\n\n", coreCfg.Power(res.Best), coreCfg.IPC(res.Best))
-	fmt.Println("low-power sequence:")
-	fmt.Print(minSeq.Listing())
-	fmt.Printf("  steady power %.2f W, IPC %.2f\n\n", coreCfg.Power(minSeq), coreCfg.IPC(minSeq))
+	fmt.Fprintln(out, "high-power sequence:")
+	fmt.Fprint(out, res.Best.Listing())
+	fmt.Fprintf(out, "  steady power %.2f W, IPC %.2f\n\n", coreCfg.Power(res.Best), coreCfg.IPC(res.Best))
+	fmt.Fprintln(out, "low-power sequence:")
+	fmt.Fprint(out, minSeq.Listing())
+	fmt.Fprintf(out, "  steady power %.2f W, IPC %.2f\n\n", coreCfg.Power(minSeq), coreCfg.IPC(minSeq))
 
-	fmt.Println("dI/dt stressmark:")
-	fmt.Printf("  stimulus frequency: %g Hz (one delta-I event per %.3g s)\n", *freq, 1 / *freq)
-	fmt.Printf("  delta power:        %.2f W/core (delta-I %.2f A at nominal voltage)\n",
+	fmt.Fprintln(out, "dI/dt stressmark:")
+	fmt.Fprintf(out, "  stimulus frequency: %g Hz (one delta-I event per %.3g s)\n", *freq, 1 / *freq)
+	fmt.Fprintf(out, "  delta power:        %.2f W/core (delta-I %.2f A at nominal voltage)\n",
 		spec.DeltaPower(coreCfg), spec.DeltaPower(coreCfg)/voltnoise.DefaultPlatformConfig().PDN.Vnom)
 	if spec.Sync != nil {
-		fmt.Printf("  synchronization:    TOD low %d bits == %d (every %.4g s)\n",
+		fmt.Fprintf(out, "  synchronization:    TOD low %d bits == %d (every %.4g s)\n",
 			spec.Sync.Bits, spec.Sync.Match, spec.Sync.Period())
-		fmt.Printf("  burst:              %d consecutive delta-I events, then spin\n", spec.Events)
+		fmt.Fprintf(out, "  burst:              %d consecutive delta-I events, then spin\n", spec.Events)
 	} else {
-		fmt.Println("  synchronization:    none (free running)")
+		fmt.Fprintln(out, "  synchronization:    none (free running)")
 	}
+	return nil
 }

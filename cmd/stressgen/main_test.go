@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStressgenSmoke runs the quick search through the real CLI entry
+// point and sanity-checks the report sections.
+func TestStressgenSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"search funnel:",
+		"high-power sequence:",
+		"low-power sequence:",
+		"dI/dt stressmark:",
+		"synchronization:    none (free running)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestStressgenSyncMode: the -sync flag reports the TOD condition and
+// the burst length.
+func TestStressgenSyncMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-sync", "-events", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "TOD low") {
+		t.Errorf("sync output missing TOD condition:\n%s", got)
+	}
+	if !strings.Contains(got, "50 consecutive delta-I events") {
+		t.Errorf("sync output missing burst length:\n%s", got)
+	}
+}
+
+// TestStressgenWorkersDeterminism: the -workers flag changes
+// scheduling only — serial and parallel runs emit identical reports.
+func TestStressgenWorkersDeterminism(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-quick", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-workers changed the output:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}
+
+// TestStressgenBadFlag: a bad flag is a clean error.
+func TestStressgenBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("no error for unknown flag")
+	}
+}

@@ -1,0 +1,274 @@
+// Command voltnoised runs the characterization service: a daemon
+// that accepts study requests (frequency sweeps, Vmin walks, EPI
+// profiles, guard-band evaluations) over a versioned HTTP/JSON API,
+// executes them on a bounded worker pool, and deduplicates identical
+// work through a content-addressed result cache.
+//
+// Usage:
+//
+//	voltnoised serve [-addr :8080] [-queue 64] [-pool 2] [-cache 256]
+//	voltnoised ctl [-addr http://127.0.0.1:8080] submit <req.json|->
+//	voltnoised ctl [...] status|result|wait|cancel <job-id>
+//	voltnoised ctl [...] run <req.json|->
+//	voltnoised ctl [...] studies|metrics|health
+//
+// A request file holds one JSON study request, e.g.
+//
+//	{"study": "freq_sweep", "quick": true,
+//	 "freq_sweep": {"lo_hz": 1e6, "hi_hz": 4e6, "points": 2}}
+//
+// `submit -` reads the request from stdin; an argument starting with
+// "{" is parsed as inline JSON. Identical configurations are served
+// from the cache (byte-identical to a fresh computation); a full job
+// queue answers 429 — submit again after the Retry-After interval.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"voltnoise/internal/service"
+	"voltnoise/internal/service/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "voltnoised: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: voltnoised serve|ctl ... (see package doc)")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:], out)
+	case "ctl":
+		return runCtl(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve or ctl)", args[0])
+	}
+}
+
+func runServe(args []string, out io.Writer) error {
+	fs := newFlagSet("voltnoised serve")
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 64, "job queue depth (excess submissions get 429)")
+	pool := fs.Int("pool", 2, "concurrent study workers")
+	cache := fs.Int("cache", 256, "LRU result-cache entries (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc := service.NewServer(service.Config{
+		QueueDepth:   *queue,
+		PoolSize:     *pool,
+		CacheEntries: *cache,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(out, "voltnoised listening on %s (queue %d, pool %d, cache %d)\n",
+		*addr, *queue, *pool, *cache)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: drain the job queue, then close the listener.
+	fmt.Fprintln(out, "voltnoised draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("draining job queue: %w", err)
+	}
+	return httpSrv.Shutdown(drainCtx)
+}
+
+func runCtl(args []string, out io.Writer) error {
+	fs := newFlagSet("voltnoised ctl")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	poll := fs.Duration("poll", 100*time.Millisecond, "poll interval for wait")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("ctl: missing verb (submit|status|result|wait|cancel|run|studies|metrics|health)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+
+	verb, rest := rest[0], rest[1:]
+	need := func(what string) (string, error) {
+		if len(rest) != 1 {
+			return "", fmt.Errorf("ctl %s: want exactly one %s argument", verb, what)
+		}
+		return rest[0], nil
+	}
+	switch verb {
+	case "submit":
+		arg, err := need("request")
+		if err != nil {
+			return err
+		}
+		req, err := readRequest(arg)
+		if err != nil {
+			return err
+		}
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, st)
+	case "status":
+		id, err := need("job-id")
+		if err != nil {
+			return err
+		}
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, st)
+	case "result":
+		id, err := need("job-id")
+		if err != nil {
+			return err
+		}
+		body, _, err := c.Result(ctx, id)
+		if err != nil {
+			return err
+		}
+		return printRaw(out, body)
+	case "wait":
+		id, err := need("job-id")
+		if err != nil {
+			return err
+		}
+		st, err := c.Wait(ctx, id, *poll)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, st)
+	case "cancel":
+		id, err := need("job-id")
+		if err != nil {
+			return err
+		}
+		if err := c.Cancel(ctx, id); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "canceled %s\n", id)
+		return nil
+	case "run":
+		arg, err := need("request")
+		if err != nil {
+			return err
+		}
+		req, err := readRequest(arg)
+		if err != nil {
+			return err
+		}
+		body, cached, err := c.Run(ctx, req)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cache: %s\n", cacheWord(cached))
+		return printRaw(out, body)
+	case "studies":
+		studies, err := c.Studies(ctx)
+		if err != nil {
+			return err
+		}
+		for _, s := range studies {
+			fmt.Fprintln(out, s)
+		}
+		return nil
+	case "metrics":
+		snap, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(out, snap)
+	case "health":
+		if err := c.Healthy(ctx); err != nil {
+			return err
+		}
+		if err := c.Ready(ctx); err != nil {
+			fmt.Fprintln(out, "healthy, not ready")
+			return nil
+		}
+		fmt.Fprintln(out, "healthy, ready")
+		return nil
+	default:
+		return fmt.Errorf("ctl: unknown verb %q", verb)
+	}
+}
+
+// readRequest loads a study request from a file path, "-" (stdin), or
+// an inline "{...}" JSON argument.
+func readRequest(arg string) (*service.Request, error) {
+	var data []byte
+	var err error
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(arg), "{"):
+		data = []byte(arg)
+	case arg == "-":
+		data, err = io.ReadAll(os.Stdin)
+	default:
+		data, err = os.ReadFile(arg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading request: %w", err)
+	}
+	var req service.Request
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	return &req, nil
+}
+
+func printJSON(out io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(b))
+	return err
+}
+
+// printRaw writes result bytes with a trailing newline.
+func printRaw(out io.Writer, body []byte) error {
+	_, err := fmt.Fprintln(out, strings.TrimRight(string(body), "\n"))
+	return err
+}
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"voltnoise/internal/service"
+)
+
+// startTestServer serves a fast fake runner so ctl verbs are cheap.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	runner := service.RunnerFunc(func(ctx context.Context, req *service.Request) (any, error) {
+		return map[string]string{"study": string(req.Study)}, nil
+	})
+	srv := service.NewServer(service.Config{Runner: runner})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return ts.URL
+}
+
+const inlineSweep = `{"study": "freq_sweep", "quick": true, "freq_sweep": {"lo_hz": 1e6, "hi_hz": 4e6, "points": 2}}`
+
+func ctl(t *testing.T, addr string, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(append([]string{"ctl", "-addr", addr}, args...), &out)
+	return out.String(), err
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"ctl"},
+		{"ctl", "-addr", "http://127.0.0.1:1", "frobnicate"},
+		{"ctl", "-addr", "http://x", "submit"}, // missing argument
+		{"serve", "-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+func TestCtlStudiesHealthMetrics(t *testing.T) {
+	addr := startTestServer(t)
+	out, err := ctl(t, addr, "studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range service.Studies() {
+		if !strings.Contains(out, string(s)) {
+			t.Errorf("studies output missing %s:\n%s", s, out)
+		}
+	}
+	out, err = ctl(t, addr, "health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "healthy, ready" {
+		t.Errorf("health = %q", out)
+	}
+	out, err = ctl(t, addr, "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap service.MetricsSnapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("metrics output is not a snapshot: %v\n%s", err, out)
+	}
+}
+
+func TestCtlJobLifecycle(t *testing.T) {
+	addr := startTestServer(t)
+	out, err := ctl(t, addr, "submit", inlineSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("submit output: %v\n%s", err, out)
+	}
+	if st.ID == "" {
+		t.Fatalf("submit returned no job id: %s", out)
+	}
+
+	out, err = ctl(t, addr, "wait", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fin service.JobStatus
+	if err := json.Unmarshal([]byte(out), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != service.StateDone {
+		t.Fatalf("job finished %s", fin.Status)
+	}
+
+	out, err = ctl(t, addr, "status", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, string(service.StateDone)) {
+		t.Errorf("status output: %s", out)
+	}
+
+	out, err = ctl(t, addr, "result", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != `{"study":"freq_sweep"}` {
+		t.Errorf("result = %q", out)
+	}
+}
+
+func TestCtlRunFromFileAndCache(t *testing.T) {
+	addr := startTestServer(t)
+	path := filepath.Join(t.TempDir(), "req.json")
+	if err := os.WriteFile(path, []byte(inlineSweep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctl(t, addr, "run", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache: miss") {
+		t.Errorf("first run output: %s", out)
+	}
+	out, err = ctl(t, addr, "run", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache: hit") {
+		t.Errorf("second run output: %s", out)
+	}
+}
+
+func TestReadRequestRejectsUnknownFields(t *testing.T) {
+	if _, err := readRequest(`{"study": "freq_sweep", "bogus": 1}`); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := readRequest("/no/such/file.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

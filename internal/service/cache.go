@@ -1,0 +1,85 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU result cache keyed by canonical config
+// hash. Values are the marshaled result bytes of a completed study,
+// so a cache hit serves exactly the bytes a fresh computation would
+// have produced (the studies are deterministic). Hit and miss counts
+// feed the /metrics surface.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // hash -> element whose Value is *cacheEntry
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	hash  string
+	value []byte
+}
+
+// NewCache builds a cache holding up to capacity results; capacity
+// < 1 disables caching (every lookup misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for the hash, recording a hit or miss.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores the bytes under the hash, evicting the least recently
+// used entry when over capacity. The caller must not mutate value
+// afterwards.
+func (c *Cache) Put(hash string, value []byte) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, value: value})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

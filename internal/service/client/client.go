@@ -1,0 +1,203 @@
+// Package client is a thin HTTP client for the voltnoised
+// characterization service (internal/service). It speaks the v1
+// JSON API: submit asynchronous jobs, poll them, fetch results,
+// run cheap studies synchronously, and read the operational surface.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"voltnoise/internal/service"
+)
+
+// Client talks to one voltnoised server.
+type Client struct {
+	// Base is the server URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient is the transport (default: http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is the server's {"error": "..."} body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do issues the request and returns the response body, translating
+// non-2xx statuses into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body any) (respBody []byte, header http.Header, status int, err error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.Unmarshal(respBody, &ae) == nil && ae.Error != "" {
+			return nil, resp.Header, resp.StatusCode, fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return nil, resp.Header, resp.StatusCode, fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	return respBody, resp.Header, resp.StatusCode, nil
+}
+
+// Submit enqueues an asynchronous job and returns its status. A
+// request whose result is already cached comes back immediately with
+// Status "done" and Cached set; an identical in-flight request comes
+// back Deduped with the existing job's ID.
+func (c *Client) Submit(ctx context.Context, req *service.Request) (*service.JobStatus, error) {
+	body, _, _, err := c.do(ctx, http.MethodPost, "/v1/jobs", req)
+	if err != nil {
+		return nil, err
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("client: decoding job status: %w", err)
+	}
+	return &st, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobStatus, error) {
+	body, _, _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("client: decoding job status: %w", err)
+	}
+	return &st, nil
+}
+
+// Result fetches a finished job's result bytes; cached reports
+// whether they were served from the result cache at submission.
+// A job that has not finished yet returns an error.
+func (c *Client) Result(ctx context.Context, id string) (result []byte, cached bool, err error) {
+	body, header, status, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if status == http.StatusAccepted {
+		return nil, false, fmt.Errorf("client: job %s not finished", id)
+	}
+	return body, header.Get("X-Voltnoise-Cache") == "hit", nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	_, _, _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	return err
+}
+
+// Wait polls the job until it reaches a terminal state (or ctx
+// expires), then returns its final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run executes a study synchronously (POST /v1/studies) and returns
+// the result bytes; cached reports a cache hit.
+func (c *Client) Run(ctx context.Context, req *service.Request) (result []byte, cached bool, err error) {
+	body, header, _, err := c.do(ctx, http.MethodPost, "/v1/studies", req)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, header.Get("X-Voltnoise-Cache") == "hit", nil
+}
+
+// Studies lists the study kinds the server supports.
+func (c *Client) Studies(ctx context.Context) ([]service.Study, error) {
+	body, _, _, err := c.do(ctx, http.MethodGet, "/v1/studies", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Studies []service.Study `json:"studies"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding studies: %w", err)
+	}
+	return out.Studies, nil
+}
+
+// Metrics fetches the server's counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (*service.MetricsSnapshot, error) {
+	body, _, _, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	var snap service.MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("client: decoding metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+// Healthy checks /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	_, _, _, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Ready checks /readyz (an error means not ready, e.g. draining).
+func (c *Client) Ready(ctx context.Context) error {
+	_, _, _, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	return err
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the study.
+	StateRunning State = "running"
+	// StateDone: finished successfully; the result is available.
+	StateDone State = "done"
+	// StateFailed: the study returned an error.
+	StateFailed State = "failed"
+	// StateCanceled: canceled before a worker picked it up.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire representation of a job (GET /v1/jobs/{id}
+// and the POST /v1/jobs response).
+type JobStatus struct {
+	ID     string `json:"id"`
+	Study  Study  `json:"study"`
+	Hash   string `json:"hash"`
+	Status State  `json:"status"`
+	// Cached marks a submission answered entirely from the result
+	// cache (the job never entered the queue).
+	Cached bool `json:"cached,omitempty"`
+	// Deduped marks a submission collapsed onto an existing identical
+	// in-flight job; ID names that job.
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// job is the server-side job record.
+type job struct {
+	id   string
+	hash string
+	req  *Request // normalized
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	result []byte // marshaled study payload, set when state == StateDone
+	err    string
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+	// cached marks a job satisfied from the cache at submission.
+	cached bool
+}
+
+func newJob(id, hash string, req *Request) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:     id,
+		hash:   hash,
+		req:    req,
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateQueued,
+		done:   make(chan struct{}),
+	}
+}
+
+// newCachedJob builds an already-done job serving cached bytes.
+func newCachedJob(id, hash string, req *Request, result []byte) *job {
+	j := newJob(id, hash, req)
+	j.state = StateDone
+	j.result = result
+	j.cached = true
+	close(j.done)
+	return j
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *job) finish(state State, result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	if err != nil {
+		j.err = err.Error()
+	}
+	close(j.done)
+}
+
+// setRunning marks the job running unless it was already canceled;
+// the return value reports whether the worker should proceed.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobStatus{
+		ID:     j.id,
+		Study:  j.req.Study,
+		Hash:   j.hash,
+		Status: j.state,
+		Cached: j.cached,
+		Error:  j.err,
+	}
+}
+
+// snapshot returns the terminal state, result bytes and error text.
+func (j *job) snapshot() (State, []byte, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err
+}
+
+// jobID renders sequential job identifiers ("j-000001").
+func jobID(seq int64) string { return fmt.Sprintf("j-%06d", seq) }

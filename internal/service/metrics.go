@@ -1,0 +1,168 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of
+// the per-study latency histogram; observations beyond the last bound
+// land in the +Inf bucket.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a fixed-bucket latency histogram snapshot.
+type Histogram struct {
+	// BucketsMS are the bucket upper bounds in milliseconds; Counts has
+	// one extra trailing entry for observations beyond the last bound.
+	BucketsMS []float64 `json:"buckets_ms"`
+	Counts    []int64   `json:"counts"`
+	Count     int64     `json:"count"`
+	SumMS     float64   `json:"sum_ms"`
+}
+
+// StudyStats is the per-study slice of a metrics snapshot.
+type StudyStats struct {
+	Done    int64     `json:"done"`
+	Failed  int64     `json:"failed"`
+	Latency Histogram `json:"latency"`
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics.
+type MetricsSnapshot struct {
+	JobsQueued   int64 `json:"jobs_queued"`
+	JobsRunning  int64 `json:"jobs_running"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+	// JobsDeduped counts submissions collapsed onto an identical
+	// in-flight job (singleflight).
+	JobsDeduped int64 `json:"jobs_deduped"`
+	// JobsRejected counts submissions bounced with 429 (queue full).
+	JobsRejected int64 `json:"jobs_rejected"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	Studies map[string]StudyStats `json:"studies"`
+}
+
+// metrics is the live counter set behind /metrics.
+type metrics struct {
+	mu       sync.Mutex
+	queued   int64
+	running  int64
+	done     int64
+	failed   int64
+	canceled int64
+	deduped  int64
+	rejected int64
+	studies  map[Study]*studyCounters
+}
+
+type studyCounters struct {
+	done, failed int64
+	counts       []int64
+	count        int64
+	sumMS        float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{studies: make(map[Study]*studyCounters)}
+}
+
+func (m *metrics) study(s Study) *studyCounters {
+	sc := m.studies[s]
+	if sc == nil {
+		sc = &studyCounters{counts: make([]int64, len(latencyBucketsMS)+1)}
+		m.studies[s] = sc
+	}
+	return sc
+}
+
+func (m *metrics) jobQueued()   { m.mu.Lock(); m.queued++; m.mu.Unlock() }
+func (m *metrics) jobRejected() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) jobDeduped()  { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
+
+func (m *metrics) jobStarted() {
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.mu.Unlock()
+}
+
+// jobCanceled records a job that left the queue without running.
+func (m *metrics) jobCanceled() {
+	m.mu.Lock()
+	m.queued--
+	m.canceled++
+	m.mu.Unlock()
+}
+
+// runCanceled records a running job whose runner observed its
+// context's cancellation and bailed out.
+func (m *metrics) runCanceled() {
+	m.mu.Lock()
+	m.running--
+	m.canceled++
+	m.mu.Unlock()
+}
+
+// jobFinished records a run's outcome and latency.
+func (m *metrics) jobFinished(s Study, ok bool, elapsed time.Duration) {
+	ms := float64(elapsed) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	sc := m.study(s)
+	if ok {
+		m.done++
+		sc.done++
+	} else {
+		m.failed++
+		sc.failed++
+	}
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	sc.counts[i]++
+	sc.count++
+	sc.sumMS += ms
+}
+
+// snapshot renders the counters; cache and queue gauges come from the
+// caller (they live in their own structures).
+func (m *metrics) snapshot(hits, misses int64, cacheEntries, queueDepth, queueCap int) *MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := &MetricsSnapshot{
+		JobsQueued:    m.queued,
+		JobsRunning:   m.running,
+		JobsDone:      m.done,
+		JobsFailed:    m.failed,
+		JobsCanceled:  m.canceled,
+		JobsDeduped:   m.deduped,
+		JobsRejected:  m.rejected,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  cacheEntries,
+		QueueDepth:    queueDepth,
+		QueueCapacity: queueCap,
+		Studies:       make(map[string]StudyStats, len(m.studies)),
+	}
+	for s, sc := range m.studies {
+		snap.Studies[string(s)] = StudyStats{
+			Done:   sc.done,
+			Failed: sc.failed,
+			Latency: Histogram{
+				BucketsMS: latencyBucketsMS,
+				Counts:    append([]int64(nil), sc.counts...),
+				Count:     sc.count,
+				SumMS:     sc.sumMS,
+			},
+		}
+	}
+	return snap
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func validSweep() *Request {
+	return &Request{
+		Study:     StudyFreqSweep,
+		Quick:     true,
+		FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 2},
+	}
+}
+
+// TestHashStable: hashing is deterministic and insensitive to
+// scheduling knobs, but sensitive to every result-affecting field.
+func TestHashStable(t *testing.T) {
+	base, err := validSweep().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := validSweep().Hash(); again != base {
+		t.Errorf("hash not stable: %s vs %s", again, base)
+	}
+	// Workers is scheduling only: excluded from the hash.
+	workers := validSweep()
+	workers.Workers = 8
+	if h, _ := workers.Hash(); h != base {
+		t.Errorf("workers changed the hash: %s vs %s", h, base)
+	}
+	// Result-affecting fields must change the hash.
+	variants := map[string]*Request{
+		"quick":  {Study: StudyFreqSweep, FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 2}},
+		"points": {Study: StudyFreqSweep, Quick: true, FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 3}},
+		"sync":   {Study: StudyFreqSweep, Quick: true, FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 2, Sync: true}},
+	}
+	for name, v := range variants {
+		if h, err := v.Hash(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		} else if h == base {
+			t.Errorf("%s variant did not change the hash", name)
+		}
+	}
+}
+
+// TestHashNormalizesDefaults: a request spelling a default out and
+// one omitting it are the same configuration, so they share a hash.
+func TestHashNormalizesDefaults(t *testing.T) {
+	implicit := &Request{Study: StudyVminWalk, VminWalk: &VminWalkParams{FreqHz: 2.5e6, Events: 10}}
+	explicit := &Request{Study: StudyVminWalk, VminWalk: &VminWalkParams{
+		FreqHz: 2.5e6, Events: 10, FailVoltage: 0.875, MinBias: 0.80,
+	}}
+	hi, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != he {
+		t.Errorf("default-spelled-out request hashes differently: %s vs %s", hi, he)
+	}
+}
+
+// TestNormalizeDoesNotMutate: Normalize returns a copy; the caller's
+// request is untouched.
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	r := &Request{Study: StudyFreqSweep, FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 2, Sync: true}}
+	n, err := r.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FreqSweep.Events != 1000 {
+		t.Errorf("normalized events = %d, want default 1000", n.FreqSweep.Events)
+	}
+	if r.FreqSweep.Events != 0 {
+		t.Errorf("Normalize mutated the caller's request: events = %d", r.FreqSweep.Events)
+	}
+}
+
+// TestValidation: malformed requests are rejected with telling errors.
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  *Request
+		want string
+	}{
+		{"missing study", &Request{}, "missing study"},
+		{"unknown study", &Request{Study: "nope"}, "unknown study"},
+		{"missing block", &Request{Study: StudyFreqSweep}, "needs a freq_sweep block"},
+		{"two blocks", &Request{Study: StudyFreqSweep,
+			FreqSweep: &FreqSweepParams{LoHz: 1, HiHz: 2, Points: 1},
+			VminWalk:  &VminWalkParams{FreqHz: 1}}, "parameter blocks"},
+		{"bad bounds", &Request{Study: StudyFreqSweep,
+			FreqSweep: &FreqSweepParams{LoHz: 4e6, HiHz: 1e6, Points: 2}}, "below"},
+		{"zero points", &Request{Study: StudyFreqSweep,
+			FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6}}, "points"},
+		{"bad min bias", &Request{Study: StudyVminWalk,
+			VminWalk: &VminWalkParams{FreqHz: 2e6, MinBias: 1.5}}, "min_bias"},
+		{"short droops", &Request{Study: StudyGuardband,
+			Guardband: &GuardbandParams{Droops: []float64{1, 2}, Trace: []UtilizationPhase{{ActiveCores: 1, DurationS: 1}}}}, "droops"},
+		{"empty trace", &Request{Study: StudyGuardband,
+			Guardband: &GuardbandParams{}}, "trace"},
+	}
+	for _, c := range cases {
+		if _, err := c.req.Normalize(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package service
+
+import "voltnoise/internal/core"
+
+// FreqSweepPoint is one stimulus frequency of a sweep result.
+type FreqSweepPoint struct {
+	FreqHz float64   `json:"freq_hz"`
+	P2P    []float64 `json:"p2p"`
+	Worst  float64   `json:"worst"`
+}
+
+// FreqSweepResult is the freq_sweep study payload.
+type FreqSweepResult struct {
+	Sync   bool             `json:"sync"`
+	Events int              `json:"events,omitempty"`
+	Points []FreqSweepPoint `json:"points"`
+}
+
+// VminWalkResult is the vmin_walk study payload.
+type VminWalkResult struct {
+	FreqHz        float64 `json:"freq_hz"`
+	Events        int     `json:"events"`
+	Failed        bool    `json:"failed"`
+	MarginPercent float64 `json:"margin_percent"`
+}
+
+// EPIEntry is one ranked instruction of an EPI profile result.
+type EPIEntry struct {
+	Rank       int     `json:"rank"`
+	Mnemonic   string  `json:"mnemonic"`
+	Unit       string  `json:"unit"`
+	PowerWatts float64 `json:"power_watts"`
+	RelPower   float64 `json:"rel_power"`
+	IPC        float64 `json:"ipc"`
+}
+
+// EPIProfileResult is the epi_profile study payload: the first and
+// last TopN entries of the full rank.
+type EPIProfileResult struct {
+	Total  int        `json:"total"`
+	Top    []EPIEntry `json:"top"`
+	Bottom []EPIEntry `json:"bottom"`
+}
+
+// GuardbandResult is the guardband study payload.
+type GuardbandResult struct {
+	// MarginPercent[n] is the provisioned margin with n active cores.
+	MarginPercent [core.NumCores + 1]float64 `json:"margin_percent"`
+	// Bias[n] is the controller setpoint with n active cores.
+	Bias [core.NumCores + 1]float64 `json:"bias"`
+	// MeanBias and EnergySavedPercent summarize the trace replay
+	// against a static worst-case guard-band.
+	MeanBias           float64 `json:"mean_bias"`
+	EnergySavedPercent float64 `json:"energy_saved_percent"`
+	TotalTimeS         float64 `json:"total_time_s"`
+}

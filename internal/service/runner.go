@@ -1,0 +1,234 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"voltnoise/internal/core"
+	"voltnoise/internal/epi"
+	"voltnoise/internal/guardband"
+	"voltnoise/internal/noise"
+	"voltnoise/internal/pdn"
+	"voltnoise/internal/stressmark"
+	"voltnoise/internal/vmin"
+)
+
+// Runner executes a normalized request and returns the study payload
+// (one of the *Result types). Implementations must be safe for
+// concurrent use and deterministic: the same normalized request must
+// always produce a payload that marshals to the same bytes.
+type Runner interface {
+	Run(ctx context.Context, req *Request) (any, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, req *Request) (any, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, req *Request) (any, error) { return f(ctx, req) }
+
+// LabRunner is the production Runner: it lazily builds one
+// characterization lab per search class (quick / full) on the
+// calibrated platform and runs every study against it. Labs are
+// expensive to construct (the stressmark search) and read-only once
+// built, so they are shared by all concurrent jobs; each study run
+// clones the platform per measurement (the same discipline the
+// parallel studies already follow).
+type LabRunner struct {
+	mu   sync.Mutex
+	labs map[bool]*noise.Lab // keyed by Quick
+}
+
+// NewLabRunner returns a runner on the calibrated default platform.
+func NewLabRunner() *LabRunner {
+	return &LabRunner{labs: make(map[bool]*noise.Lab)}
+}
+
+// searchConfig selects the facade's default or quick search preset.
+func searchConfig(quick bool) stressmark.SearchConfig {
+	if quick {
+		return stressmark.QuickSearchConfig()
+	}
+	return stressmark.DefaultSearchConfig()
+}
+
+// lab returns the shared lab for the search class, building it on
+// first use.
+func (r *LabRunner) lab(quick bool) (*noise.Lab, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.labs[quick]; ok {
+		return l, nil
+	}
+	plat, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	l, err := noise.NewLabOn(plat, searchConfig(quick))
+	if err != nil {
+		return nil, err
+	}
+	r.labs[quick] = l
+	return l, nil
+}
+
+// jobLab returns a shallow per-job copy of the shared lab with the
+// request's worker cap applied, so concurrent jobs never race on the
+// Workers field.
+func (r *LabRunner) jobLab(req *Request) (*noise.Lab, error) {
+	shared, err := r.lab(req.Quick)
+	if err != nil {
+		return nil, err
+	}
+	l := *shared
+	l.Workers = req.Workers
+	return &l, nil
+}
+
+// Run implements Runner for every supported study.
+func (r *LabRunner) Run(ctx context.Context, req *Request) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch req.Study {
+	case StudyFreqSweep:
+		return r.runFreqSweep(req)
+	case StudyVminWalk:
+		return r.runVminWalk(req)
+	case StudyEPIProfile:
+		return runEPIProfile(req)
+	case StudyGuardband:
+		return r.runGuardband(req)
+	default:
+		return nil, fmt.Errorf("service: unknown study %q", req.Study)
+	}
+}
+
+func (r *LabRunner) runFreqSweep(req *Request) (any, error) {
+	p := req.FreqSweep
+	l, err := r.jobLab(req)
+	if err != nil {
+		return nil, err
+	}
+	freqs := pdn.LogSpace(p.LoHz, p.HiHz, p.Points)
+	pts, err := l.FrequencySweep(freqs, p.Sync, p.Events)
+	if err != nil {
+		return nil, err
+	}
+	res := &FreqSweepResult{Sync: p.Sync, Events: p.Events, Points: make([]FreqSweepPoint, len(pts))}
+	for i, pt := range pts {
+		res.Points[i] = FreqSweepPoint{
+			FreqHz: pt.Freq,
+			P2P:    append([]float64(nil), pt.P2P[:]...),
+			Worst:  pt.Worst(),
+		}
+	}
+	return res, nil
+}
+
+func (r *LabRunner) runVminWalk(req *Request) (any, error) {
+	p := req.VminWalk
+	l, err := r.jobLab(req)
+	if err != nil {
+		return nil, err
+	}
+	vcfg := vmin.DefaultConfig()
+	vcfg.FailVoltage = p.FailVoltage
+	vcfg.MinBias = p.MinBias
+	vcfg.Workers = req.Workers
+	pts, err := l.ConsecutiveEventStudy([]float64{p.FreqHz}, []int{p.Events}, vcfg)
+	if err != nil {
+		return nil, err
+	}
+	pt := pts[0]
+	return &VminWalkResult{
+		FreqHz:        pt.Freq,
+		Events:        pt.Events,
+		Failed:        pt.Failed,
+		MarginPercent: pt.MarginPercent,
+	}, nil
+}
+
+func runEPIProfile(req *Request) (any, error) {
+	p := req.EPIProfile
+	cfg := epi.DefaultConfig()
+	cfg.MeasureCycles = p.MeasureCycles
+	cfg.WarmupCycles = p.WarmupCycles
+	cfg.Workers = req.Workers
+	prof, err := epi.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	entry := func(rank int, e epi.Entry) EPIEntry {
+		return EPIEntry{
+			Rank:       rank,
+			Mnemonic:   e.Instr.Mnemonic,
+			Unit:       e.Instr.Unit.String(),
+			PowerWatts: e.PowerWatts,
+			RelPower:   e.RelPower,
+			IPC:        e.IPC,
+		}
+	}
+	res := &EPIProfileResult{Total: len(prof.Entries)}
+	for i, e := range prof.Top(p.TopN) {
+		res.Top = append(res.Top, entry(i+1, e))
+	}
+	bottom := prof.Bottom(p.TopN)
+	for i, e := range bottom {
+		res.Bottom = append(res.Bottom, entry(len(prof.Entries)-len(bottom)+i+1, e))
+	}
+	return res, nil
+}
+
+func (r *LabRunner) runGuardband(req *Request) (any, error) {
+	p := req.Guardband
+	var droops [core.NumCores + 1]float64
+	if len(p.Droops) > 0 {
+		copy(droops[:], p.Droops)
+	} else {
+		l, err := r.jobLab(req)
+		if err != nil {
+			return nil, err
+		}
+		runs, err := l.MappingStudy(p.FreqHz, p.Events, false)
+		if err != nil {
+			return nil, err
+		}
+		vnom := l.Platform.NominalVoltage()
+		for _, run := range runs {
+			n := run.ActiveCores()
+			if pct := (vnom - run.MinVoltage) / vnom * 100; pct > droops[n] {
+				droops[n] = pct
+			}
+		}
+	}
+	table, err := guardband.FromDroops(droops, p.SafetyPercent)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := guardband.NewController(table)
+	if err != nil {
+		return nil, err
+	}
+	res := &GuardbandResult{MarginPercent: table.MarginPercent}
+	for n := 0; n <= core.NumCores; n++ {
+		bias, err := ctrl.SetActiveCores(n)
+		if err != nil {
+			return nil, err
+		}
+		res.Bias[n] = bias
+	}
+	trace := make([]guardband.UtilizationPhase, len(p.Trace))
+	for i, ph := range p.Trace {
+		trace[i] = guardband.UtilizationPhase{ActiveCores: ph.ActiveCores, Duration: ph.DurationS}
+	}
+	s, err := guardband.Replay(ctrl, trace)
+	if err != nil {
+		return nil, err
+	}
+	res.MeanBias = s.MeanBias
+	res.EnergySavedPercent = s.EnergySavedPercent
+	res.TotalTimeS = s.TotalTime
+	return res, nil
+}

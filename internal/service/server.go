@@ -1,0 +1,433 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64). Submissions beyond it are rejected with 429 —
+	// back-pressure, not buffering.
+	QueueDepth int
+	// PoolSize is the number of concurrent study workers (default 2).
+	// Each study additionally fans its own measurements out per the
+	// request's Workers knob.
+	PoolSize int
+	// CacheEntries caps the LRU result cache (default 256; 0 keeps the
+	// default, negative disables caching).
+	CacheEntries int
+	// Runner executes studies (default: NewLabRunner on the calibrated
+	// platform).
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.Runner == nil {
+		c.Runner = NewLabRunner()
+	}
+	return c
+}
+
+// Errors mapped to HTTP status codes by the handlers; exported so the
+// queue semantics are testable without HTTP.
+var (
+	// ErrQueueFull rejects a submission when the job queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects a submission during graceful shutdown
+	// (HTTP 503).
+	ErrDraining = errors.New("service: server draining")
+)
+
+// Server is the voltnoised characterization service: a bounded job
+// queue and worker pool over a Runner, fronted by the v1 HTTP/JSON
+// API, with content-addressed result caching and singleflight
+// deduplication of identical in-flight requests.
+type Server struct {
+	cfg    Config
+	runner Runner
+	mux    *http.ServeMux
+	cache  *Cache
+	met    *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // canonical hash -> queued/running job
+	seq      int64
+	draining bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// NewServer builds the service and starts its worker pool. Callers
+// serve it over HTTP (it implements http.Handler) and stop it with
+// Shutdown.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		runner:   cfg.Runner,
+		cache:    NewCache(cfg.CacheEntries),
+		met:      newMetrics(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/studies", s.handleSyncStudy)
+	s.mux.HandleFunc("GET /v1/studies", s.handleListStudies)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.PoolSize; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the service gracefully: new submissions are
+// rejected with ErrDraining immediately, already-queued jobs run to
+// completion, and Shutdown returns once the pool is idle (or ctx
+// expires). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit accepts a request: it normalizes and validates, consults the
+// result cache, collapses onto an identical in-flight job when one
+// exists (singleflight), or enqueues a new job. The returned status
+// reports which path was taken. Errors: validation errors,
+// ErrQueueFull, ErrDraining.
+func (s *Server) Submit(req *Request) (*JobStatus, error) {
+	j, st, err := s.submit(req)
+	_ = j
+	return st, err
+}
+
+func (s *Server) submit(req *Request) (*job, *JobStatus, error) {
+	n, err := req.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, nil, ErrDraining
+	}
+	// Content-addressed fast path: an identical configuration already
+	// computed is served from the cache as an immediately-done job —
+	// byte-identical to the original computation.
+	if bytes, ok := s.cache.Get(hash); ok {
+		s.seq++
+		j := newCachedJob(jobID(s.seq), hash, n, bytes)
+		s.jobs[j.id] = j
+		return j, j.status(), nil
+	}
+	// Singleflight: an identical configuration already queued or
+	// running is joined, not recomputed.
+	if ex, ok := s.inflight[hash]; ok {
+		s.met.jobDeduped()
+		st := ex.status()
+		st.Deduped = true
+		return ex, st, nil
+	}
+	s.seq++
+	j := newJob(jobID(s.seq), hash, n)
+	select {
+	case s.queue <- j:
+	default:
+		s.met.jobRejected()
+		return nil, nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.inflight[hash] = j
+	s.met.jobQueued()
+	return j, j.status(), nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	defer s.removeInflight(j)
+	if j.ctx.Err() != nil || !j.setRunning() {
+		j.finish(StateCanceled, nil, context.Canceled)
+		s.met.jobCanceled()
+		return
+	}
+	s.met.jobStarted()
+	start := time.Now()
+	payload, err := s.runner.Run(j.ctx, j.req)
+	var result []byte
+	if err == nil {
+		result, err = json.Marshal(payload)
+	}
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+		s.cache.Put(j.hash, result)
+		j.finish(StateDone, result, nil)
+		s.met.jobFinished(j.req.Study, true, elapsed)
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCanceled, nil, err)
+		s.met.runCanceled()
+	default:
+		j.finish(StateFailed, nil, err)
+		s.met.jobFinished(j.req.Study, false, elapsed)
+	}
+}
+
+func (s *Server) removeInflight(j *job) {
+	s.mu.Lock()
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// --- HTTP layer -----------------------------------------------------
+
+// maxBodyBytes bounds request bodies; study requests are small.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return nil, false
+	}
+	return &req, true
+}
+
+// submitCode maps a submit error to its HTTP status.
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	_, st, err := s.submit(req)
+	if err != nil {
+		code := submitCode(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.Status.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	statuses := make([]*JobStatus, len(ids))
+	for i, id := range ids {
+		statuses[i] = s.jobs[id].status()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	state, result, errText := j.snapshot()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Voltnoise-Cache", cacheHeader(j.cached))
+		w.Write(result)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errText)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled")
+	default:
+		// Not finished yet: 202 with the status body so pollers can
+		// reuse the response.
+		writeJSON(w, http.StatusAccepted, j.status())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	// Cancel the job's context; a queued job is finished here, a
+	// running one stops when (and if) its runner observes the context.
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleSyncStudy(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	j, st, err := s.submit(req)
+	if err != nil {
+		code := submitCode(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "request context canceled while study in flight (job %s continues)", st.ID)
+		return
+	}
+	state, result, errText := j.snapshot()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Voltnoise-Cache", cacheHeader(j.cached))
+		w.Header().Set("X-Voltnoise-Job", j.id)
+		w.Write(result)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errText)
+	}
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (s *Server) handleListStudies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"studies": Studies()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	snap := s.met.snapshot(hits, misses, s.cache.Len(), len(s.queue), cap(s.queue))
+	writeJSON(w, http.StatusOK, snap)
+}

@@ -57,8 +57,9 @@ type SearchConfig struct {
 	// evaluation stage. The paper notes its evaluations "can run in
 	// parallel using different cores and machines"; results are
 	// deterministic regardless of worker count (ties break toward the
-	// earlier candidate). Zero selects one worker per CPU; one
-	// evaluates serially.
+	// earlier candidate). The repo-wide workers convention applies:
+	// zero (or negative) selects one worker per CPU; one evaluates
+	// serially.
 	Parallelism int
 }
 
@@ -73,6 +74,19 @@ func DefaultSearchConfig() SearchConfig {
 		MaxBranches:   2,
 		EvalCycles:    4096,
 	}
+}
+
+// QuickSearchConfig returns a reduced search (3-instruction sequences
+// over 5 candidates) that finds a near-identical stressmark in
+// milliseconds; the preset behind every -quick flag and the service's
+// "quick" request field.
+func QuickSearchConfig() SearchConfig {
+	cfg := DefaultSearchConfig()
+	cfg.SeqLen = 3
+	cfg.NumCandidates = 5
+	cfg.KeepTopIPC = 50
+	cfg.EvalCycles = 1024
+	return cfg
 }
 
 // Validate reports whether the search configuration is usable.
@@ -93,8 +107,6 @@ func (c SearchConfig) Validate() error {
 		return fmt.Errorf("stressmark: negative branch budget")
 	case c.EvalCycles < 100:
 		return fmt.Errorf("stressmark: evaluation window %d too short", c.EvalCycles)
-	case c.Parallelism < 0:
-		return fmt.Errorf("stressmark: negative parallelism")
 	}
 	return nil
 }

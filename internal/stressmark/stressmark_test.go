@@ -391,9 +391,15 @@ func TestSearchParallelismDeterministic(t *testing.T) {
 	if a.BestPower != b.BestPower {
 		t.Errorf("parallel power %g differs from serial %g", b.BestPower, a.BestPower)
 	}
-	bad := quickSearch()
-	bad.Parallelism = -1
-	if _, err := FindMaxPowerSequence(bad); err == nil {
-		t.Error("negative parallelism accepted")
+	// Per the repo-wide workers convention, a negative count means
+	// "one worker per CPU" — same winner, not an error.
+	neg := quickSearch()
+	neg.Parallelism = -1
+	c, err := FindMaxPowerSequence(neg)
+	if err != nil {
+		t.Fatalf("negative parallelism rejected: %v", err)
+	}
+	if c.Best.Mnemonics() != a.Best.Mnemonics() {
+		t.Errorf("negative-parallelism winner %s differs from serial %s", c.Best.Mnemonics(), a.Best.Mnemonics())
 	}
 }

@@ -114,6 +114,11 @@ func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (
 		return nil, err
 	}
 	defer p.SetVoltageBias(1.0) // leave the platform at nominal
+	// Workers clone from a snapshot taken before the fan-out, never
+	// from p itself: the early exit at the first failure can leave
+	// workers in flight past the return, where a clone of p would race
+	// with the deferred bias restore above.
+	base := p.Clone()
 
 	var biases []float64
 	for bias := cfg.StartBias; bias >= cfg.MinBias-1e-9; bias -= core.BiasStep {
@@ -127,7 +132,7 @@ func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (
 	lastSafe := cfg.StartBias
 	err := exec.MapOrdered(context.Background(), len(biases), cfg.Workers,
 		func(_ context.Context, i int) (step, error) {
-			wp := p.Clone()
+			wp := base.Clone()
 			if err := wp.SetVoltageBias(biases[i]); err != nil {
 				return step{}, err
 			}

@@ -121,15 +121,10 @@ func DefaultSearchConfig() SearchConfig { return stressmark.DefaultSearchConfig(
 
 // QuickSearchConfig returns a reduced search (3-instruction sequences
 // over 5 candidates) that finds a near-identical stressmark in
-// milliseconds; useful for interactive work and tests.
-func QuickSearchConfig() SearchConfig {
-	cfg := stressmark.DefaultSearchConfig()
-	cfg.SeqLen = 3
-	cfg.NumCandidates = 5
-	cfg.KeepTopIPC = 50
-	cfg.EvalCycles = 1024
-	return cfg
-}
+// milliseconds; useful for interactive work and tests. It is the same
+// preset the voltnoised service selects for requests with
+// "quick": true.
+func QuickSearchConfig() SearchConfig { return stressmark.QuickSearchConfig() }
 
 // SearchResult reports the search-pipeline funnel.
 type SearchResult = stressmark.SearchResult
