@@ -3,17 +3,21 @@
 #   make             tier-1 gate: build, vet, full test suite
 #   make race        race detector over all internal packages
 #   make bench       serial-vs-parallel engine benchmarks
-#   make bench-json  benchmark snapshot -> BENCH_PR3.json
+#   make bench-json  benchmark snapshot -> BENCH_PR4.json
+#   make bench-check fresh run compared against the committed snapshot
 #   make run-service start the voltnoised HTTP service on :8080
 #   make ci          everything the CI gate runs (tier-1 + race gates)
 #
-# BENCH_SELECT narrows bench/bench-json; BENCH_OUT moves the snapshot.
+# BENCH_SELECT narrows bench/bench-json; BENCH_OUT moves the snapshot;
+# BENCH_MAX_REGRESS loosens/tightens the bench-check budget.
 
 GO ?= go
 BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_MAX_REGRESS ?= 10%
 
-.PHONY: all build vet test tier1 race bench bench-json run-service ci clean
+.PHONY: all build vet test tier1 race bench bench-json bench-check run-service ci clean
 
 all: tier1
 
@@ -51,6 +55,13 @@ bench-json:
 	$(GO) test -run NONE -bench '$(BENCH_SELECT)' -benchtime 3x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# bench-check reruns the benchmarks into a scratch snapshot and diffs
+# it against the committed baseline, failing on any benchmark that got
+# more than BENCH_MAX_REGRESS slower.
+bench-check:
+	$(MAKE) bench-json BENCH_OUT=/tmp/bench-check.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench-check.json -max-regress $(BENCH_MAX_REGRESS)
 
 # run-service starts the voltnoised characterization service; stop it
 # with SIGINT/SIGTERM for a graceful queue drain.

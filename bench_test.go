@@ -6,6 +6,7 @@
 package voltnoise_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -27,7 +28,7 @@ func benchSetup(b *testing.B) *voltnoise.Lab {
 		if benchErr != nil {
 			return
 		}
-		benchLab, benchErr = voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+		benchLab, benchErr = voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -58,7 +59,7 @@ func BenchmarkFig7aFrequencySweep(b *testing.B) {
 	freqs := []float64{35e3, 300e3, 2e6}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := lab.FrequencySweep(freqs, false, 0)
+		pts, err := lab.FrequencySweep(context.Background(), freqs, false, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkFig9SyncSweep(b *testing.B) {
 	freqs := []float64{35e3, 300e3, 2e6}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := lab.FrequencySweep(freqs, true, 1000)
+		pts, err := lab.FrequencySweep(context.Background(), freqs, true, 1000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func BenchmarkFig10Misalignment(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := lab.MisalignmentSweep(2e6, []int{0, 4}, 200, 4)
+		pts, err := lab.MisalignmentSweep(context.Background(), 2e6, []int{0, 4}, 200, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFig11aDeltaI(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runs, err := lab.MappingStudy(2e6, 20, false)
+		runs, err := lab.MappingStudy(context.Background(), 2e6, 20, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig11bDistribution(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runs, err := lab.MappingStudy(2e6, 20, false)
+		runs, err := lab.MappingStudy(context.Background(), 2e6, 20, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func BenchmarkFig12VminMargins(b *testing.B) {
 	vcfg.MinBias = 0.90
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := lab.ConsecutiveEventStudy([]float64{2.5e6}, []int{100, 0}, vcfg)
+		pts, err := lab.ConsecutiveEventStudy(context.Background(), []float64{2.5e6}, []int{100, 0}, vcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkFig13aCorrelation(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runs, err := lab.MappingStudy(2e6, 20, false)
+		runs, err := lab.MappingStudy(context.Background(), 2e6, 20, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func BenchmarkFig14Mappings(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ops, err := lab.MappingOpportunity(2e6, 50, []int{3})
+		ops, err := lab.MappingOpportunity(context.Background(), 2e6, 50, []int{3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func BenchmarkFig15MappingGain(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ops, err := lab.MappingOpportunity(2e6, 50, []int{2, 3})
+		ops, err := lab.MappingOpportunity(context.Background(), 2e6, 50, []int{2, 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -341,7 +342,7 @@ func benchFrequencySweep(b *testing.B, workers int) {
 	freqs := voltnoise.LogSpace(100e3, 5e6, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := l.FrequencySweep(freqs, true, 200)
+		pts, err := l.FrequencySweep(context.Background(), freqs, true, 200)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,7 +384,7 @@ func BenchmarkResonanceDiscovery(b *testing.B) {
 	lab := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		freq, _, _, err := lab.FindResonance(500e3, 5e6, 6, 0.2)
+		freq, _, _, err := lab.FindResonance(context.Background(), 500e3, 5e6, 6, 0.2)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	go test -run NONE -bench X -benchmem ./... | benchjson [-o out.json]
+//	benchjson -compare old.json new.json [-max-regress 10%]
 //
-// It reads benchmark result lines from stdin, e.g.
+// In the default mode it reads benchmark result lines from stdin, e.g.
 //
 //	BenchmarkFrequencySweepSerial-8   3   394861219 ns/op   2052 B/op   17 allocs/op
 //
@@ -14,6 +15,11 @@
 // bytes_per_op, allocs_per_op}. Lines that are not benchmark results
 // (package headers, PASS/ok trailers) are ignored; duplicate names
 // keep the last run. Exits non-zero if no benchmark lines were seen.
+//
+// In -compare mode it diffs two snapshots: for every benchmark present
+// in both files it prints the ns/op delta, and exits non-zero when any
+// benchmark regressed by more than -max-regress (a percentage, default
+// 10%; "10%", "10" and "0.10x" forms are accepted).
 package main
 
 import (
@@ -50,6 +56,8 @@ func main() {
 
 func run(args []string, in io.Reader, out io.Writer) error {
 	outPath := ""
+	var comparePaths []string
+	maxRegress := 10.0
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-o", "--o", "-out":
@@ -58,9 +66,27 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				return fmt.Errorf("missing path after %s", args[i-1])
 			}
 			outPath = args[i]
+		case "-compare", "--compare":
+			if i+2 >= len(args) {
+				return fmt.Errorf("usage: benchjson -compare old.json new.json")
+			}
+			comparePaths = args[i+1 : i+3]
+			i += 2
+		case "-max-regress", "--max-regress":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("missing value after %s", args[i-1])
+			}
+			var err error
+			if maxRegress, err = parsePercent(args[i]); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown argument %q (usage: benchjson [-o out.json] < bench-output)", args[i])
+			return fmt.Errorf("unknown argument %q (usage: benchjson [-o out.json] | benchjson -compare old.json new.json [-max-regress 10%%])", args[i])
 		}
+	}
+	if comparePaths != nil {
+		return compare(comparePaths[0], comparePaths[1], maxRegress, out)
 	}
 
 	results, err := parse(in)
@@ -142,4 +168,88 @@ func parseLine(line string) (Result, bool) {
 		}
 	}
 	return r, seen
+}
+
+// parsePercent accepts "10%", "10" or "0.10x" as ten percent.
+func parsePercent(s string) (float64, error) {
+	orig := s
+	factor := 1.0
+	switch {
+	case strings.HasSuffix(s, "%"):
+		s = strings.TrimSuffix(s, "%")
+	case strings.HasSuffix(s, "x"):
+		s = strings.TrimSuffix(s, "x")
+		factor = 100.0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q (want e.g. 10%%)", orig)
+	}
+	return v * factor, nil
+}
+
+// compare diffs two snapshots on ns/op and fails on regressions beyond
+// maxRegress percent. Benchmarks present in only one file are listed
+// but never fail the check (the suite is allowed to grow).
+func compare(oldPath, newPath string, maxRegress float64, out io.Writer) error {
+	oldRes, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	var regressed []string
+	common := 0
+	for _, n := range newRes {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-40s %14.0f ns/op  (new)\n", n.Name, n.NsPerOp)
+			continue
+		}
+		delete(oldBy, n.Name)
+		common++
+		deltaPct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		mark := ""
+		if deltaPct > maxRegress {
+			mark = "  REGRESSION"
+			regressed = append(regressed, n.Name)
+		}
+		fmt.Fprintf(out, "%-40s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, deltaPct, mark)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(out, "%-40s (removed)\n", name)
+	}
+	if common == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	if len(regressed) > 0 {
+		sort.Strings(regressed)
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.4g%%: %s",
+			len(regressed), maxRegress, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+// loadSnapshot reads a benchjson-produced JSON file.
+func loadSnapshot(path string) ([]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: empty snapshot", path)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Name < res[j].Name })
+	return res, nil
 }

@@ -73,3 +73,89 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown argument accepted")
 	}
 }
+
+// writeSnapshot marshals results to a temp JSON file.
+func writeSnapshot(t *testing.T, results []Result) string {
+	t.Helper()
+	b, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	old := writeSnapshot(t, []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 5},
+	})
+	new := writeSnapshot(t, []Result{
+		{Name: "BenchmarkA", NsPerOp: 1050}, // +5%: within the default 10%
+		{Name: "BenchmarkB", NsPerOp: 900},  // improvement
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	})
+	var out strings.Builder
+	if err := run([]string{"-compare", old, new}, nil, &out); err != nil {
+		t.Fatalf("within-budget compare failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BenchmarkA", "+5.0%", "-55.0%", "(new)", "(removed)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := writeSnapshot(t, []Result{{Name: "BenchmarkA", NsPerOp: 1000}})
+	new := writeSnapshot(t, []Result{{Name: "BenchmarkA", NsPerOp: 1200}})
+	var out strings.Builder
+	err := run([]string{"-compare", old, new, "-max-regress", "10%"}, nil, &out)
+	if err == nil {
+		t.Fatalf("20%% regression passed a 10%% budget:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION mark:\n%s", out.String())
+	}
+	// A looser budget accepts the same pair.
+	out.Reset()
+	if err := run([]string{"-compare", old, new, "-max-regress", "25%"}, nil, &out); err != nil {
+		t.Errorf("25%% budget rejected a 20%% regression: %v", err)
+	}
+}
+
+func TestComparePercentForms(t *testing.T) {
+	for _, form := range []string{"15%", "15", "0.15x"} {
+		v, err := parsePercent(form)
+		if err != nil || v != 15 {
+			t.Errorf("parsePercent(%q) = %v, %v; want 15", form, v, err)
+		}
+	}
+	for _, bad := range []string{"-5%", "x", ""} {
+		if _, err := parsePercent(bad); err == nil {
+			t.Errorf("parsePercent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-compare", "only-one.json"}, nil, &out); err == nil {
+		t.Error("single -compare operand accepted")
+	}
+	a := writeSnapshot(t, []Result{{Name: "BenchmarkA", NsPerOp: 1}})
+	b := writeSnapshot(t, []Result{{Name: "BenchmarkB", NsPerOp: 1}})
+	if err := run([]string{"-compare", a, b}, nil, &out); err == nil {
+		t.Error("disjoint snapshots accepted")
+	}
+	if err := run([]string{"-compare", a, filepath.Join(t.TempDir(), "missing.json")}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

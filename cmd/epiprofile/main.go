@@ -12,22 +12,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"voltnoise"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "epiprofile: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("epiprofile", flag.ContinueOnError)
 	n := fs.Int("n", 5, "entries to show from each end of the rank")
 	all := fs.Bool("all", false, "dump the full ranking")
@@ -37,9 +41,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cfg := voltnoise.DefaultEPIConfig()
-	cfg.Workers = *workers
-	prof, err := voltnoise.EPIProfileWith(cfg)
+	prof, err := voltnoise.EPIProfile(ctx, voltnoise.EPIWorkers(*workers))
 	if err != nil {
 		return err
 	}

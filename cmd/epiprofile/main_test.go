@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // entry point.
 func TestTableISmoke(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-n", "3", "-workers", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "3", "-workers", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -28,7 +29,7 @@ func TestTableISmoke(t *testing.T) {
 // TestUnitFilterSmoke exercises the -unit dump path.
 func TestUnitFilterSmoke(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-unit", "BRU", "-workers", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-unit", "BRU", "-workers", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -46,10 +47,10 @@ func TestUnitFilterSmoke(t *testing.T) {
 // byte-identically.
 func TestWorkersFlagDeterminism(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run([]string{"-n", "2", "-workers", "1"}, &serial); err != nil {
+	if err := run(context.Background(), []string{"-n", "2", "-workers", "1"}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-n", "2", "-workers", "8"}, &parallel); err != nil {
+	if err := run(context.Background(), []string{"-n", "2", "-workers", "8"}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {

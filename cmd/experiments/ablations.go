@@ -52,7 +52,7 @@ func runAblL3(e *env) error {
 		if err != nil {
 			return err
 		}
-		lab, err := voltnoise.NewLab(plat, e.lab.Search)
+		lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(e.lab.Search))
 		if err != nil {
 			return err
 		}
@@ -188,7 +188,7 @@ func extensionExperiments() []experiment {
 }
 
 func runSummary(e *env) error {
-	s, err := e.lab.Sensitivity(2e6, 300e3)
+	s, err := e.lab.Sensitivity(e.ctx, 2e6, 300e3)
 	if err != nil {
 		return err
 	}
@@ -202,7 +202,7 @@ func runSummary(e *env) error {
 	vcfg := voltnoise.DefaultVminConfig()
 	vcfg.Workers = e.workers
 	vcfg.MinBias = 0.85
-	cust, err := e.lab.CustomerCodeMargin(2e6, vcfg)
+	cust, err := e.lab.CustomerCodeMargin(e.ctx, 2e6, vcfg)
 	if err != nil {
 		return err
 	}
@@ -318,15 +318,15 @@ func runChips(e *env) error {
 	}
 	e.printf("%-6s %12s %12s %14s %8s\n", "chip", "unsync p2p", "sync p2p", "sync Vmin (V)", "ratio")
 	for id, plat := range plats {
-		lab, err := voltnoise.NewLab(plat, e.lab.Search)
+		lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(e.lab.Search))
 		if err != nil {
 			return err
 		}
-		u, err := lab.FrequencySweep([]float64{2e6}, false, 0)
+		u, err := lab.FrequencySweep(e.ctx, []float64{2e6}, false, 0)
 		if err != nil {
 			return err
 		}
-		s, err := lab.FrequencySweep([]float64{2e6}, true, 1000)
+		s, err := lab.FrequencySweep(e.ctx, []float64{2e6}, true, 1000)
 		if err != nil {
 			return err
 		}

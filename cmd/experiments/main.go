@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -29,6 +31,7 @@ type experiment struct {
 }
 
 type env struct {
+	ctx    context.Context
 	lab    *voltnoise.Lab
 	quick  bool
 	csvDir string
@@ -45,7 +48,7 @@ type env struct {
 // mappingStudy returns the shared mapping dataset, computing it once.
 func (e *env) mappingStudy() ([]voltnoise.MappingRun, error) {
 	if e.mappingCache == nil {
-		runs, err := e.lab.MappingStudy(2e6, 50, !e.quick)
+		runs, err := e.lab.MappingStudy(e.ctx, 2e6, 50, !e.quick)
 		if err != nil {
 			return nil, err
 		}
@@ -81,13 +84,15 @@ func (e *env) csv(id string, header string, rows [][]float64) {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	runList := fs.String("run", "", "comma-separated experiment ids (default: all)")
 	quick := fs.Bool("quick", false, "reduced sweep sizes")
@@ -135,7 +140,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	e := &env{quick: *quick, csvDir: *csvDir, out: out, workers: *workers}
+	e := &env{ctx: ctx, quick: *quick, csvDir: *csvDir, out: out, workers: *workers}
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
@@ -146,7 +151,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lab, err := voltnoise.NewLab(plat, scfg)
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(scfg))
 	if err != nil {
 		return err
 	}
@@ -188,12 +193,11 @@ func idList(exps []experiment) string {
 }
 
 func runTable1(e *env) error {
-	cfg := voltnoise.DefaultEPIConfig()
-	cfg.Workers = e.workers
+	opts := []voltnoise.EPIOption{voltnoise.EPIWorkers(e.workers)}
 	if e.quick {
-		cfg.MeasureCycles = 1024
+		opts = append(opts, voltnoise.EPIMeasureCycles(1024))
 	}
-	prof, err := voltnoise.EPIProfileWith(cfg)
+	prof, err := voltnoise.EPIProfile(e.ctx, opts...)
 	if err != nil {
 		return err
 	}
@@ -210,7 +214,7 @@ func sweepFreqs(quick bool) []float64 {
 }
 
 func runFig7a(e *env) error {
-	pts, err := e.lab.FrequencySweep(sweepFreqs(e.quick), false, 0)
+	pts, err := e.lab.FrequencySweep(e.ctx, sweepFreqs(e.quick), false, 0)
 	if err != nil {
 		return err
 	}
@@ -281,7 +285,7 @@ func runFig8(e *env) error {
 }
 
 func runFig9(e *env) error {
-	pts, err := e.lab.FrequencySweep(sweepFreqs(e.quick), true, 1000)
+	pts, err := e.lab.FrequencySweep(e.ctx, sweepFreqs(e.quick), true, 1000)
 	if err != nil {
 		return err
 	}
@@ -304,7 +308,7 @@ func runFig10(e *env) error {
 		ticks = []int{0, 1, 4, 8}
 		placements = 4
 	}
-	pts, err := e.lab.MisalignmentSweep(2e6, ticks, 500, placements)
+	pts, err := e.lab.MisalignmentSweep(e.ctx, 2e6, ticks, 500, placements)
 	if err != nil {
 		return err
 	}
@@ -366,7 +370,7 @@ func runFig12(e *env) error {
 	vcfg := voltnoise.DefaultVminConfig()
 	vcfg.Workers = e.workers
 	vcfg.MinBias = 0.88
-	pts, err := e.lab.ConsecutiveEventStudy(freqs, events, vcfg)
+	pts, err := e.lab.ConsecutiveEventStudy(e.ctx, freqs, events, vcfg)
 	if err != nil {
 		return err
 	}
@@ -383,7 +387,7 @@ func runFig12(e *env) error {
 	e.csv("fig12", "freq_hz,events,margin_pct", rows)
 	// The paper's reference line: worst-case typical customer code
 	// (80% delta-I, unsynchronized).
-	cust, err := e.lab.CustomerCodeMargin(2.5e6, vcfg)
+	cust, err := e.lab.CustomerCodeMargin(e.ctx, 2.5e6, vcfg)
 	if err != nil {
 		return err
 	}
@@ -438,7 +442,7 @@ func runFig13b(e *env) error {
 }
 
 func runFig14(e *env) error {
-	ops, err := e.lab.MappingOpportunity(2e6, 50, []int{3})
+	ops, err := e.lab.MappingOpportunity(e.ctx, 2e6, 50, []int{3})
 	if err != nil {
 		return err
 	}
@@ -454,7 +458,7 @@ func runFig15(e *env) error {
 	if e.quick {
 		ks = []int{2, 3}
 	}
-	ops, err := e.lab.MappingOpportunity(2e6, 50, ks)
+	ops, err := e.lab.MappingOpportunity(e.ctx, 2e6, 50, ks)
 	if err != nil {
 		return err
 	}
@@ -484,7 +488,7 @@ func runFunnel(e *env) error {
 func runGuardband(e *env) error {
 	// Derive the margin table from the mapping study's worst droops by
 	// active-core count.
-	runs, err := e.lab.MappingStudy(2e6, 50, false)
+	runs, err := e.lab.MappingStudy(e.ctx, 2e6, 50, false)
 	if err != nil {
 		return err
 	}

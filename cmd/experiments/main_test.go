@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 // entry point.
 func TestFunnelSmoke(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "-run", "Funnel"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "Funnel"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -31,7 +32,7 @@ func TestFunnelSmoke(t *testing.T) {
 func TestGuardbandCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run([]string{"-quick", "-run", "Fig7a", "-csv", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-run", "Fig7a", "-csv", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig7a.csv"))
@@ -51,7 +52,7 @@ func TestGuardbandCSV(t *testing.T) {
 // the known ids.
 func TestUnknownExperimentErrors(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-quick", "-run", "Fig99"}, &out)
+	err := run(context.Background(), []string{"-quick", "-run", "Fig99"}, &out)
 	if err == nil {
 		t.Fatal("no error for unknown experiment id")
 	}
@@ -63,7 +64,7 @@ func TestUnknownExperimentErrors(t *testing.T) {
 // TestBadFlagErrors: an unknown flag is a clean error.
 func TestBadFlagErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
 		t.Fatal("no error for unknown flag")
 	}
 }

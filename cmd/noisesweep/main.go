@@ -12,22 +12,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"voltnoise"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "noisesweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("noisesweep", flag.ContinueOnError)
 	mode := fs.String("mode", "freq", "sweep kind: freq, misalign, deltai")
 	sync := fs.Bool("sync", false, "synchronize bursts (freq mode)")
@@ -51,7 +55,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lab, err := voltnoise.NewLab(plat, scfg)
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(scfg))
 	if err != nil {
 		return err
 	}
@@ -59,7 +63,7 @@ func run(args []string, out io.Writer) error {
 
 	switch *mode {
 	case "freq":
-		pts, err := lab.FrequencySweep(voltnoise.LogSpace(*lo, *hi, *points), *sync, 1000)
+		pts, err := lab.FrequencySweep(ctx, voltnoise.LogSpace(*lo, *hi, *points), *sync, 1000)
 		if err != nil {
 			return err
 		}
@@ -73,7 +77,7 @@ func run(args []string, out io.Writer) error {
 		for t := 0; t <= *maxTicks; t++ {
 			ticks = append(ticks, t)
 		}
-		pts, err := lab.MisalignmentSweep(*freq, ticks, 500, 12)
+		pts, err := lab.MisalignmentSweep(ctx, *freq, ticks, 500, 12)
 		if err != nil {
 			return err
 		}
@@ -82,7 +86,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%g,%g,%d\n", float64(p.MaxTicks)*voltnoise.TODTickSeconds, p.Worst(), p.Placements)
 		}
 	case "deltai":
-		runs, err := lab.MappingStudy(*freq, 100, false)
+		runs, err := lab.MappingStudy(ctx, *freq, 100, false)
 		if err != nil {
 			return err
 		}

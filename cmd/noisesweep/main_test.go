@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // the real CLI entry point and sanity-checks the CSV.
 func TestFreqSweepSmoke(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-quick", "-mode", "freq", "-lo", "1e6", "-hi", "4e6", "-points", "2", "-workers", "2"}, &out)
+	err := run(context.Background(), []string{"-quick", "-mode", "freq", "-lo", "1e6", "-hi", "4e6", "-points", "2", "-workers", "2"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,10 +33,10 @@ func TestFreqSweepSmoke(t *testing.T) {
 func TestWorkersFlagDeterminism(t *testing.T) {
 	args := []string{"-quick", "-mode", "freq", "-lo", "1e6", "-hi", "4e6", "-points", "2"}
 	var serial, parallel strings.Builder
-	if err := run(append([]string{"-workers", "1"}, args...), &serial); err != nil {
+	if err := run(context.Background(), append([]string{"-workers", "1"}, args...), &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append([]string{"-workers", "8"}, args...), &parallel); err != nil {
+	if err := run(context.Background(), append([]string{"-workers", "8"}, args...), &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -46,7 +47,7 @@ func TestWorkersFlagDeterminism(t *testing.T) {
 // TestBadModeErrors: an unknown mode is a clean error, not a crash.
 func TestBadModeErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "-mode", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-quick", "-mode", "nope"}, &out); err == nil {
 		t.Fatal("no error for unknown mode")
 	}
 }

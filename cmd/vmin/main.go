@@ -12,22 +12,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"voltnoise"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "vmin: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vmin", flag.ContinueOnError)
 	freq := fs.Float64("freq", 2.5e6, "stimulus frequency in Hz")
 	events := fs.Int("events", 1000, "consecutive delta-I events per burst (sync mode)")
@@ -48,7 +52,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lab, err := voltnoise.NewLab(plat, scfg)
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(scfg))
 	if err != nil {
 		return err
 	}
@@ -63,7 +67,7 @@ func run(args []string, out io.Writer) error {
 	if *nosync {
 		eventList = []int{0}
 	}
-	pts, err := lab.ConsecutiveEventStudy([]float64{*freq}, eventList, vcfg)
+	pts, err := lab.ConsecutiveEventStudy(ctx, []float64{*freq}, eventList, vcfg)
 	if err != nil {
 		return err
 	}

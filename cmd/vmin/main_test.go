@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // real CLI entry point and checks the report shape.
 func TestVminSmoke(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-quick", "-events", "100", "-workers", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-events", "100", "-workers", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -25,10 +26,10 @@ func TestVminSmoke(t *testing.T) {
 // serial and parallel bias walks.
 func TestWorkersFlagDeterminism(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run([]string{"-quick", "-events", "100", "-workers", "1"}, &serial); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-events", "100", "-workers", "1"}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-quick", "-events", "100", "-workers", "8"}, &parallel); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-events", "100", "-workers", "8"}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,18 +14,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Worst-case droop per active-core count, from the mapping study
 	// (the data behind the paper's Figure 11a regions).
-	runs, err := lab.MappingStudy(2e6, 100, false)
+	runs, err := lab.MappingStudy(ctx, 2e6, 100, false)
 	if err != nil {
 		log.Fatal(err)
 	}

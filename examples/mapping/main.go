@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,17 +14,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The Figure 14 experiment: three synchronized max stressmarks.
-	ops, err := lab.MappingOpportunity(2e6, 100, []int{3})
+	ops, err := lab.MappingOpportunity(ctx, 2e6, 100, []int{3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func main() {
 
 	// The Figure 15 study: the opportunity across workload counts.
 	fmt.Println("\nmapping opportunity by workload count (Figure 15):")
-	all, err := lab.MappingOpportunity(2e6, 100, []int{1, 2, 3, 4, 5, 6})
+	all, err := lab.MappingOpportunity(ctx, 2e6, 100, []int{1, 2, 3, 4, 5, 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -23,7 +25,7 @@ func main() {
 	// QuickSearchConfig explores a reduced design space in
 	// milliseconds; swap in DefaultSearchConfig for the paper-sized
 	// 9^6 search.
-	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,11 +37,11 @@ func main() {
 	// Run the stressmark at the first-droop resonance (~2 MHz),
 	// TOD-synchronized across all cores (the worst case), and
 	// unsynchronized for comparison.
-	sync, err := lab.FrequencySweep([]float64{2e6}, true, 1000)
+	sync, err := lab.FrequencySweep(ctx, []float64{2e6}, true, 1000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	unsync, err := lab.FrequencySweep([]float64{2e6}, false, 0)
+	unsync, err := lab.FrequencySweep(ctx, []float64{2e6}, false, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,17 +15,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	freqs := voltnoise.LogSpace(1e3, 20e6, 25)
-	sweep, err := lab.FrequencySweep(freqs, false, 0)
+	sweep, err := lab.FrequencySweep(ctx, freqs, false, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

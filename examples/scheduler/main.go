@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,11 +16,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat, err := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	lab, err := voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,12 +41,20 @@ func main() {
 		log.Fatal(err)
 	}
 	vnom := plat.NominalVoltage()
+	// Each of the 21 fit measurements draws a pooled session, so the
+	// circuit build and factorization are paid once, not per run.
+	pool := plat.Sessions()
 	model, err := voltnoise.FitPairwiseNoiseModel(func(cores []int) (float64, error) {
 		var wl [voltnoise.NumCores]voltnoise.Workload
 		for _, c := range cores {
 			wl[c] = proto
 		}
-		m, err := plat.Run(voltnoise.RunSpec{Workloads: wl, Start: -10e-6, Duration: 70e-6})
+		s, err := pool.Get(plat.VoltageBias())
+		if err != nil {
+			return 0, err
+		}
+		defer pool.Put(s)
+		m, err := s.RunContext(ctx, voltnoise.RunSpec{Workloads: wl, Start: -10e-6, Duration: 70e-6})
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,8 +74,9 @@ func (c Config) Validate() error {
 
 // Platform is the simulated zEC12 system under test.
 type Platform struct {
-	cfg  Config
-	bias float64 // voltage bias multiplier, quantized to BiasStep
+	cfg      Config
+	bias     float64 // voltage bias multiplier, quantized to BiasStep
+	sessions *SessionPool
 }
 
 // New builds a platform at nominal voltage (bias 1.0).
@@ -82,17 +84,23 @@ func New(cfg Config) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Platform{cfg: cfg, bias: 1.0}, nil
+	return &Platform{cfg: cfg, bias: 1.0, sessions: NewSessionPool(cfg)}, nil
 }
 
 // Config returns the platform configuration.
 func (p *Platform) Config() Config { return p.cfg }
 
+// Sessions returns the platform's session pool, shared by all clones,
+// so a campaign of runs amortizes circuit construction and matrix
+// factorization. It is safe for concurrent use.
+func (p *Platform) Sessions() *SessionPool { return p.sessions }
+
 // Clone returns an independent platform on the same (read-only)
 // configuration with the same current voltage bias. Run never mutates
 // the platform, but SetVoltageBias does; parallel experiment workers
 // therefore operate on clones so concurrent studies never race on the
-// service-element state.
+// service-element state. Clones share the session pool — sessions are
+// keyed by configuration, which clones preserve.
 func (p *Platform) Clone() *Platform {
 	cp := *p
 	return &cp
@@ -180,109 +188,26 @@ func (m *Measurement) MinVoltage() float64 {
 	return v
 }
 
-// Run executes one measurement window and returns what the sensors saw.
+// Run executes one measurement window and returns what the sensors
+// saw. It is the thin one-shot path: a fresh session is created, run
+// and discarded, so Run never mutates the platform. Campaigns of
+// near-identical runs should draw from Sessions() instead to amortize
+// the setup.
 func (p *Platform) Run(spec RunSpec) (*Measurement, error) {
-	if spec.Duration <= 0 {
-		return nil, fmt.Errorf("core: non-positive measurement duration %g", spec.Duration)
-	}
-	warmup := spec.Warmup
-	if warmup == 0 {
-		warmup = DefaultWarmup
-	}
-	if warmup < 0 {
-		return nil, fmt.Errorf("core: negative warmup %g", warmup)
-	}
+	return p.RunContext(context.Background(), spec)
+}
 
-	pdnCfg := p.cfg.PDN
-	pdnCfg.Vnom = p.cfg.PDN.Vnom * p.bias
-	circuit, nodes := pdn.ZEC12(pdnCfg)
-	vnomEff := pdnCfg.Vnom
-
-	// Loads model devices as nominal-voltage current sinks:
-	// I(t) = P(t)/Vnom. (A constant-power load would be nonlinear; the
-	// constant-current approximation is standard for PDN noise
-	// analysis and keeps the trapezoidal solve linear.)
-	workloads := spec.Workloads
-	for i := range workloads {
-		if workloads[i] == nil {
-			workloads[i] = Idle(p.cfg.Core)
-		}
-		w := workloads[i]
-		circuit.AddLoad(fmt.Sprintf("core%d:%s", i, w.Name()), nodes.Core[i],
-			func(t float64) float64 { return w.Power(t) / vnomEff })
-	}
-	circuit.AddLoad("uncore", nodes.L3, func(float64) float64 { return p.cfg.UncorePower / vnomEff })
-
-	tr, err := pdn.NewTransientAt(circuit, p.cfg.Dt, spec.Start-warmup)
+// RunContext is Run with cancellation: a canceled context interrupts
+// the integration mid-window.
+func (p *Platform) RunContext(ctx context.Context, spec RunSpec) (*Measurement, error) {
+	s, err := NewSession(p.cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := tr.RunUntil(spec.Start); err != nil {
+	if err := s.SetVoltageBias(p.bias); err != nil {
 		return nil, err
 	}
-
-	// Per-core skitter macros with process-variation gains.
-	var macros [NumCores]*skitter.Macro
-	for i := range macros {
-		sc := p.cfg.Skitter
-		sc.Vnom = vnomEff
-		sc.Gain *= p.cfg.CoreGain[i]
-		m, err := skitter.NewMacro(sc)
-		if err != nil {
-			return nil, err
-		}
-		macros[i] = m
-	}
-
-	meas := &Measurement{Start: spec.Start, Duration: spec.Duration}
-	steps := int(math.Round(spec.Duration / p.cfg.Dt))
-	if spec.Record {
-		for i := range meas.Traces {
-			t := signal.NewTrace(p.cfg.Dt, steps+1)
-			t.Start = spec.Start
-			meas.Traces[i] = t
-		}
-	}
-	for i := range meas.VMin {
-		meas.VMin[i] = math.Inf(1)
-		meas.VMax[i] = math.Inf(-1)
-	}
-	energy := 0.0
-	observe := func(step int) {
-		for i := 0; i < NumCores; i++ {
-			v := tr.Voltage(nodes.Core[i])
-			macros[i].Sample(v)
-			if v < meas.VMin[i] {
-				meas.VMin[i] = v
-			}
-			if v > meas.VMax[i] {
-				meas.VMax[i] = v
-			}
-			if spec.Record {
-				meas.Traces[i].Samples[step] = v
-			}
-		}
-	}
-	observe(0)
-	for s := 1; s <= steps; s++ {
-		if err := tr.Step(); err != nil {
-			return nil, err
-		}
-		observe(s)
-		// Chip power: devices' draw (cores + uncore) at this instant.
-		pw := p.cfg.UncorePower
-		for i := 0; i < NumCores; i++ {
-			pw += workloads[i].Power(tr.Time())
-		}
-		energy += pw * p.cfg.Dt
-	}
-	for i, m := range macros {
-		meas.P2P[i] = m.PeakToPeakPercent()
-		meas.PosMin[i], meas.PosMax[i] = m.PositionRange()
-	}
-	meas.NominalPos = macros[0].Config().NominalPosition()
-	meas.ChipPowerMilliwatts = int64(math.Round(energy / spec.Duration * 1000))
-	return meas, nil
+	return s.RunContext(ctx, spec)
 }
 
 // Combine merges measurements taken over different windows of the same

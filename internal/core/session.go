@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"voltnoise/internal/pdn"
+	"voltnoise/internal/signal"
+	"voltnoise/internal/skitter"
+)
+
+// Session is a reusable measurement engine for one platform
+// configuration: it owns the built ZEC12 circuit, the factored nodal
+// and DC matrices, the six skitter macros and every scratch buffer,
+// so a campaign of near-identical runs pays the setup cost once.
+// Between runs only the cheap state moves: load closures re-read the
+// session's workload slots, Transient.Reset re-derives the DC
+// operating point with the cached factorization, and the macros clear
+// their sticky registers. Results are bit-identical to a fresh
+// Platform.Run for every run in the sequence.
+//
+// A Session is NOT safe for concurrent use; parallel studies draw one
+// session per in-flight measurement from a SessionPool.
+type Session struct {
+	cfg     Config
+	bias    float64 // quantized, as Platform.SetVoltageBias
+	vnom    float64 // effective supply setpoint (PDN.Vnom * bias)
+	uncoreI float64 // constant uncore current (UncorePower / vnom)
+
+	circuit *pdn.Circuit
+	nodes   pdn.ZEC12Nodes
+	tr      *pdn.Transient
+	macros  [NumCores]*skitter.Macro
+
+	idle Workload
+	// wl holds the current run's workloads; the load closures
+	// installed at construction read through it.
+	wl [NumCores]Workload
+	// pw is the per-step power scratch: the load closures record each
+	// workload's power sample here so the chip-power accumulator
+	// reuses it instead of re-evaluating Workload.Power.
+	pw [NumCores]float64
+}
+
+// NewSession builds a session at nominal voltage (bias 1.0).
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg, bias: 1.0, idle: Idle(cfg.Core)}
+	s.vnom = cfg.PDN.Vnom
+	s.uncoreI = cfg.UncorePower / s.vnom
+
+	pdnCfg := cfg.PDN
+	pdnCfg.Vnom = s.vnom
+	s.circuit, s.nodes = pdn.ZEC12(pdnCfg)
+	for i := range s.wl {
+		s.wl[i] = s.idle
+		// Loads model devices as nominal-voltage current sinks:
+		// I(t) = P(t)/Vnom (the standard linearization for PDN noise
+		// analysis). Each closure also parks the power sample in the
+		// scratch slice for the chip-power accumulator.
+		i := i
+		s.circuit.AddLoad(fmt.Sprintf("core%d", i), s.nodes.Core[i],
+			func(t float64) float64 {
+				p := s.wl[i].Power(t)
+				s.pw[i] = p
+				return p / s.vnom
+			})
+	}
+	s.circuit.AddLoad("uncore", s.nodes.L3, func(float64) float64 { return s.uncoreI })
+
+	tr, err := pdn.NewTransientAt(s.circuit, cfg.Dt, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.tr = tr
+	if err := s.rebuildMacros(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Config returns the session's platform configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// VoltageBias returns the current (quantized) bias.
+func (s *Session) VoltageBias() float64 { return s.bias }
+
+// SetVoltageBias retunes the supply setpoint, quantized to the service
+// element's 0.5% steps like Platform.SetVoltageBias. Only the fixed
+// VRM potential and the macro calibrations move — the factored
+// matrices are reused across the whole bias range, because fixed-node
+// potentials enter the solve through the RHS only.
+func (s *Session) SetVoltageBias(bias float64) error {
+	q := math.Round(bias/BiasStep) * BiasStep
+	if q < 0.70 || q > 1.10 {
+		return fmt.Errorf("core: voltage bias %g outside [0.70, 1.10]", q)
+	}
+	if q == s.bias {
+		return nil
+	}
+	s.bias = q
+	s.vnom = s.cfg.PDN.Vnom * q
+	s.uncoreI = s.cfg.UncorePower / s.vnom
+	s.circuit.FixNode(s.nodes.VRM, s.vnom)
+	return s.rebuildMacros()
+}
+
+// rebuildMacros constructs the per-core skitter macros with
+// process-variation gains, calibrated at the effective supply.
+func (s *Session) rebuildMacros() error {
+	for i := range s.macros {
+		sc := s.cfg.Skitter
+		sc.Vnom = s.vnom
+		sc.Gain *= s.cfg.CoreGain[i]
+		m, err := skitter.NewMacro(sc)
+		if err != nil {
+			return err
+		}
+		s.macros[i] = m
+	}
+	return nil
+}
+
+// Run executes one measurement window on the session.
+func (s *Session) Run(spec RunSpec) (*Measurement, error) {
+	return s.RunContext(context.Background(), spec)
+}
+
+// ctxCheckSteps is how many integration steps pass between
+// cancellation checks (~8 us of simulated time at the default Dt).
+const ctxCheckSteps = 4096
+
+// RunContext is Run with cancellation: a canceled context interrupts
+// the integration mid-window and returns ctx.Err(). The session
+// remains reusable afterwards — the next run re-derives all state.
+func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive measurement duration %g", spec.Duration)
+	}
+	warmup := spec.Warmup
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("core: negative warmup %g", warmup)
+	}
+	for i := range s.wl {
+		if spec.Workloads[i] == nil {
+			s.wl[i] = s.idle
+		} else {
+			s.wl[i] = spec.Workloads[i]
+		}
+	}
+	if err := s.tr.Reset(spec.Start - warmup); err != nil {
+		return nil, err
+	}
+	// Warmup settles the PDN; mirrors Transient.RunUntil.
+	ctr := 0
+	for s.tr.Time() < spec.Start-s.cfg.Dt/2 {
+		if ctr++; ctr >= ctxCheckSteps {
+			ctr = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.tr.Step(); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range s.macros {
+		m.Reset()
+	}
+
+	meas := &Measurement{Start: spec.Start, Duration: spec.Duration}
+	steps := int(math.Round(spec.Duration / s.cfg.Dt))
+	if spec.Record {
+		for i := range meas.Traces {
+			t := signal.NewTrace(s.cfg.Dt, steps+1)
+			t.Start = spec.Start
+			meas.Traces[i] = t
+		}
+	}
+	for i := range meas.VMin {
+		meas.VMin[i] = math.Inf(1)
+		meas.VMax[i] = math.Inf(-1)
+	}
+	energy := 0.0
+	observe := func(step int) {
+		for i := 0; i < NumCores; i++ {
+			v := s.tr.Voltage(s.nodes.Core[i])
+			s.macros[i].Sample(v)
+			if v < meas.VMin[i] {
+				meas.VMin[i] = v
+			}
+			if v > meas.VMax[i] {
+				meas.VMax[i] = v
+			}
+			if spec.Record {
+				meas.Traces[i].Samples[step] = v
+			}
+		}
+	}
+	observe(0)
+	for st := 1; st <= steps; st++ {
+		if ctr++; ctr >= ctxCheckSteps {
+			ctr = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.tr.Step(); err != nil {
+			return nil, err
+		}
+		observe(st)
+		// Chip power: devices' draw (cores + uncore) at this instant,
+		// from the samples the load closures just took.
+		pw := s.cfg.UncorePower
+		for i := 0; i < NumCores; i++ {
+			pw += s.pw[i]
+		}
+		energy += pw * s.cfg.Dt
+	}
+	for i, m := range s.macros {
+		meas.P2P[i] = m.PeakToPeakPercent()
+		meas.PosMin[i], meas.PosMax[i] = m.PositionRange()
+	}
+	meas.NominalPos = s.macros[0].Config().NominalPosition()
+	meas.ChipPowerMilliwatts = int64(math.Round(energy / spec.Duration * 1000))
+	// Drop workload references so pooled sessions don't pin them.
+	for i := range s.wl {
+		s.wl[i] = s.idle
+	}
+	return meas, nil
+}
+
+// SessionPool recycles sessions for one platform configuration. It is
+// safe for concurrent use; parallel studies Get a session per
+// measurement and Put it back when done.
+type SessionPool struct {
+	cfg  Config
+	pool sync.Pool
+}
+
+// NewSessionPool returns an empty pool for the configuration.
+func NewSessionPool(cfg Config) *SessionPool {
+	return &SessionPool{cfg: cfg}
+}
+
+// Get returns a session at the given bias, reusing a pooled one when
+// available.
+func (sp *SessionPool) Get(bias float64) (*Session, error) {
+	s, _ := sp.pool.Get().(*Session)
+	if s == nil {
+		var err error
+		if s, err = NewSession(sp.cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.SetVoltageBias(bias); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Put returns a session to the pool. The session must not be used
+// after Put.
+func (sp *SessionPool) Put(s *Session) {
+	if s != nil {
+		sp.pool.Put(s)
+	}
+}

@@ -1,6 +1,7 @@
 package epi
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestGenerateDeterminism(t *testing.T) {
 	run := func(workers int) *Profile {
 		c := cfg
 		c.Workers = workers
-		p, err := Generate(c)
+		p, err := Generate(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}

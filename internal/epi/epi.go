@@ -97,12 +97,16 @@ func MicroBenchmark(in *isa.Instruction) *uarch.Program {
 // The per-instruction runs are independent, so they fan out across
 // cfg.Workers; ordered reduction keeps the entries in table order
 // before ranking, making the profile bit-identical to a serial run.
-func Generate(cfg Config) (*Profile, error) {
+// Canceling ctx interrupts the profile between instruction runs.
+func Generate(ctx context.Context, cfg Config) (*Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	instrs := cfg.Table.Instructions()
-	entries, err := exec.Map(context.Background(), len(instrs), cfg.Workers, func(_ context.Context, i int) (Entry, error) {
+	entries, err := exec.Map(ctx, len(instrs), cfg.Workers, func(_ context.Context, i int) (Entry, error) {
 		in := instrs[i]
 		bench := MicroBenchmark(in)
 		ex, err := uarch.NewExecutor(cfg.Core, bench)

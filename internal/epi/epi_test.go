@@ -1,6 +1,7 @@
 package epi
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -19,7 +20,7 @@ var (
 func profile(t *testing.T) *Profile {
 	t.Helper()
 	profOnce.Do(func() {
-		prof, profErr = Generate(DefaultConfig())
+		prof, profErr = Generate(context.Background(), DefaultConfig())
 	})
 	if profErr != nil {
 		t.Fatal(profErr)
@@ -43,7 +44,7 @@ func TestConfigValidation(t *testing.T) {
 	}
 	bad = DefaultConfig()
 	bad.Core.DispatchWidth = 0
-	if _, err := Generate(bad); err == nil {
+	if _, err := Generate(context.Background(), bad); err == nil {
 		t.Error("Generate accepted bad config")
 	}
 }

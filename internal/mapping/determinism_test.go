@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestBestWorstNDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8, 64} {
-		best, worst, err := BestWorstN(3, workers, fakeEval)
+		best, worst, err := BestWorstN(context.Background(), 3, workers, fakeEval)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +35,7 @@ func TestStudyNDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := StudyN(ks, 8, fakeEval)
+	got, err := StudyN(context.Background(), ks, 8, fakeEval)
 	if err != nil {
 		t.Fatal(err)
 	}

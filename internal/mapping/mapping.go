@@ -39,7 +39,7 @@ type Placement struct {
 // per-core noise). Evaluations run serially; use BestWorstN to fan
 // them out.
 func BestWorst(k int, eval Evaluator) (best, worst Placement, err error) {
-	return BestWorstN(k, 1, eval)
+	return BestWorstN(context.Background(), k, 1, eval)
 }
 
 // BestWorstN is BestWorst with the placement evaluations spread
@@ -47,8 +47,8 @@ func BestWorst(k int, eval Evaluator) (best, worst Placement, err error) {
 // The evaluator must then be safe for concurrent use. The reduction
 // is ordered, so ties resolve to the earliest placement in
 // enumeration order — the same winners the serial scan picks — under
-// every worker count.
-func BestWorstN(k, workers int, eval Evaluator) (best, worst Placement, err error) {
+// every worker count. Canceling ctx stops the scan early.
+func BestWorstN(ctx context.Context, k, workers int, eval Evaluator) (best, worst Placement, err error) {
 	if k < 1 || k > core.NumCores {
 		return best, worst, fmt.Errorf("mapping: %d workloads on %d cores", k, core.NumCores)
 	}
@@ -60,7 +60,7 @@ func BestWorstN(k, workers int, eval Evaluator) (best, worst Placement, err erro
 		placements = append(placements, append([]int{}, cores...))
 	})
 	first := true
-	err = exec.MapOrdered(context.Background(), len(placements), workers,
+	err = exec.MapOrdered(ctx, len(placements), workers,
 		func(_ context.Context, i int) (Placement, error) {
 			w, wc, err := eval(placements[i])
 			if err != nil {
@@ -104,16 +104,16 @@ type Opportunity struct {
 // ks (the paper sweeps 1..6). Evaluations run serially; use StudyN to
 // fan them out.
 func Study(ks []int, eval Evaluator) ([]Opportunity, error) {
-	return StudyN(ks, 1, eval)
+	return StudyN(context.Background(), ks, 1, eval)
 }
 
 // StudyN is Study with each count's placement evaluations spread
 // across `workers` concurrent workers (the evaluator must then be
 // safe for concurrent use).
-func StudyN(ks []int, workers int, eval Evaluator) ([]Opportunity, error) {
+func StudyN(ctx context.Context, ks []int, workers int, eval Evaluator) ([]Opportunity, error) {
 	out := make([]Opportunity, 0, len(ks))
 	for _, k := range ks {
-		best, worst, err := BestWorstN(k, workers, eval)
+		best, worst, err := BestWorstN(ctx, k, workers, eval)
 		if err != nil {
 			return nil, err
 		}

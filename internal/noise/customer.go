@@ -1,6 +1,8 @@
 package noise
 
 import (
+	"context"
+
 	"voltnoise/internal/core"
 	"voltnoise/internal/stressmark"
 	"voltnoise/internal/vmin"
@@ -17,7 +19,7 @@ const CustomerCodeFraction = 0.8
 // assumptions — ΔI events unsynchronized, per-core ΔI at
 // CustomerCodeFraction of the maximum — measured with the same Vmin
 // methodology as the stressmark rows.
-func (l *Lab) CustomerCodeMargin(freq float64, vcfg vmin.Config) (*vmin.Result, error) {
+func (l *Lab) CustomerCodeMargin(ctx context.Context, freq float64, vcfg vmin.Config) (*vmin.Result, error) {
 	cfg := l.Platform.Config()
 	// A high sequence at 80% of the maximum ΔI: interpolate between
 	// min and max power.
@@ -40,7 +42,7 @@ func (l *Lab) CustomerCodeMargin(freq float64, vcfg vmin.Config) (*vmin.Result, 
 	}
 	start, dur := measureWindow(spec)
 	vcfg.Windows = []vmin.Window{{Start: start, Duration: dur}}
-	return vmin.Run(l.Platform, wl, vcfg)
+	return vmin.Run(ctx, l.Platform, wl, vcfg)
 }
 
 // SensitivitySummary quantifies the relative importance of the four
@@ -78,15 +80,15 @@ func (s SensitivitySummary) Primary() bool {
 
 // Sensitivity runs the four comparisons at the given resonant and
 // off-resonant frequencies and summarizes them.
-func (l *Lab) Sensitivity(resonant, offResonant float64) (*SensitivitySummary, error) {
+func (l *Lab) Sensitivity(ctx context.Context, resonant, offResonant float64) (*SensitivitySummary, error) {
 	s := &SensitivitySummary{}
 
 	// Sync effect: aligned vs free-running at resonance.
-	unsync, err := l.runSpec(l.MaxSpec(resonant), nil, false)
+	unsync, err := l.runSpec(ctx, l.MaxSpec(resonant), nil, false)
 	if err != nil {
 		return nil, err
 	}
-	synced, err := l.runSpec(syncSpec(l.MaxSpec(resonant), 1000), nil, false)
+	synced, err := l.runSpec(ctx, syncSpec(l.MaxSpec(resonant), 1000), nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +105,7 @@ func (l *Lab) Sensitivity(resonant, offResonant float64) (*SensitivitySummary, e
 	var smallest [core.NumCores]core.Workload
 	smallest[0] = medWl
 	start, dur := measureWindow(syncSpec(l.MaxSpec(resonant), 1000))
-	small, err := l.Platform.Run(core.RunSpec{Workloads: smallest, Start: start, Duration: dur})
+	small, err := l.runMeasurement(ctx, core.RunSpec{Workloads: smallest, Start: start, Duration: dur})
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +113,7 @@ func (l *Lab) Sensitivity(resonant, offResonant float64) (*SensitivitySummary, e
 	s.DeltaIEffect = wS - wSmall
 
 	// Frequency effect: resonant vs off-resonant, synchronized.
-	off, err := l.runSpec(syncSpec(l.MaxSpec(offResonant), 1000), nil, false)
+	off, err := l.runSpec(ctx, syncSpec(l.MaxSpec(offResonant), 1000), nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +121,7 @@ func (l *Lab) Sensitivity(resonant, offResonant float64) (*SensitivitySummary, e
 	s.FrequencyEffect = wS - wOff
 
 	// Events effect: long burst vs 10-event burst, synchronized.
-	short, err := l.runSpec(syncSpec(l.MaxSpec(resonant), 10), nil, false)
+	short, err := l.runSpec(ctx, syncSpec(l.MaxSpec(resonant), 10), nil, false)
 	if err != nil {
 		return nil, err
 	}

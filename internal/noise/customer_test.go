@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"testing"
 
 	"voltnoise/internal/vmin"
@@ -10,12 +11,12 @@ func TestCustomerCodeMarginExceedsStressmark(t *testing.T) {
 	l := lab(t)
 	vcfg := vmin.DefaultConfig()
 	vcfg.MinBias = 0.85
-	customer, err := l.CustomerCodeMargin(2e6, vcfg)
+	customer, err := l.CustomerCodeMargin(context.Background(), 2e6, vcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The worst-case stressmark (synchronized, full delta-I).
-	pts, err := l.ConsecutiveEventStudy([]float64{2e6}, []int{1000}, vcfg)
+	pts, err := l.ConsecutiveEventStudy(context.Background(), []float64{2e6}, []int{1000}, vcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestCustomerCodeMarginExceedsStressmark(t *testing.T) {
 
 func TestSensitivitySummary(t *testing.T) {
 	l := lab(t)
-	s, err := l.Sensitivity(2e6, 300e3)
+	s, err := l.Sensitivity(context.Background(), 2e6, 300e3)
 	if err != nil {
 		t.Fatal(err)
 	}

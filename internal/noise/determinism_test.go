@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -27,7 +28,7 @@ func withWorkers(t *testing.T, workers int) *Lab {
 func TestFrequencySweepDeterminism(t *testing.T) {
 	freqs := []float64{1e6, 2e6, 3e6}
 	run := func(workers int) []FreqPoint {
-		pts, err := withWorkers(t, workers).FrequencySweep(freqs, true, 200)
+		pts, err := withWorkers(t, workers).FrequencySweep(context.Background(), freqs, true, 200)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func TestFrequencySweepDeterminism(t *testing.T) {
 
 func TestMisalignmentSweepDeterminism(t *testing.T) {
 	run := func(workers int) []MisalignPoint {
-		pts, err := withWorkers(t, workers).MisalignmentSweep(2e6, []int{0, 2}, 100, 3)
+		pts, err := withWorkers(t, workers).MisalignmentSweep(context.Background(), 2e6, []int{0, 2}, 100, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestMappingRunsDeterminism(t *testing.T) {
 		{KindMax, KindMax, KindMax, KindMax, KindMax, KindMax},
 	}
 	run := func(workers int) []MappingRun {
-		runs, err := withWorkers(t, workers).runMappings(2e6, 50, assigns)
+		runs, err := withWorkers(t, workers).runMappings(context.Background(), 2e6, 50, assigns)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func TestConsecutiveEventStudyDeterminism(t *testing.T) {
 	run := func(labWorkers, vminWorkers int) []MarginPoint {
 		cfg := vcfg
 		cfg.Workers = vminWorkers
-		pts, err := withWorkers(t, labWorkers).ConsecutiveEventStudy([]float64{2.5e6}, []int{100, 0}, cfg)
+		pts, err := withWorkers(t, labWorkers).ConsecutiveEventStudy(context.Background(), []float64{2.5e6}, []int{100, 0}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestConsecutiveEventStudyDeterminism(t *testing.T) {
 
 func TestMappingOpportunityDeterminism(t *testing.T) {
 	run := func(workers int) []mapping.Opportunity {
-		ops, err := withWorkers(t, workers).MappingOpportunity(2e6, 50, []int{2})
+		ops, err := withWorkers(t, workers).MappingOpportunity(context.Background(), 2e6, 50, []int{2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,5 +111,39 @@ func TestMappingOpportunityDeterminism(t *testing.T) {
 	parallel := run(8)
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("MappingOpportunity Workers=1 vs 8 differ:\n%+v\n%+v", serial, parallel)
+	}
+}
+
+// TestSweepColdVsWarmPool: the first sweep on a lab builds its pooled
+// sessions; the second reuses them. Both must be bit-identical — the
+// session-reuse guarantee lifted to a whole study, and run through a
+// canceled-free context either way.
+func TestSweepColdVsWarmPool(t *testing.T) {
+	freqs := []float64{1e6, 2e6}
+	l := withWorkers(t, 4)
+	cold, err := l.FrequencySweep(context.Background(), freqs, true, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := l.FrequencySweep(context.Background(), freqs, true, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cold vs warm session pool differ:\n%v\n%v", cold, warm)
+	}
+}
+
+// TestStudyCancellation: a pre-canceled context must abort a sweep
+// before it produces results, and the lab must remain usable after.
+func TestStudyCancellation(t *testing.T) {
+	l := withWorkers(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.FrequencySweep(ctx, []float64{1e6, 2e6}, true, 200); err != context.Canceled {
+		t.Fatalf("canceled sweep returned %v, want context.Canceled", err)
+	}
+	if _, err := l.FrequencySweep(context.Background(), []float64{2e6}, false, 0); err != nil {
+		t.Fatalf("lab unusable after canceled sweep: %v", err)
 	}
 }

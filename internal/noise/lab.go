@@ -7,6 +7,7 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 
 	"voltnoise/internal/core"
@@ -39,18 +40,45 @@ type Lab struct {
 	Workers int
 }
 
-// workerLab returns a shallow copy of the lab whose platform is an
-// independent clone — what one parallel worker drives, so workers
-// never share mutable service-element state.
-func (l *Lab) workerLab() *Lab {
-	cl := *l
-	cl.Platform = l.Platform.Clone()
-	return &cl
+// Option configures New.
+type Option func(*labOptions)
+
+type labOptions struct {
+	search  stressmark.SearchConfig
+	workers int
 }
 
-// NewLab builds a lab: constructs the platform, runs the
-// maximum-power sequence search and derives the medium and minimum
-// sequences.
+// WithSearch selects the stressmark sequence-search configuration
+// (default: stressmark.DefaultSearchConfig, the paper-sized search).
+func WithSearch(scfg stressmark.SearchConfig) Option {
+	return func(o *labOptions) { o.search = scfg }
+}
+
+// WithWorkers caps the concurrent measurement workers of the parallel
+// studies (see Lab.Workers).
+func WithWorkers(n int) Option {
+	return func(o *labOptions) { o.workers = n }
+}
+
+// New builds a lab on the given platform: runs the maximum-power
+// sequence search and derives the medium and minimum sequences. It is
+// the option-taking constructor behind the facade's NewLab.
+func New(plat *core.Platform, opts ...Option) (*Lab, error) {
+	o := labOptions{search: stressmark.DefaultSearchConfig()}
+	for _, f := range opts {
+		f(&o)
+	}
+	l, err := NewLabOn(plat, o.search)
+	if err != nil {
+		return nil, err
+	}
+	l.Workers = o.workers
+	return l, nil
+}
+
+// NewLab builds a lab from a platform configuration.
+//
+// Deprecated: construct the platform and use New with options.
 func NewLab(pcfg core.Config, scfg stressmark.SearchConfig) (*Lab, error) {
 	plat, err := core.New(pcfg)
 	if err != nil {
@@ -83,6 +111,8 @@ func NewLabOn(plat *core.Platform, scfg stressmark.SearchConfig) (*Lab, error) {
 
 // DefaultLab builds a lab with the calibrated platform and the
 // paper-sized search.
+//
+// Deprecated: use New on a core.New(core.DefaultConfig()) platform.
 func DefaultLab() (*Lab, error) {
 	return NewLab(core.DefaultConfig(), stressmark.DefaultSearchConfig())
 }
@@ -150,13 +180,13 @@ func measureWindow(s stressmark.Spec) (start, dur float64) {
 // runSpec instantiates one copy of the spec per core (synchronized or
 // free-running as the spec says) and measures it over the default
 // window for the spec.
-func (l *Lab) runSpec(s stressmark.Spec, offsets *[core.NumCores]uint64, record bool) (*core.Measurement, error) {
+func (l *Lab) runSpec(ctx context.Context, s stressmark.Spec, offsets *[core.NumCores]uint64, record bool) (*core.Measurement, error) {
 	start, dur := measureWindow(s)
-	return l.runSpecWindow(s, offsets, start, dur, record)
+	return l.runSpecWindow(ctx, s, offsets, start, dur, record)
 }
 
 // runSpecWindow is runSpec with an explicit measurement window.
-func (l *Lab) runSpecWindow(s stressmark.Spec, offsets *[core.NumCores]uint64, start, dur float64, record bool) (*core.Measurement, error) {
+func (l *Lab) runSpecWindow(ctx context.Context, s stressmark.Spec, offsets *[core.NumCores]uint64, start, dur float64, record bool) (*core.Measurement, error) {
 	cfg := l.Platform.Config()
 	var wl [core.NumCores]core.Workload
 	var err error
@@ -171,7 +201,24 @@ func (l *Lab) runSpecWindow(s stressmark.Spec, offsets *[core.NumCores]uint64, s
 	if err != nil {
 		return nil, err
 	}
-	return l.Platform.Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur, Record: record})
+	return l.runMeasurement(ctx, core.RunSpec{Workloads: wl, Start: start, Duration: dur, Record: record})
+}
+
+// runMeasurement executes one run through the platform's session pool
+// (amortizing circuit construction and matrix factorization across
+// the whole study) and honors cancellation. It is safe for concurrent
+// workers: each in-flight measurement holds its own session.
+func (l *Lab) runMeasurement(ctx context.Context, spec core.RunSpec) (*core.Measurement, error) {
+	pool := l.Platform.Sessions()
+	if pool == nil {
+		return l.Platform.RunContext(ctx, spec)
+	}
+	s, err := pool.Get(l.Platform.VoltageBias())
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Put(s)
+	return s.RunContext(ctx, spec)
 }
 
 // ImpedanceProfile computes the PDN impedance profile at a core node
@@ -192,7 +239,7 @@ func (l *Lab) DeltaIMax() float64 {
 // droop resonance — the baseline the application suite is validated
 // against.
 func (l *Lab) RunWorstMark() (float64, error) {
-	m, err := l.runSpec(l.MaxSpec(2e6), nil, false)
+	m, err := l.runSpec(context.Background(), l.MaxSpec(2e6), nil, false)
 	if err != nil {
 		return 0, err
 	}

@@ -109,7 +109,7 @@ func deltaIPercent(assign [core.NumCores]WorkloadKind) float64 {
 // but still representative set runs: every workload composition
 // (#max, #medium) in every distinct rotation, which covers all ΔI
 // levels and all cores.
-func (l *Lab) MappingStudy(freq float64, events int, exhaustive bool) ([]MappingRun, error) {
+func (l *Lab) MappingStudy(ctx context.Context, freq float64, events int, exhaustive bool) ([]MappingRun, error) {
 	var assigns [][core.NumCores]WorkloadKind
 	if exhaustive {
 		analysis.Assignments(core.NumCores, int(numKinds), func(a []int) {
@@ -144,7 +144,7 @@ func (l *Lab) MappingStudy(freq float64, events int, exhaustive bool) ([]Mapping
 			}
 		})
 	}
-	return l.runMappings(freq, events, assigns)
+	return l.runMappings(ctx, freq, events, assigns)
 }
 
 func isSortedRun(a []int) bool {
@@ -159,8 +159,8 @@ func isSortedRun(a []int) bool {
 // runMappings measures each assignment, fanned out across l.Workers.
 // The stressmark workloads are pure (Power(t) reads immutable state),
 // so the two prototypes are safely shared by every worker; each run
-// drives its own platform clone.
-func (l *Lab) runMappings(freq float64, events int, assigns [][core.NumCores]WorkloadKind) ([]MappingRun, error) {
+// holds its own pooled session.
+func (l *Lab) runMappings(ctx context.Context, freq float64, events int, assigns [][core.NumCores]WorkloadKind) ([]MappingRun, error) {
 	cfg := l.Platform.Config()
 	maxSpec := syncSpec(l.MaxSpec(freq), events)
 	medSpec := syncSpec(l.MedSpec(freq), events)
@@ -173,7 +173,7 @@ func (l *Lab) runMappings(freq float64, events int, assigns [][core.NumCores]Wor
 		return nil, err
 	}
 	start, dur := measureWindow(maxSpec)
-	return exec.Map(context.Background(), len(assigns), l.Workers, func(_ context.Context, j int) (MappingRun, error) {
+	return exec.Map(ctx, len(assigns), l.Workers, func(ctx context.Context, j int) (MappingRun, error) {
 		assign := assigns[j]
 		var wl [core.NumCores]core.Workload
 		for i, k := range assign {
@@ -184,7 +184,7 @@ func (l *Lab) runMappings(freq float64, events int, assigns [][core.NumCores]Wor
 				wl[i] = medWl
 			}
 		}
-		m, err := l.Platform.Clone().Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
+		m, err := l.runMeasurement(ctx, core.RunSpec{Workloads: wl, Start: start, Duration: dur})
 		if err != nil {
 			return MappingRun{}, err
 		}

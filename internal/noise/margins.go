@@ -30,7 +30,7 @@ type MarginPoint struct {
 // each (stimulus frequency, consecutive-event-count) pair. events
 // entries of 0 select the unsynchronized variant. The vmin
 // configuration's windows are adapted per point to cover the burst.
-func (l *Lab) ConsecutiveEventStudy(freqs []float64, eventCounts []int, vcfg vmin.Config) ([]MarginPoint, error) {
+func (l *Lab) ConsecutiveEventStudy(ctx context.Context, freqs []float64, eventCounts []int, vcfg vmin.Config) ([]MarginPoint, error) {
 	cfg := l.Platform.Config()
 	// Grid cells are independent Vmin experiments; fan them out across
 	// l.Workers. Each cell drives its own platform clone (Vmin mutates
@@ -47,7 +47,7 @@ func (l *Lab) ConsecutiveEventStudy(freqs []float64, eventCounts []int, vcfg vmi
 			cells = append(cells, cell{freq: f, events: events})
 		}
 	}
-	return exec.Map(context.Background(), len(cells), l.Workers, func(_ context.Context, i int) (MarginPoint, error) {
+	return exec.Map(ctx, len(cells), l.Workers, func(ctx context.Context, i int) (MarginPoint, error) {
 		c := cells[i]
 		var spec stressmark.Spec
 		if c.events == 0 {
@@ -68,7 +68,7 @@ func (l *Lab) ConsecutiveEventStudy(freqs []float64, eventCounts []int, vcfg vmi
 		start, dur := measureWindow(spec)
 		pcfg := vcfg
 		pcfg.Windows = []vmin.Window{{Start: start, Duration: dur}}
-		res, err := vmin.Run(l.Platform.Clone(), wl, pcfg)
+		res, err := vmin.Run(ctx, l.Platform.Clone(), wl, pcfg)
 		if err != nil {
 			return MarginPoint{}, err
 		}

@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -60,14 +61,14 @@ func TestNewLabSequences(t *testing.T) {
 func TestFrequencySweepResonanceAndSyncBoost(t *testing.T) {
 	l := lab(t)
 	freqs := []float64{500e3, 2e6}
-	unsync, err := l.FrequencySweep(freqs, false, 0)
+	unsync, err := l.FrequencySweep(context.Background(), freqs, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if unsync[1].Worst() <= unsync[0].Worst() {
 		t.Errorf("no resonance: 2MHz %g <= 500kHz %g", unsync[1].Worst(), unsync[0].Worst())
 	}
-	synced, err := l.FrequencySweep(freqs, true, 1000)
+	synced, err := l.FrequencySweep(context.Background(), freqs, true, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFrequencySweepResonanceAndSyncBoost(t *testing.T) {
 
 func TestFrequencySweepRejectsBadFreq(t *testing.T) {
 	l := lab(t)
-	if _, err := l.FrequencySweep([]float64{0}, false, 0); err == nil {
+	if _, err := l.FrequencySweep(context.Background(), []float64{0}, false, 0); err == nil {
 		t.Error("zero frequency accepted")
 	}
 }
@@ -133,7 +134,7 @@ func TestWaveformShowsStimulusOscillation(t *testing.T) {
 
 func TestMisalignmentSweepReducesNoise(t *testing.T) {
 	l := lab(t)
-	pts, err := l.MisalignmentSweep(2e6, []int{0, 4, 8}, 200, 6)
+	pts, err := l.MisalignmentSweep(context.Background(), 2e6, []int{0, 4, 8}, 200, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestDistinctPermutations(t *testing.T) {
 
 func TestMappingStudyAndCondensations(t *testing.T) {
 	l := lab(t)
-	runs, err := l.MappingStudy(2e6, 20, false)
+	runs, err := l.MappingStudy(context.Background(), 2e6, 20, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestConsecutiveEventStudy(t *testing.T) {
 	l := lab(t)
 	vcfg := vmin.DefaultConfig()
 	vcfg.MinBias = 0.88
-	pts, err := l.ConsecutiveEventStudy([]float64{2.5e6}, []int{100, 0}, vcfg)
+	pts, err := l.ConsecutiveEventStudy(context.Background(), []float64{2.5e6}, []int{100, 0}, vcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestClusterMates(t *testing.T) {
 
 func TestMappingOpportunity(t *testing.T) {
 	l := lab(t)
-	ops, err := l.MappingOpportunity(2e6, 20, []int{3})
+	ops, err := l.MappingOpportunity(context.Background(), 2e6, 20, []int{3})
 	if err != nil {
 		t.Fatal(err)
 	}

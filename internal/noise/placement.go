@@ -1,6 +1,8 @@
 package noise
 
 import (
+	"context"
+
 	"voltnoise/internal/core"
 	"voltnoise/internal/mapping"
 )
@@ -8,10 +10,11 @@ import (
 // PlacementEvaluator returns a mapping.Evaluator that measures a
 // placement of synchronized maximum dI/dt stressmarks on the platform:
 // the workload-to-core mapping experiments of the paper's Figures 14
-// and 15. The evaluator is safe for concurrent use (each call drives
-// its own platform clone), so it can feed mapping.BestWorstN and
-// scheduler.FitPairwiseN directly.
-func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
+// and 15. The evaluator is safe for concurrent use (each call holds
+// its own pooled session), so it can feed mapping.BestWorstN and
+// scheduler.FitPairwiseN directly. The evaluator captures ctx:
+// canceling it interrupts any in-flight measurement.
+func (l *Lab) PlacementEvaluator(ctx context.Context, freq float64, events int) mapping.Evaluator {
 	cfg := l.Platform.Config()
 	spec := syncSpec(l.MaxSpec(freq), events)
 	wlProto, protoErr := spec.Workload(cfg.Core, l.table())
@@ -24,7 +27,7 @@ func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
 		for _, c := range cores {
 			wl[c] = wlProto
 		}
-		m, err := l.Platform.Clone().Run(core.RunSpec{Workloads: wl, Start: start, Duration: dur})
+		m, err := l.runMeasurement(ctx, core.RunSpec{Workloads: wl, Start: start, Duration: dur})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -36,6 +39,6 @@ func (l *Lab) PlacementEvaluator(freq float64, events int) mapping.Evaluator {
 // MappingOpportunity runs the paper's Figure 15 study: the best/worst
 // placement gap for each workload count in ks, with the placement
 // measurements fanned out across l.Workers.
-func (l *Lab) MappingOpportunity(freq float64, events int, ks []int) ([]mapping.Opportunity, error) {
-	return mapping.StudyN(ks, l.Workers, l.PlacementEvaluator(freq, events))
+func (l *Lab) MappingOpportunity(ctx context.Context, freq float64, events int, ks []int) ([]mapping.Opportunity, error) {
+	return mapping.StudyN(ctx, ks, l.Workers, l.PlacementEvaluator(ctx, freq, events))
 }

@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -12,13 +13,13 @@ import (
 // refined by repeated subdivision until the frequency resolution
 // reaches tol (relative). It returns the discovered resonant frequency
 // and the noise level there.
-func (l *Lab) FindResonance(lo, hi float64, coarse int, tol float64) (freq, worstP2P float64, runs int, err error) {
+func (l *Lab) FindResonance(ctx context.Context, lo, hi float64, coarse int, tol float64) (freq, worstP2P float64, runs int, err error) {
 	if lo <= 0 || hi <= lo || coarse < 4 || tol <= 0 || tol >= 1 {
 		return 0, 0, 0, fmt.Errorf("noise: FindResonance(%g, %g, %d, %g)", lo, hi, coarse, tol)
 	}
 	measure := func(f float64) (float64, error) {
 		runs++
-		m, err := l.runSpec(l.MaxSpec(f), nil, false)
+		m, err := l.runSpec(ctx, l.MaxSpec(f), nil, false)
 		if err != nil {
 			return 0, err
 		}

@@ -1,10 +1,13 @@
 package noise
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestFindResonanceLocatesFirstDroop(t *testing.T) {
 	l := lab(t)
-	freq, worst, runs, err := l.FindResonance(200e3, 8e6, 8, 0.15)
+	freq, worst, runs, err := l.FindResonance(context.Background(), 200e3, 8e6, 8, 0.15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +37,7 @@ func TestFindResonanceValidation(t *testing.T) {
 		{1e3, 1e6, 8, 2},   // tol >= 1
 	}
 	for _, c := range cases {
-		if _, _, _, err := l.FindResonance(c[0], c[1], int(c[2]), c[3]); err == nil {
+		if _, _, _, err := l.FindResonance(context.Background(), c[0], c[1], int(c[2]), c[3]); err == nil {
 			t.Errorf("FindResonance(%v) accepted", c)
 		}
 	}

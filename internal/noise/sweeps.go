@@ -37,19 +37,18 @@ func (p FreqPoint) Worst() float64 {
 // whole spectrum).
 // Sweep points are independent measurement runs, so they fan out
 // across l.Workers; ordered reduction keeps the output bit-identical
-// to the serial loop.
-func (l *Lab) FrequencySweep(freqs []float64, sync bool, events int) ([]FreqPoint, error) {
-	return exec.Map(context.Background(), len(freqs), l.Workers, func(_ context.Context, i int) (FreqPoint, error) {
+// to the serial loop. Canceling ctx interrupts the sweep mid-run.
+func (l *Lab) FrequencySweep(ctx context.Context, freqs []float64, sync bool, events int) ([]FreqPoint, error) {
+	return exec.Map(ctx, len(freqs), l.Workers, func(ctx context.Context, i int) (FreqPoint, error) {
 		f := freqs[i]
 		if f <= 0 {
 			return FreqPoint{}, fmt.Errorf("noise: non-positive sweep frequency %g", f)
 		}
-		w := l.workerLab()
-		spec := w.MaxSpec(f)
+		spec := l.MaxSpec(f)
 		if sync {
 			spec = syncSpec(spec, events)
 		}
-		m, err := w.runSpec(spec, nil, false)
+		m, err := l.runSpec(ctx, spec, nil, false)
 		if err != nil {
 			return FreqPoint{}, err
 		}
@@ -64,7 +63,7 @@ func (l *Lab) FrequencySweep(freqs []float64, sync bool, events int) ([]FreqPoin
 func (l *Lab) Waveform(freq, duration float64) ([core.NumCores]*signal.Trace, error) {
 	var traces [core.NumCores]*signal.Trace
 	spec := syncSpec(l.MaxSpec(freq), 1000)
-	m, err := l.runSpecWindow(spec, nil, 0, duration, true)
+	m, err := l.runSpecWindow(context.Background(), spec, nil, 0, duration, true)
 	if err != nil {
 		return traces, err
 	}
@@ -102,7 +101,7 @@ func (p MisalignPoint) Worst() float64 {
 // two marks at 0, two at 62.5 ns, two at 125 ns). All rotationally
 // distinct assignments of offsets to cores are run and averaged, up to
 // maxPlacements per point (deterministic subsampling beyond that).
-func (l *Lab) MisalignmentSweep(freq float64, maxTicksList []int, events, maxPlacements int) ([]MisalignPoint, error) {
+func (l *Lab) MisalignmentSweep(ctx context.Context, freq float64, maxTicksList []int, events, maxPlacements int) ([]MisalignPoint, error) {
 	if maxPlacements < 1 {
 		return nil, fmt.Errorf("noise: maxPlacements %d", maxPlacements)
 	}
@@ -133,10 +132,9 @@ func (l *Lab) MisalignmentSweep(freq float64, maxTicksList []int, events, maxPla
 		out = append(out, MisalignPoint{MaxTicks: maxTicks, Placements: len(placements)})
 	}
 	spec := syncSpec(l.MaxSpec(freq), events)
-	readings, err := exec.Map(context.Background(), len(jobs), l.Workers, func(_ context.Context, i int) ([core.NumCores]float64, error) {
-		w := l.workerLab()
+	readings, err := exec.Map(ctx, len(jobs), l.Workers, func(ctx context.Context, i int) ([core.NumCores]float64, error) {
 		offs := jobs[i].offs
-		m, err := w.runSpec(spec, &offs, false)
+		m, err := l.runSpec(ctx, spec, &offs, false)
 		if err != nil {
 			return [core.NumCores]float64{}, err
 		}

@@ -15,11 +15,12 @@ import (
 // resonant PDNs integrate robustly at any step size that resolves the
 // waveforms of interest.
 type Transient struct {
-	c   *Circuit
-	dt  float64
-	lu  *realLU
-	idx []int // NodeID -> unknown index or -1
-	n   int   // number of unknowns
+	c    *Circuit
+	dt   float64
+	lu   *realLU
+	dcLU *realLU // DC operating-point factorization (inductors shorted)
+	idx  []int   // NodeID -> unknown index or -1
+	n    int     // number of unknowns
 
 	// Per-element companion state.
 	geq  []float64 // companion conductance per element (0 for resistors)
@@ -27,11 +28,28 @@ type Transient struct {
 	ibr  []float64 // branch current at current time (a -> b)
 	pots []float64 // node potentials at current time (all nodes)
 
+	plan []stepElem // per-step RHS contributors, in element order
+
 	rhs []float64
 	sol []float64
 
 	time float64
 	step int
+}
+
+// stepElem is one element's per-step RHS work, precomputed so Step
+// walks a compact list instead of re-deriving index lookups and
+// fixed-node potentials every timestep. Resistors touching no fixed
+// node contribute nothing to the RHS and are dropped from the plan;
+// the remaining contributions keep element insertion order, so the
+// floating-point accumulation is bit-identical to the naive loop.
+type stepElem struct {
+	kind         elementKind
+	ei           int     // element index (companion state slot)
+	geq          float64 // companion conductance
+	ia, ib       int     // unknown indices (-1: grounded or fixed)
+	fa, fb       float64 // fixed-node RHS contributions (geq * fixed potential)
+	hasFA, hasFB bool
 }
 
 // NewTransient prepares a transient simulation of c with fixed timestep
@@ -83,10 +101,49 @@ func NewTransientAt(c *Circuit, dt, start float64) (*Transient, error) {
 		return nil, fmt.Errorf("pdn: transient setup: %w", err)
 	}
 	t.lu = lu
-	if err := t.initDC(); err != nil {
+	if err := t.factorDC(); err != nil {
+		return nil, err
+	}
+	t.buildPlan()
+	if err := t.initState(); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// Reset rewinds the simulation to the given start time and re-derives
+// the DC operating point from the circuit's current loads and fixed
+// potentials. Neither nodal matrix is re-stamped or re-factored — they
+// depend only on element values and the timestep — so a measurement
+// session can retune fixed supplies, let load closures change what
+// they compute, and restart from here at the cost of one linear solve.
+func (t *Transient) Reset(start float64) error {
+	t.time = start
+	t.step = 0
+	t.buildPlan()
+	return t.initState()
+}
+
+// buildPlan captures the per-step RHS contributions, snapshotting the
+// fixed-node potentials in effect now (Reset refreshes the snapshot
+// after a FixNode retune).
+func (t *Transient) buildPlan() {
+	t.plan = t.plan[:0]
+	for ei, e := range t.c.elements {
+		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], ia: t.idx[e.a], ib: t.idx[e.b]}
+		if pe.ia >= 0 && pe.ib < 0 {
+			pe.fa = pe.geq * t.c.potentialOfFixed(e.b)
+			pe.hasFA = true
+		}
+		if pe.ib >= 0 && pe.ia < 0 {
+			pe.fb = pe.geq * t.c.potentialOfFixed(e.a)
+			pe.hasFB = true
+		}
+		if e.kind == kindResistor && !pe.hasFA && !pe.hasFB {
+			continue // no history source, no fixed contribution
+		}
+		t.plan = append(t.plan, pe)
+	}
 }
 
 // stampReal adds conductance ge between nodes a and b into the nodal
@@ -105,39 +162,64 @@ func stampReal(g []float64, n int, idx []int, a, b NodeID, ge float64) {
 	}
 }
 
-// initDC computes the DC operating point: inductors become tiny
-// resistances, capacitors are open, loads are evaluated at t = 0.
-func (t *Transient) initDC() error {
-	const shortOhms = 1e-9
-	c := t.c
+// dcShortOhms is the tiny resistance standing in for an inductor in
+// the DC operating-point solve.
+const dcShortOhms = 1e-9
+
+// factorDC stamps and factors the DC operating-point matrix: inductors
+// become tiny resistances, capacitors are open. The matrix depends
+// only on element values, so it is factored once and reused by every
+// initState, across runs and fixed-supply retunes alike.
+func (t *Transient) factorDC() error {
 	g := make([]float64, t.n*t.n)
-	rhs := make([]float64, t.n)
+	for _, e := range t.c.elements {
+		var ge float64
+		switch e.kind {
+		case kindResistor:
+			ge = 1 / e.value
+		case kindInductor:
+			ge = 1 / dcShortOhms
+		case kindCapacitor:
+			continue
+		}
+		stampReal(g, t.n, t.idx, e.a, e.b, ge)
+	}
+	lu, err := factorReal(g, t.n)
+	if err != nil {
+		return fmt.Errorf("pdn: DC operating point: %w (is every node connected to a source?)", err)
+	}
+	t.dcLU = lu
+	return nil
+}
+
+// initState derives the initial condition from the DC operating point:
+// loads evaluated at the current simulation time against the cached DC
+// factorization.
+func (t *Transient) initState() error {
+	c := t.c
+	for i := range t.rhs {
+		t.rhs[i] = 0
+	}
 	for _, e := range c.elements {
 		var ge float64
 		switch e.kind {
 		case kindResistor:
 			ge = 1 / e.value
 		case kindInductor:
-			ge = 1 / shortOhms
+			ge = 1 / dcShortOhms
 		case kindCapacitor:
 			continue
 		}
-		stampReal(g, t.n, t.idx, e.a, e.b, ge)
 		// Fixed-node contributions move to the RHS.
-		t.stampFixedRHS(rhs, e.a, e.b, ge)
+		t.stampFixedRHS(t.rhs, e.a, e.b, ge)
 	}
 	for _, l := range c.loads {
 		if i := t.idx[l.Node]; i >= 0 {
-			rhs[i] -= l.Current(t.time)
+			t.rhs[i] -= l.Current(t.time)
 		}
 	}
-	lu, err := factorReal(g, t.n)
-	if err != nil {
-		return fmt.Errorf("pdn: DC operating point: %w (is every node connected to a source?)", err)
-	}
-	sol := make([]float64, t.n)
-	lu.solveInto(sol, rhs)
-	t.scatterPotentials(sol)
+	t.dcLU.solveInto(t.sol, t.rhs)
+	t.scatterPotentials(t.sol)
 	// Branch states from the DC solution.
 	for ei, e := range c.elements {
 		va, vb := t.pots[e.a], t.pots[e.b]
@@ -146,7 +228,7 @@ func (t *Transient) initDC() error {
 		case kindResistor:
 			t.ibr[ei] = (va - vb) / e.value
 		case kindInductor:
-			t.ibr[ei] = (va - vb) / shortOhms
+			t.ibr[ei] = (va - vb) / dcShortOhms
 			t.vab[ei] = 0 // an ideal inductor carries no DC voltage
 		case kindCapacitor:
 			t.ibr[ei] = 0
@@ -203,25 +285,36 @@ func (t *Transient) Step() error {
 	for i := range t.rhs {
 		t.rhs[i] = 0
 	}
-	// History sources and fixed-node conductance contributions.
-	for ei, e := range c.elements {
-		ge := t.geq[ei]
-		t.stampFixedRHS(t.rhs, e.a, e.b, ge)
-		var hist float64
-		switch e.kind {
-		case kindResistor:
-			continue
+	// History sources and fixed-node conductance contributions, from
+	// the precomputed plan (same element order, same arithmetic).
+	for i := range t.plan {
+		pe := &t.plan[i]
+		if pe.hasFA {
+			t.rhs[pe.ia] += pe.fa
+		}
+		if pe.hasFB {
+			t.rhs[pe.ib] += pe.fb
+		}
+		switch pe.kind {
 		case kindCapacitor:
 			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
 			// Branch current a->b contributes +hist into node a's RHS.
-			hist = t.geq[ei]*t.vab[ei] + t.ibr[ei]
-			t.addRHS(e.a, +hist)
-			t.addRHS(e.b, -hist)
+			hist := pe.geq*t.vab[pe.ei] + t.ibr[pe.ei]
+			if pe.ia >= 0 {
+				t.rhs[pe.ia] += hist
+			}
+			if pe.ib >= 0 {
+				t.rhs[pe.ib] -= hist
+			}
 		case kindInductor:
 			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
-			hist = t.ibr[ei] + t.geq[ei]*t.vab[ei]
-			t.addRHS(e.a, -hist)
-			t.addRHS(e.b, +hist)
+			hist := t.ibr[pe.ei] + pe.geq*t.vab[pe.ei]
+			if pe.ia >= 0 {
+				t.rhs[pe.ia] -= hist
+			}
+			if pe.ib >= 0 {
+				t.rhs[pe.ib] += hist
+			}
 		}
 	}
 	// Loads evaluated at the new time (backward-looking sources keep
@@ -294,10 +387,4 @@ func (t *Transient) RunUntil(until float64) error {
 		}
 	}
 	return nil
-}
-
-func (t *Transient) addRHS(n NodeID, v float64) {
-	if i := t.idx[n]; i >= 0 {
-		t.rhs[i] += v
-	}
 }

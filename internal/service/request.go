@@ -12,6 +12,16 @@
 // collapsed into one in-flight execution by the singleflight layer.
 // The canonical configuration hash (Request.Hash) is therefore a safe
 // content-addressed key.
+//
+// Cancellation is first-class: every job carries a context that
+// DELETE /v1/jobs/{id} cancels. The runner threads it through the
+// study harness, the pooled measurement sessions and down to the
+// transient integration loop, so canceling a RUNNING job interrupts
+// the sweep mid-measurement (within a few thousand integration steps)
+// instead of letting the study run to completion. Canceled jobs
+// finish in StateCanceled, never populate the cache, and are counted
+// by the jobs_canceled metric; the sessions they were using return to
+// the pool for the next job.
 package service
 
 import (

@@ -93,26 +93,26 @@ func (r *LabRunner) Run(ctx context.Context, req *Request) (any, error) {
 	}
 	switch req.Study {
 	case StudyFreqSweep:
-		return r.runFreqSweep(req)
+		return r.runFreqSweep(ctx, req)
 	case StudyVminWalk:
-		return r.runVminWalk(req)
+		return r.runVminWalk(ctx, req)
 	case StudyEPIProfile:
-		return runEPIProfile(req)
+		return runEPIProfile(ctx, req)
 	case StudyGuardband:
-		return r.runGuardband(req)
+		return r.runGuardband(ctx, req)
 	default:
 		return nil, fmt.Errorf("service: unknown study %q", req.Study)
 	}
 }
 
-func (r *LabRunner) runFreqSweep(req *Request) (any, error) {
+func (r *LabRunner) runFreqSweep(ctx context.Context, req *Request) (any, error) {
 	p := req.FreqSweep
 	l, err := r.jobLab(req)
 	if err != nil {
 		return nil, err
 	}
 	freqs := pdn.LogSpace(p.LoHz, p.HiHz, p.Points)
-	pts, err := l.FrequencySweep(freqs, p.Sync, p.Events)
+	pts, err := l.FrequencySweep(ctx, freqs, p.Sync, p.Events)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +127,7 @@ func (r *LabRunner) runFreqSweep(req *Request) (any, error) {
 	return res, nil
 }
 
-func (r *LabRunner) runVminWalk(req *Request) (any, error) {
+func (r *LabRunner) runVminWalk(ctx context.Context, req *Request) (any, error) {
 	p := req.VminWalk
 	l, err := r.jobLab(req)
 	if err != nil {
@@ -137,7 +137,7 @@ func (r *LabRunner) runVminWalk(req *Request) (any, error) {
 	vcfg.FailVoltage = p.FailVoltage
 	vcfg.MinBias = p.MinBias
 	vcfg.Workers = req.Workers
-	pts, err := l.ConsecutiveEventStudy([]float64{p.FreqHz}, []int{p.Events}, vcfg)
+	pts, err := l.ConsecutiveEventStudy(ctx, []float64{p.FreqHz}, []int{p.Events}, vcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -150,13 +150,13 @@ func (r *LabRunner) runVminWalk(req *Request) (any, error) {
 	}, nil
 }
 
-func runEPIProfile(req *Request) (any, error) {
+func runEPIProfile(ctx context.Context, req *Request) (any, error) {
 	p := req.EPIProfile
 	cfg := epi.DefaultConfig()
 	cfg.MeasureCycles = p.MeasureCycles
 	cfg.WarmupCycles = p.WarmupCycles
 	cfg.Workers = req.Workers
-	prof, err := epi.Generate(cfg)
+	prof, err := epi.Generate(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +181,7 @@ func runEPIProfile(req *Request) (any, error) {
 	return res, nil
 }
 
-func (r *LabRunner) runGuardband(req *Request) (any, error) {
+func (r *LabRunner) runGuardband(ctx context.Context, req *Request) (any, error) {
 	p := req.Guardband
 	var droops [core.NumCores + 1]float64
 	if len(p.Droops) > 0 {
@@ -191,7 +191,7 @@ func (r *LabRunner) runGuardband(req *Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		runs, err := l.MappingStudy(p.FreqHz, p.Events, false)
+		runs, err := l.MappingStudy(ctx, p.FreqHz, p.Events, false)
 		if err != nil {
 			return nil, err
 		}

@@ -445,3 +445,49 @@ func TestBadRequests(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+// TestCancelRunningJob: canceling a job that a worker has already
+// picked up interrupts the measurement mid-sweep — the context is
+// threaded through the study engine down to the integration loop — and
+// the job finishes canceled long before the sweep would complete.
+func TestCancelRunningJob(t *testing.T) {
+	ctx := testCtx(t)
+	_, c := startServer(t, service.Config{Runner: labRunner, PoolSize: 1})
+
+	// A sweep big enough to take many seconds if left alone.
+	st, err := c.Submit(ctx, sweepReq(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Status == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (status %s)", cur.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != service.StateCanceled {
+		t.Fatalf("canceled running job finished %s", fin.Status)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsCanceled < 1 {
+		t.Errorf("jobs_canceled = %d, want >= 1", snap.JobsCanceled)
+	}
+}

@@ -156,6 +156,12 @@ type Macro struct {
 	maxPos  int
 	samples int64
 	rng     uint64
+
+	// Constants of the delay model that Sample would otherwise
+	// recompute (two math.Pow calls each) every cycle: the alpha-power
+	// normalization denominator and the continuous nominal position.
+	den  float64
+	nomF float64
 }
 
 // NewMacro builds a macro; the configuration must validate.
@@ -163,7 +169,11 @@ func NewMacro(cfg Config) (*Macro, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Macro{cfg: cfg}
+	m := &Macro{
+		cfg:  cfg,
+		den:  cfg.Vnom / math.Pow(cfg.Vnom-cfg.VThreshold, cfg.Alpha),
+		nomF: cfg.positionF(cfg.Vnom),
+	}
 	m.Reset()
 	return m, nil
 }
@@ -183,7 +193,7 @@ func (m *Macro) Reset() {
 
 // Sample captures one cycle at supply voltage v.
 func (m *Macro) Sample(v float64) {
-	pos := m.cfg.quantize(m.cfg.edgePositionF(v) + m.jitter())
+	pos := m.cfg.quantize(m.edgePositionF(v) + m.jitter())
 	if pos < m.minPos {
 		m.minPos = pos
 	}
@@ -191,6 +201,27 @@ func (m *Macro) Sample(v float64) {
 		m.maxPos = pos
 	}
 	m.samples++
+}
+
+// edgePositionF is Config.edgePositionF with the macro's cached model
+// constants: the same expressions evaluated on the same inputs (so
+// readings are bit-identical), minus three of the four math.Pow calls.
+func (m *Macro) edgePositionF(v float64) float64 {
+	return m.nomF + m.cfg.Gain*(m.positionF(v)-m.nomF)
+}
+
+// positionF mirrors Config.positionF/Delay using the cached
+// denominator.
+func (m *Macro) positionF(v float64) float64 {
+	if v <= m.cfg.VThreshold {
+		return 0 // the line stops propagating (Delay saturates to +Inf)
+	}
+	d := m.cfg.NominalDelay * (v / math.Pow(v-m.cfg.VThreshold, m.cfg.Alpha)) / m.den
+	pos := m.cfg.ClockPeriod / d
+	if pos > float64(m.cfg.Taps) {
+		pos = float64(m.cfg.Taps)
+	}
+	return pos
 }
 
 // jitter returns the next dither value, uniform in [-Jitter, +Jitter],

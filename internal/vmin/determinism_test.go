@@ -1,6 +1,7 @@
 package vmin
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -45,7 +46,7 @@ func TestRunDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := Run(p, tc.wl, c)
+				res, err := Run(context.Background(), p, tc.wl, c)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -63,5 +64,53 @@ func TestRunDeterminism(t *testing.T) {
 				t.Errorf("Run parallel run-to-run drift:\n%+v\n%+v", parallel, again)
 			}
 		})
+	}
+}
+
+// TestRunWarmPoolMatchesCold: a second walk on the same platform draws
+// warm sessions from its pool; the result must match the cold walk
+// bit-for-bit.
+func TestRunWarmPoolMatchesCold(t *testing.T) {
+	var noisy [core.NumCores]core.Workload
+	for i := range noisy {
+		noisy[i] = core.FuncWorkload{Label: "osc", Fn: func(tm float64) float64 {
+			if math.Mod(tm, 0.5e-6) < 0.25e-6 {
+				return 50
+			}
+			return 16
+		}}
+	}
+	cfg := DefaultConfig()
+	cfg.MinBias = 0.92
+	cfg.Windows = []Window{{Start: 0, Duration: 15e-6}}
+	cfg.Workers = 4
+	p, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(context.Background(), p, noisy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(context.Background(), p, noisy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cold vs warm pool differ:\n%+v\n%+v", cold, warm)
+	}
+}
+
+// TestRunCancellation: a canceled context interrupts the walk.
+func TestRunCancellation(t *testing.T) {
+	var idle [core.NumCores]core.Workload
+	p, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, p, idle, DefaultConfig()); err != context.Canceled {
+		t.Fatalf("canceled walk returned %v, want context.Canceled", err)
 	}
 }

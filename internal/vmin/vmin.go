@@ -40,11 +40,11 @@ type Config struct {
 	// Windows are the measurement windows checked at each step.
 	Windows []Window
 	// Workers caps the concurrent bias-step workers. Zero selects one
-	// worker per CPU; one forces the serial walk. Each step runs on its
-	// own platform clone, and the failure scan reduces in descending-
-	// bias order, so the result is bit-identical for every setting
-	// (parallel runs may probe a few steps past the failure and
-	// discard them).
+	// worker per CPU; one forces the serial walk. Each step runs on
+	// its own pooled session, and the failure scan reduces in
+	// descending-bias order, so the result is bit-identical for every
+	// setting (parallel runs may probe a few steps past the failure
+	// and discard them).
 	Workers int
 }
 
@@ -105,20 +105,22 @@ type Result struct {
 // crosses the failure threshold.
 //
 // The steps of the grid are independent measurements, so they fan out
-// across cfg.Workers, each on its own platform clone. The reduction
-// walks the steps in descending-bias order and stops at the first
-// failure — exactly the serial schedule — so Steps, FailBias and
-// MarginPercent never depend on the worker count.
-func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (*Result, error) {
+// across cfg.Workers, each on a session drawn from the platform's
+// pool — the circuit and its factored matrices are built once and
+// reused across the whole descending walk (the nodal matrices do not
+// depend on the bias). The reduction walks the steps in
+// descending-bias order and stops at the first failure — exactly the
+// serial schedule — so Steps, FailBias and MarginPercent never depend
+// on the worker count. Canceling ctx interrupts the walk mid-window.
+func Run(ctx context.Context, p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	defer p.SetVoltageBias(1.0) // leave the platform at nominal
-	// Workers clone from a snapshot taken before the fan-out, never
-	// from p itself: the early exit at the first failure can leave
-	// workers in flight past the return, where a clone of p would race
-	// with the deferred bias restore above.
-	base := p.Clone()
+	sessions := p.Sessions()
+	if sessions == nil {
+		sessions = core.NewSessionPool(p.Config())
+	}
 
 	var biases []float64
 	for bias := cfg.StartBias; bias >= cfg.MinBias-1e-9; bias -= core.BiasStep {
@@ -130,15 +132,16 @@ func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (
 	}
 	res := &Result{}
 	lastSafe := cfg.StartBias
-	err := exec.MapOrdered(context.Background(), len(biases), cfg.Workers,
-		func(_ context.Context, i int) (step, error) {
-			wp := base.Clone()
-			if err := wp.SetVoltageBias(biases[i]); err != nil {
+	err := exec.MapOrdered(ctx, len(biases), cfg.Workers,
+		func(ctx context.Context, i int) (step, error) {
+			s, err := sessions.Get(biases[i])
+			if err != nil {
 				return step{}, err
 			}
+			defer sessions.Put(s)
 			minV := 2.0
 			for _, w := range cfg.Windows {
-				m, err := wp.Run(core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
+				m, err := s.RunContext(ctx, core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
 				if err != nil {
 					return step{}, err
 				}
@@ -146,7 +149,7 @@ func Run(p *core.Platform, workloads [core.NumCores]core.Workload, cfg Config) (
 					minV = v
 				}
 			}
-			return step{bias: wp.VoltageBias(), minV: minV}, nil
+			return step{bias: s.VoltageBias(), minV: minV}, nil
 		},
 		func(_ int, s step) error {
 			res.Steps++

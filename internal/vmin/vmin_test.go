@@ -1,6 +1,7 @@
 package vmin
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	bad := DefaultConfig()
 	bad.Windows = nil
 	var wl [core.NumCores]core.Workload
-	if _, err := Run(p, wl, bad); err == nil {
+	if _, err := Run(context.Background(), p, wl, bad); err == nil {
 		t.Error("bad config accepted")
 	}
 }
@@ -40,7 +41,7 @@ func TestIdleWorkloadHasLargeMargin(t *testing.T) {
 	cfg.MinBias = 0.90
 	cfg.Windows = []Window{{Start: 0, Duration: 10e-6}}
 	var wl [core.NumCores]core.Workload
-	res, err := Run(p, wl, cfg)
+	res, err := Run(context.Background(), p, wl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestNoisyWorkloadFailsEarlier(t *testing.T) {
 			return 16
 		}}
 	}
-	resNoisy, err := Run(p, noisy, cfg)
+	resNoisy, err := Run(context.Background(), p, noisy, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestNoisyWorkloadFailsEarlier(t *testing.T) {
 	for i := range steadyWl {
 		steadyWl[i] = core.Steady("steady", 33)
 	}
-	resSteady, err := Run(p, steadyWl, cfg)
+	resSteady, err := Run(context.Background(), p, steadyWl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestMarginQuantizedToBiasSteps(t *testing.T) {
 	cfg.MinBias = 0.92
 	cfg.Windows = []Window{{Start: 0, Duration: 5e-6}}
 	var wl [core.NumCores]core.Workload
-	res, err := Run(p, wl, cfg)
+	res, err := Run(context.Background(), p, wl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

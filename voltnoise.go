@@ -15,11 +15,16 @@
 // # Quick start
 //
 //	plat, _ := voltnoise.NewPlatform(voltnoise.DefaultPlatformConfig())
-//	lab, _ := voltnoise.NewLab(plat, voltnoise.DefaultSearchConfig())
-//	sweep, _ := lab.FrequencySweep(voltnoise.LogSpace(1e3, 20e6, 40), true, 1000)
+//	lab, _ := voltnoise.NewLab(plat)
+//	sweep, _ := lab.FrequencySweep(context.Background(), voltnoise.LogSpace(1e3, 20e6, 40), true, 1000)
 //	for _, pt := range sweep {
 //		fmt.Printf("%12.0f Hz  worst %.1f %%p2p\n", pt.Freq, pt.Worst())
 //	}
+//
+// Measurement-heavy studies take a context.Context and stop
+// mid-sweep when it is canceled. Repeated runs draw reusable
+// measurement sessions from Platform.Sessions, so a campaign pays the
+// circuit construction and matrix factorization once.
 //
 // Every figure and table of the paper has a corresponding entry point;
 // see EXPERIMENTS.md for the index and cmd/experiments for a runnable
@@ -27,6 +32,8 @@
 package voltnoise
 
 import (
+	"context"
+
 	"voltnoise/internal/apps"
 	"voltnoise/internal/core"
 	"voltnoise/internal/epi"
@@ -53,6 +60,22 @@ type Platform = core.Platform
 
 // PlatformConfig assembles the platform model.
 type PlatformConfig = core.Config
+
+// Session is a reusable measurement engine: it owns the built PDN
+// circuit, the factored matrices and the skitter macros, so a
+// campaign of near-identical runs pays the setup once. Results are
+// bit-identical to one-shot Platform.Run calls. Not safe for
+// concurrent use; draw one per in-flight measurement from a
+// SessionPool.
+type Session = core.Session
+
+// SessionPool recycles sessions for one platform configuration; safe
+// for concurrent use. Platform.Sessions returns the platform's pool.
+type SessionPool = core.SessionPool
+
+// NewSession builds a standalone measurement session at nominal
+// voltage.
+func NewSession(cfg PlatformConfig) (*Session, error) { return core.NewSession(cfg) }
 
 // Measurement is what the platform's sensors report for one run.
 type Measurement = core.Measurement
@@ -102,15 +125,39 @@ func ISATable() *isa.Table { return isa.ZEC12Table() }
 // parallelism is safe by default.
 type Lab = noise.Lab
 
+// LabOption configures NewLab.
+type LabOption = noise.Option
+
+// WithSearch selects the stressmark sequence-search configuration
+// (default: DefaultSearchConfig, the paper-sized search).
+func WithSearch(scfg SearchConfig) LabOption { return noise.WithSearch(scfg) }
+
+// WithWorkers caps the concurrent measurement workers of the parallel
+// studies (zero: one worker per CPU, one: serial).
+func WithWorkers(n int) LabOption { return noise.WithWorkers(n) }
+
 // NewLab runs the maximum-power sequence search on the given platform
-// and returns the experiment harness.
-func NewLab(p *Platform, scfg SearchConfig) (*Lab, error) {
-	return noise.NewLabOn(p, scfg)
+// and returns the experiment harness. Options select the search size
+// and worker cap:
+//
+//	lab, err := voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
+func NewLab(p *Platform, opts ...LabOption) (*Lab, error) {
+	return noise.New(p, opts...)
+}
+
+// NewLabWith is the pre-option two-argument constructor.
+//
+// Deprecated: use NewLab with WithSearch.
+func NewLabWith(p *Platform, scfg SearchConfig) (*Lab, error) {
+	return NewLab(p, WithSearch(scfg))
 }
 
 // DefaultLab builds a lab with the calibrated platform and the
 // paper-sized search (9 candidates, 9^6 combinations, top-1000 IPC
 // filter).
+//
+// Deprecated: build the platform explicitly and use NewLab; this
+// wrapper remains so older example code keeps compiling.
 func DefaultLab() (*Lab, error) { return noise.DefaultLab() }
 
 // SearchConfig parameterizes the maximum-power sequence search.
@@ -157,15 +204,39 @@ func DefaultSync() SyncCondition { return tod.DefaultSync() }
 // granularity of the misalignment study.
 const TODTickSeconds = tod.TickSeconds
 
+// EPIOption configures EPIProfile.
+type EPIOption func(*EPIConfig)
+
+// EPIWorkers caps the concurrent per-instruction measurement workers
+// (zero: one worker per CPU, one: serial).
+func EPIWorkers(n int) EPIOption { return func(c *EPIConfig) { c.Workers = n } }
+
+// EPIMeasureCycles sets the measured cycles per micro-benchmark.
+func EPIMeasureCycles(n int) EPIOption { return func(c *EPIConfig) { c.MeasureCycles = n } }
+
+// EPIWarmupCycles sets the warmup cycles per micro-benchmark.
+func EPIWarmupCycles(n int) EPIOption { return func(c *EPIConfig) { c.WarmupCycles = n } }
+
 // EPIProfile generates the energy-per-instruction profile of the full
 // ISA (the paper's Table I) by running one micro-benchmark per
 // instruction on the cycle-level executor. The per-instruction runs
-// execute in parallel (one worker per CPU; see EPIConfig.Workers);
-// the profile is bit-identical to a serial run.
-func EPIProfile() (*epi.Profile, error) { return epi.Generate(epi.DefaultConfig()) }
+// execute in parallel (one worker per CPU unless EPIWorkers says
+// otherwise); the profile is bit-identical to a serial run. Canceling
+// ctx interrupts the profile between instruction runs.
+func EPIProfile(ctx context.Context, opts ...EPIOption) (*epi.Profile, error) {
+	cfg := epi.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return epi.Generate(ctx, cfg)
+}
 
 // EPIProfileWith generates the profile with explicit settings.
-func EPIProfileWith(cfg epi.Config) (*epi.Profile, error) { return epi.Generate(cfg) }
+//
+// Deprecated: use EPIProfile with options.
+func EPIProfileWith(cfg epi.Config) (*epi.Profile, error) {
+	return epi.Generate(context.Background(), cfg)
+}
 
 // EPIConfig parameterizes EPI profiling.
 type EPIConfig = epi.Config
@@ -182,13 +253,48 @@ func DefaultVminConfig() VminConfig { return vmin.DefaultConfig() }
 // VminResult reports a Vmin experiment.
 type VminResult = vmin.Result
 
-// RunVmin lowers the supply in 0.5% steps until first failure and
+// VminWindow is one measurement window per bias step.
+type VminWindow = vmin.Window
+
+// VminOption configures Vmin.
+type VminOption func(*VminConfig)
+
+// VminFailVoltage sets the critical-path failure threshold in volts.
+func VminFailVoltage(v float64) VminOption { return func(c *VminConfig) { c.FailVoltage = v } }
+
+// VminStartBias sets the first (highest) bias probed.
+func VminStartBias(b float64) VminOption { return func(c *VminConfig) { c.StartBias = b } }
+
+// VminMinBias bounds the walk from below.
+func VminMinBias(b float64) VminOption { return func(c *VminConfig) { c.MinBias = b } }
+
+// VminWindows sets the measurement windows checked at each step.
+func VminWindows(ws ...VminWindow) VminOption { return func(c *VminConfig) { c.Windows = ws } }
+
+// VminWorkers caps the concurrent bias-step workers (zero: one worker
+// per CPU, one: serial).
+func VminWorkers(n int) VminOption { return func(c *VminConfig) { c.Workers = n } }
+
+// Vmin lowers the supply in 0.5% steps until first failure and
 // reports the available margin. The bias grid is probed in parallel
-// (VminConfig.Workers; zero = one worker per CPU) with a
-// deterministic descending-bias reduction, so the result matches the
-// serial walk exactly.
+// (VminWorkers; default one worker per CPU) with a deterministic
+// descending-bias reduction, so the result matches the serial walk
+// exactly; every bias step reuses a pooled measurement session, so
+// the circuit is built and factored once for the whole walk.
+// Canceling ctx interrupts the walk mid-window.
+func Vmin(ctx context.Context, p *Platform, workloads [NumCores]Workload, opts ...VminOption) (*VminResult, error) {
+	cfg := vmin.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return vmin.Run(ctx, p, workloads, cfg)
+}
+
+// RunVmin is Vmin with an explicit configuration and no cancellation.
+//
+// Deprecated: use Vmin with options.
 func RunVmin(p *Platform, workloads [NumCores]Workload, cfg VminConfig) (*VminResult, error) {
-	return vmin.Run(p, workloads, cfg)
+	return vmin.Run(context.Background(), p, workloads, cfg)
 }
 
 // MappingOpportunity quantifies the noise-aware workload mapping

@@ -3,6 +3,7 @@
 package voltnoise_test
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -24,7 +25,7 @@ func apiSetup(t *testing.T) *voltnoise.Lab {
 		if apiErr != nil {
 			return
 		}
-		apiLab, apiErr = voltnoise.NewLab(plat, voltnoise.QuickSearchConfig())
+		apiLab, apiErr = voltnoise.NewLab(plat, voltnoise.WithSearch(voltnoise.QuickSearchConfig()))
 	})
 	if apiErr != nil {
 		t.Fatal(apiErr)
@@ -61,11 +62,11 @@ func TestSearchAPI(t *testing.T) {
 // the ~2 MHz first-droop resonance, worst on cores 2/4.
 func TestHeadlineReproduction(t *testing.T) {
 	lab := apiSetup(t)
-	sync, err := lab.FrequencySweep([]float64{2e6}, true, 1000)
+	sync, err := lab.FrequencySweep(context.Background(), []float64{2e6}, true, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	unsync, err := lab.FrequencySweep([]float64{2e6}, false, 0)
+	unsync, err := lab.FrequencySweep(context.Background(), []float64{2e6}, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestEPIProfileAPI(t *testing.T) {
 	// Default measurement windows: short ones bias the bottom ranks,
 	// where unpipelined ops need several initiation intervals to
 	// average out.
-	prof, err := voltnoise.EPIProfile()
+	prof, err := voltnoise.EPIProfile(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
