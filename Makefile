@@ -3,21 +3,25 @@
 #   make             tier-1 gate: build, vet, full test suite
 #   make race        race detector over all internal packages
 #   make bench       serial-vs-parallel engine benchmarks
-#   make bench-json  benchmark snapshot -> BENCH_PR4.json
+#   make bench-json  benchmark snapshot -> BENCH_PR5.json
 #   make bench-check fresh run compared against the committed snapshot
 #   make run-service start the voltnoised HTTP service on :8080
-#   make ci          everything the CI gate runs (tier-1 + race gates)
+#   make ci          everything the CI gate runs (tier-1 + race +
+#                    batch determinism + bench-check)
 #
 # BENCH_SELECT narrows bench/bench-json; BENCH_OUT moves the snapshot;
 # BENCH_MAX_REGRESS loosens/tightens the bench-check budget.
 
 GO ?= go
 BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_BASELINE ?= BENCH_PR4.json
-BENCH_MAX_REGRESS ?= 10%
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR5.json
+# The budget absorbs the scheduler noise of small shared CI hosts
+# (single-run swings of ~10% are routine there); real regressions from
+# losing the batched solve are several times larger.
+BENCH_MAX_REGRESS ?= 25%
 
-.PHONY: all build vet test tier1 race bench bench-json bench-check run-service ci clean
+.PHONY: all build vet test tier1 race batch-determinism bench bench-json bench-check run-service ci clean
 
 all: tier1
 
@@ -41,6 +45,13 @@ tier1: build vet test
 # same studies.
 race:
 	$(GO) test -race ./internal/...
+
+# batch-determinism runs the lockstep-batching determinism suites
+# under the race detector: every study must produce bit-identical
+# results at batch widths {1,3,8} x workers {1,8}, and the shared
+# batch-session pool must stay race-clean while doing it.
+batch-determinism:
+	$(GO) test -race -run 'Batch' ./internal/noise/ ./internal/vmin/ ./internal/core/ ./internal/service/
 
 # bench compares the serial (Workers=1) and parallel (one worker per
 # CPU) paths of the hot studies. On a multi-core host the parallel
@@ -69,10 +80,14 @@ run-service:
 	$(GO) run ./cmd/voltnoised serve -addr :8080
 
 # ci is the full gate: tier-1 plus the race detector over the service
-# (always, it is the concurrency hot spot) and the internal packages.
+# (always, it is the concurrency hot spot) and the internal packages,
+# the batch determinism suites under -race, and a bench-check run that
+# fails the gate on a benchmark regression past BENCH_MAX_REGRESS.
 ci: tier1
 	$(GO) test -race ./internal/service/...
 	$(GO) test -race ./internal/...
+	$(MAKE) batch-determinism
+	$(MAKE) bench-check
 
 clean:
 	$(GO) clean -testcache

@@ -201,6 +201,7 @@ func runSummary(e *env) error {
 
 	vcfg := voltnoise.DefaultVminConfig()
 	vcfg.Workers = e.workers
+	vcfg.Batch = e.batch
 	vcfg.MinBias = 0.85
 	cust, err := e.lab.CustomerCodeMargin(e.ctx, 2e6, vcfg)
 	if err != nil {

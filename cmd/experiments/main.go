@@ -39,6 +39,9 @@ type env struct {
 	// workers is the -workers flag: the measurement worker cap handed
 	// to every study and Vmin config.
 	workers int
+	// batch is the -batch flag: the lockstep batch lane width handed
+	// to every study and Vmin config.
+	batch int
 
 	// mappingStudy caches the (expensive) exhaustive mapping dataset
 	// shared by Fig11a, Fig11b and Fig13a.
@@ -98,6 +101,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced sweep sizes")
 	csvDir := fs.String("csv", "", "directory for CSV output")
 	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial); results are bit-identical for every setting")
+	batch := fs.Int("batch", 0, "lockstep batch lane width (0 = auto, 1 = lane-per-run); results are bit-identical for every setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,7 +144,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	e := &env{ctx: ctx, quick: *quick, csvDir: *csvDir, out: out, workers: *workers}
+	e := &env{ctx: ctx, quick: *quick, csvDir: *csvDir, out: out, workers: *workers, batch: *batch}
 	scfg := voltnoise.DefaultSearchConfig()
 	if *quick {
 		scfg = voltnoise.QuickSearchConfig()
@@ -156,6 +160,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	lab.Workers = *workers
+	lab.Batch = *batch
 	e.lab = lab
 	e.printf("platform ready in %v (max-power sequence: %s, %.1f W)\n\n",
 		time.Since(start).Round(time.Millisecond), lab.MaxSeq.Mnemonics(),
@@ -369,6 +374,7 @@ func runFig12(e *env) error {
 	}
 	vcfg := voltnoise.DefaultVminConfig()
 	vcfg.Workers = e.workers
+	vcfg.Batch = e.batch
 	vcfg.MinBias = 0.88
 	pts, err := e.lab.ConsecutiveEventStudy(e.ctx, freqs, events, vcfg)
 	if err != nil {

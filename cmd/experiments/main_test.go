@@ -48,6 +48,37 @@ func TestGuardbandCSV(t *testing.T) {
 	}
 }
 
+// TestBatchFlagDeterminism: the -batch flag changes scheduling only —
+// the experiment output (banner timing aside) is byte-identical at
+// every lane width.
+func TestBatchFlagDeterminism(t *testing.T) {
+	// Fig14 exercises the batched placement evaluator; drop the timing
+	// lines ("platform ready in ..."/"(Fig14 in ...)") before comparing.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "platform ready in ") || strings.HasPrefix(line, "(Fig14 in ") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	run1 := func(batch string) string {
+		var out strings.Builder
+		if err := run(context.Background(), []string{"-quick", "-run", "Fig14", "-batch", batch}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return strip(out.String())
+	}
+	ref := run1("1")
+	for _, batch := range []string{"0", "3", "8"} {
+		if got := run1(batch); got != ref {
+			t.Errorf("-batch %s changed the output:\nbatch=1:\n%s\nbatch=%s:\n%s", batch, ref, batch, got)
+		}
+	}
+}
+
 // TestUnknownExperimentErrors: a bad -run id is a clean error listing
 // the known ids.
 func TestUnknownExperimentErrors(t *testing.T) {

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	noisesweep -mode freq [-sync] [-lo 1e3] [-hi 20e6] [-points 30] [-workers N]
+//	noisesweep -mode freq [-sync] [-lo 1e3] [-hi 20e6] [-points 30] [-workers N] [-batch B]
 //	noisesweep -mode misalign [-freq 2e6] [-maxticks 16]
 //	noisesweep -mode deltai [-freq 2e6]
 //
 // -workers caps the parallel measurement workers (0 = one per CPU,
-// 1 = serial); the output is bit-identical for every setting.
+// 1 = serial) and -batch the lockstep batch lane width (0 = auto,
+// 1 = lane-per-run); the output is bit-identical for every setting of
+// either.
 package main
 
 import (
@@ -42,6 +44,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxTicks := fs.Int("maxticks", 16, "largest misalignment in 62.5ns ticks (misalign mode)")
 	quick := fs.Bool("quick", false, "reduced search")
 	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial)")
+	batch := fs.Int("batch", 0, "lockstep batch lane width (0 = auto, 1 = lane-per-run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	lab.Workers = *workers
+	lab.Batch = *batch
 
 	switch *mode {
 	case "freq":

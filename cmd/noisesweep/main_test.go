@@ -44,6 +44,27 @@ func TestWorkersFlagDeterminism(t *testing.T) {
 	}
 }
 
+// TestBatchFlagDeterminism: the -batch flag changes scheduling only —
+// lane-per-run and lockstep-lane invocations emit byte-identical CSV
+// at every width.
+func TestBatchFlagDeterminism(t *testing.T) {
+	args := []string{"-quick", "-mode", "freq", "-lo", "1e6", "-hi", "4e6", "-points", "3"}
+	var ref strings.Builder
+	if err := run(context.Background(), append([]string{"-batch", "1"}, args...), &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []string{"0", "3", "8"} {
+		var got strings.Builder
+		if err := run(context.Background(), append([]string{"-batch", batch}, args...), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != ref.String() {
+			t.Errorf("-batch %s changed the output:\nbatch=1:\n%s\nbatch=%s:\n%s",
+				batch, ref.String(), batch, got.String())
+		}
+	}
+}
+
 // TestBadModeErrors: an unknown mode is a clean error, not a crash.
 func TestBadModeErrors(t *testing.T) {
 	var out strings.Builder

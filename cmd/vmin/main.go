@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	vmin [-freq 2.5e6] [-events 1000] [-nosync] [-failv 0.875] [-quick] [-workers N]
+//	vmin [-freq 2.5e6] [-events 1000] [-nosync] [-failv 0.875] [-quick] [-workers N] [-batch B]
 //
 // -workers caps the parallel measurement workers (0 = one per CPU,
-// 1 = serial); the reported margin is bit-identical for every setting.
+// 1 = serial) and -batch the lockstep batch lane width of the bias
+// walk (0 = auto, 1 = step-per-run); the reported margin is
+// bit-identical for every setting of either.
 package main
 
 import (
@@ -39,6 +41,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	failV := fs.Float64("failv", 0, "critical-path failure threshold in volts (0 = calibrated default)")
 	quick := fs.Bool("quick", false, "reduced search")
 	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial)")
+	batch := fs.Int("batch", 0, "lockstep batch lane width (0 = auto, 1 = step-per-run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,9 +60,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	lab.Workers = *workers
+	lab.Batch = *batch
 
 	vcfg := voltnoise.DefaultVminConfig()
 	vcfg.Workers = *workers
+	vcfg.Batch = *batch
 	if *failV > 0 {
 		vcfg.FailVoltage = *failV
 	}

@@ -36,3 +36,24 @@ func TestWorkersFlagDeterminism(t *testing.T) {
 		t.Errorf("-workers changed the report:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
 	}
 }
+
+// TestBatchFlagDeterminism: the -batch flag packs bias steps into
+// lockstep lanes without moving the reported margin — every width
+// emits the byte-identical report.
+func TestBatchFlagDeterminism(t *testing.T) {
+	args := []string{"-quick", "-events", "100"}
+	var ref strings.Builder
+	if err := run(context.Background(), append([]string{"-batch", "1"}, args...), &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []string{"0", "3", "8"} {
+		var got strings.Builder
+		if err := run(context.Background(), append([]string{"-batch", batch}, args...), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != ref.String() {
+			t.Errorf("-batch %s changed the report:\nbatch=1:\n%s\nbatch=%s:\n%s",
+				batch, ref.String(), batch, got.String())
+		}
+	}
+}

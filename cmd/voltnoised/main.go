@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	voltnoised serve [-addr :8080] [-queue 64] [-pool 2] [-cache 256]
+//	voltnoised serve [-addr :8080] [-queue 64] [-pool 2] [-cache 256] [-pprof addr]
 //	voltnoised ctl [-addr http://127.0.0.1:8080] submit <req.json|->
 //	voltnoised ctl [...] status|result|wait|cancel <job-id>
 //	voltnoised ctl [...] run <req.json|->
@@ -21,6 +21,12 @@
 // "{" is parsed as inline JSON. Identical configurations are served
 // from the cache (byte-identical to a fresh computation); a full job
 // queue answers 429 — submit again after the Retry-After interval.
+//
+// -pprof starts a second HTTP listener serving net/http/pprof
+// profiling endpoints (/debug/pprof/...) on the given address. It is
+// off by default and kept off the service listener so profiling never
+// shares a port with the public API; bind it to loopback, e.g.
+// -pprof 127.0.0.1:6060.
 package main
 
 import (
@@ -29,7 +35,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +75,7 @@ func runServe(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 64, "job queue depth (excess submissions get 429)")
 	pool := fs.Int("pool", 2, "concurrent study workers")
 	cache := fs.Int("cache", 256, "LRU result-cache entries (negative disables)")
+	pprofAddr := fs.String("pprof", "", "profiling listen address for /debug/pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +85,15 @@ func runServe(args []string, out io.Writer) error {
 		CacheEntries: *cache,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	if *pprofAddr != "" {
+		psrv, paddr, err := startPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer psrv.Close()
+		fmt.Fprintf(out, "voltnoised profiling on http://%s/debug/pprof/\n", paddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,6 +115,32 @@ func runServe(args []string, out io.Writer) error {
 		return fmt.Errorf("draining job queue: %w", err)
 	}
 	return httpSrv.Shutdown(drainCtx)
+}
+
+// pprofMux serves the net/http/pprof endpoints on a dedicated mux —
+// never the global http.DefaultServeMux and never the service
+// listener, so enabling profiling cannot expose it on the API port.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startPprof binds the profiling listener and serves pprofMux on it
+// in the background, returning the server (Close to stop) and the
+// bound address (useful with ":0").
+func startPprof(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: pprofMux()}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
 }
 
 func runCtl(args []string, out io.Writer) error {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -147,6 +149,38 @@ func TestCtlRunFromFileAndCache(t *testing.T) {
 	}
 	if !strings.Contains(out, "cache: hit") {
 		t.Errorf("second run output: %s", out)
+	}
+}
+
+// TestPprofListener: startPprof serves the /debug/pprof index on its
+// own listener, and only profiling paths — the service API surface is
+// not on it.
+func TestPprofListener(t *testing.T) {
+	srv, addr, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index does not list profiles:\n%s", body)
+	}
+	resp, err = http.Get(base + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("service path on the pprof listener answered %d, want 404", resp.StatusCode)
 	}
 }
 

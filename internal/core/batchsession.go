@@ -1,0 +1,342 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"voltnoise/internal/pdn"
+	"voltnoise/internal/signal"
+	"voltnoise/internal/skitter"
+)
+
+// BatchSession is the lockstep counterpart of Session: it owns one
+// built ZEC12 circuit and one set of factored matrices but advances B
+// independent measurement lanes through them per step, via
+// pdn.BatchTransient. Each lane carries its own workload slots, supply
+// bias, skitter macros and accumulators, so a width-B session replaces
+// B sessions while paying the plan walk and the (latency-bound) LU
+// substitution once per step instead of B times.
+//
+// Every lane's Measurement is bit-identical to running the same
+// RunSpec alone on a single Session at the lane's bias: per lane the
+// engine performs the same floating-point operations in the same
+// order, batching only interleaves independent lanes.
+//
+// A BatchSession is NOT safe for concurrent use; parallel studies draw
+// one per in-flight batch from a SessionPool.
+type BatchSession struct {
+	cfg   Config
+	lanes int
+
+	bias    []float64 // per lane, quantized as Platform.SetVoltageBias
+	vnom    []float64 // per lane effective supply (PDN.Vnom * bias)
+	uncoreI []float64 // per lane uncore current (UncorePower / vnom)
+
+	circuit *pdn.Circuit
+	nodes   pdn.ZEC12Nodes
+	bt      *pdn.BatchTransient
+	macros  [][NumCores]*skitter.Macro
+
+	idle Workload
+	// wl holds each lane's current workloads; the shared load closures
+	// read the active lane's slots through s.lane.
+	wl [][NumCores]Workload
+	// pw is the per-lane power scratch the load closures fill each
+	// step, reused by the chip-power accumulators.
+	pw [][NumCores]float64
+	// src[l][i] is the lowest core index of lane l whose slot holds
+	// the identical (pure) workload value as core i's, or i itself —
+	// the per-lane analogue of Session.src. Within a lane the engine
+	// evaluates loads in core order at one instant, so aliased cores
+	// copy the sample the source core just parked.
+	src [][NumCores]int
+	// lane is the lane whose loads the circuit is evaluating right now,
+	// kept current by the engine's onLane hook.
+	lane int
+}
+
+// NewBatchSession builds a batch session with the given lane count,
+// every lane at nominal voltage (bias 1.0).
+func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("core: batch lane count %d, want >= 1", lanes)
+	}
+	s := &BatchSession{
+		cfg: cfg, lanes: lanes, idle: Idle(cfg.Core),
+		bias:    make([]float64, lanes),
+		vnom:    make([]float64, lanes),
+		uncoreI: make([]float64, lanes),
+		macros:  make([][NumCores]*skitter.Macro, lanes),
+		wl:      make([][NumCores]Workload, lanes),
+		pw:      make([][NumCores]float64, lanes),
+		src:     make([][NumCores]int, lanes),
+	}
+	for l := 0; l < lanes; l++ {
+		s.bias[l] = 1.0
+		s.vnom[l] = cfg.PDN.Vnom
+		s.uncoreI[l] = cfg.UncorePower / s.vnom[l]
+		for i := range s.wl[l] {
+			s.wl[l][i] = s.idle
+			s.src[l][i] = i
+		}
+		if err := s.rebuildMacros(l); err != nil {
+			return nil, err
+		}
+	}
+
+	pdnCfg := cfg.PDN
+	s.circuit, s.nodes = pdn.ZEC12(pdnCfg)
+	for i := 0; i < NumCores; i++ {
+		// Same linearization as Session: I(t) = P(t)/Vnom at the active
+		// lane's effective supply, with the power sample parked in the
+		// lane's scratch slot.
+		i := i
+		s.circuit.AddLoad(fmt.Sprintf("core%d", i), s.nodes.Core[i],
+			func(t float64) float64 {
+				l := s.lane
+				var p float64
+				if j := s.src[l][i]; j != i {
+					p = s.pw[l][j]
+				} else {
+					p = s.wl[l][i].Power(t)
+				}
+				s.pw[l][i] = p
+				return p / s.vnom[l]
+			})
+	}
+	s.circuit.AddLoad("uncore", s.nodes.L3, func(float64) float64 { return s.uncoreI[s.lane] })
+
+	bt, err := pdn.NewBatchTransientAt(s.circuit, cfg.Dt, 0, lanes, func(l int) { s.lane = l })
+	if err != nil {
+		return nil, err
+	}
+	s.bt = bt
+	return s, nil
+}
+
+// Config returns the session's platform configuration.
+func (s *BatchSession) Config() Config { return s.cfg }
+
+// Lanes returns the batch width.
+func (s *BatchSession) Lanes() int { return s.lanes }
+
+// LaneBias returns the lane's current (quantized) bias.
+func (s *BatchSession) LaneBias(lane int) float64 { return s.bias[lane] }
+
+// SetLaneBias retunes one lane's supply setpoint, quantized to the
+// service element's 0.5% steps like Session.SetVoltageBias. Only the
+// lane's fixed VRM potential and macro calibrations move — the
+// factored matrices serve every lane at every bias, because fixed-node
+// potentials enter the solve through the RHS only. This is what lets a
+// Vmin walk probe several biases in one lockstep batch.
+func (s *BatchSession) SetLaneBias(lane int, bias float64) error {
+	if lane < 0 || lane >= s.lanes {
+		return fmt.Errorf("core: lane %d out of range [0,%d)", lane, s.lanes)
+	}
+	q := math.Round(bias/BiasStep) * BiasStep
+	if q < 0.70 || q > 1.10 {
+		return fmt.Errorf("core: voltage bias %g outside [0.70, 1.10]", q)
+	}
+	if q == s.bias[lane] {
+		return nil
+	}
+	s.bias[lane] = q
+	s.vnom[lane] = s.cfg.PDN.Vnom * q
+	s.uncoreI[lane] = s.cfg.UncorePower / s.vnom[lane]
+	if err := s.bt.SetLaneFixed(lane, s.nodes.VRM, s.vnom[lane]); err != nil {
+		return err
+	}
+	return s.rebuildMacros(lane)
+}
+
+// SetVoltageBias retunes every lane to the same bias.
+func (s *BatchSession) SetVoltageBias(bias float64) error {
+	for l := 0; l < s.lanes; l++ {
+		if err := s.SetLaneBias(l, bias); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshAliases recomputes one lane's src row from its workload
+// slots, exactly as Session.refreshAliases does for the single-lane
+// engine.
+func (s *BatchSession) refreshAliases(lane int) {
+	for i := range s.wl[lane] {
+		s.src[lane][i] = i
+		for j := 0; j < i; j++ {
+			if !sameWorkload(s.wl[lane][j], s.wl[lane][i]) {
+				continue
+			}
+			if _, fixed := s.circuit.FixedVoltage(s.nodes.Core[j]); fixed {
+				continue
+			}
+			s.src[lane][i] = j
+			break
+		}
+	}
+}
+
+// rebuildMacros constructs one lane's per-core skitter macros with
+// process-variation gains, calibrated at the lane's effective supply.
+func (s *BatchSession) rebuildMacros(lane int) error {
+	for i := range s.macros[lane] {
+		sc := s.cfg.Skitter
+		sc.Vnom = s.vnom[lane]
+		sc.Gain *= s.cfg.CoreGain[i]
+		m, err := skitter.NewMacro(sc)
+		if err != nil {
+			return err
+		}
+		s.macros[lane][i] = m
+	}
+	return nil
+}
+
+// RunBatch executes one measurement window on every lane. See
+// RunBatchContext.
+func (s *BatchSession) RunBatch(specs []RunSpec) ([]*Measurement, error) {
+	return s.RunBatchContext(context.Background(), specs)
+}
+
+// RunBatchContext runs one spec per lane in lockstep and returns one
+// Measurement per lane, in lane order. All lanes must share the same
+// Start, Duration and Warmup — lockstep lanes advance through the same
+// instants — while workloads, Record, and the lane biases may differ.
+// A canceled context interrupts the integration mid-window and returns
+// ctx.Err(); the session remains reusable afterwards.
+func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]*Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(specs) != s.lanes {
+		return nil, fmt.Errorf("core: %d specs for a %d-lane batch", len(specs), s.lanes)
+	}
+	if specs[0].Duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive measurement duration %g", specs[0].Duration)
+	}
+	warmup := specs[0].Warmup
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("core: negative warmup %g", specs[0].Warmup)
+	}
+	for l := 1; l < s.lanes; l++ {
+		if specs[l].Start != specs[0].Start || specs[l].Duration != specs[0].Duration || specs[l].Warmup != specs[0].Warmup {
+			return nil, fmt.Errorf("core: lane %d window (%g,%g,%g) differs from lane 0 (%g,%g,%g); lockstep lanes must share the window",
+				l, specs[l].Start, specs[l].Duration, specs[l].Warmup,
+				specs[0].Start, specs[0].Duration, specs[0].Warmup)
+		}
+	}
+	start, duration := specs[0].Start, specs[0].Duration
+	for l := 0; l < s.lanes; l++ {
+		for i := range s.wl[l] {
+			if specs[l].Workloads[i] == nil {
+				s.wl[l][i] = s.idle
+			} else {
+				s.wl[l][i] = specs[l].Workloads[i]
+			}
+		}
+		s.refreshAliases(l)
+	}
+	if err := s.bt.Reset(start - warmup); err != nil {
+		return nil, err
+	}
+	// Warmup settles the PDN, mirroring Session.RunContext.
+	ctr := 0
+	for s.bt.Time() < start-s.cfg.Dt/2 {
+		if ctr++; ctr >= ctxCheckSteps {
+			ctr = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.bt.Step(); err != nil {
+			return nil, err
+		}
+	}
+	for l := 0; l < s.lanes; l++ {
+		for _, m := range s.macros[l] {
+			m.Reset()
+		}
+	}
+
+	steps := int(math.Round(duration / s.cfg.Dt))
+	meas := make([]*Measurement, s.lanes)
+	energy := make([]float64, s.lanes)
+	for l := range meas {
+		m := &Measurement{Start: start, Duration: duration}
+		if specs[l].Record {
+			for i := range m.Traces {
+				t := signal.NewTrace(s.cfg.Dt, steps+1)
+				t.Start = start
+				m.Traces[i] = t
+			}
+		}
+		for i := range m.VMin {
+			m.VMin[i] = math.Inf(1)
+			m.VMax[i] = math.Inf(-1)
+		}
+		meas[l] = m
+	}
+	observe := func(step int) {
+		for l := 0; l < s.lanes; l++ {
+			m := meas[l]
+			for i := 0; i < NumCores; i++ {
+				v := s.bt.Voltage(l, s.nodes.Core[i])
+				s.macros[l][i].Sample(v)
+				if v < m.VMin[i] {
+					m.VMin[i] = v
+				}
+				if v > m.VMax[i] {
+					m.VMax[i] = v
+				}
+				if specs[l].Record {
+					m.Traces[i].Samples[step] = v
+				}
+			}
+		}
+	}
+	observe(0)
+	for st := 1; st <= steps; st++ {
+		if ctr++; ctr >= ctxCheckSteps {
+			ctr = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.bt.Step(); err != nil {
+			return nil, err
+		}
+		observe(st)
+		// Chip power per lane, from the samples the load closures just
+		// took for each lane.
+		for l := 0; l < s.lanes; l++ {
+			pw := s.cfg.UncorePower
+			for i := 0; i < NumCores; i++ {
+				pw += s.pw[l][i]
+			}
+			energy[l] += pw * s.cfg.Dt
+		}
+	}
+	for l := 0; l < s.lanes; l++ {
+		m := meas[l]
+		for i, mac := range s.macros[l] {
+			m.P2P[i] = mac.PeakToPeakPercent()
+			m.PosMin[i], m.PosMax[i] = mac.PositionRange()
+		}
+		m.NominalPos = s.macros[l][0].Config().NominalPosition()
+		m.ChipPowerMilliwatts = int64(math.Round(energy[l] / duration * 1000))
+		// Drop workload references so pooled sessions don't pin them.
+		for i := range s.wl[l] {
+			s.wl[l][i] = s.idle
+		}
+	}
+	return meas, nil
+}

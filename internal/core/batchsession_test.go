@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// laneWorkload returns a lane-distinct square wave so cross-lane
+// contamination in the lockstep engine cannot go unnoticed.
+func laneWorkload(lane int) Workload {
+	period := (0.4 + 0.1*float64(lane)) * 1e-6
+	hi := 40 + 4*float64(lane)
+	return FuncWorkload{Label: "lane-osc", Fn: func(t float64) float64 {
+		if math.Mod(t, period) < period/2 {
+			return hi
+		}
+		return 12
+	}}
+}
+
+// TestBatchSessionMatchesSessions is the batch engine's core contract:
+// every lane of a heterogeneous batch (different workloads per lane,
+// one lane recording traces) is bit-identical to running that lane's
+// spec alone on a single-lane Session.
+func TestBatchSessionMatchesSessions(t *testing.T) {
+	const lanes = 3
+	cfg := DefaultConfig()
+	bs, err := NewBatchSession(cfg, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]RunSpec, lanes)
+	for l := range specs {
+		var wl [NumCores]Workload
+		for i := 0; i <= l; i++ {
+			wl[i] = laneWorkload(l)
+		}
+		specs[l] = RunSpec{Workloads: wl, Start: 0, Duration: 20e-6, Record: l == 1}
+	}
+	got, err := bs.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range specs {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(specs[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, map[int]string{0: "lane0", 1: "lane1", 2: "lane2"}[l], got[l], want)
+	}
+}
+
+// TestBatchSessionLaneBiases packs three supply biases into one batch
+// (the vmin walk pattern) and checks each lane matches a single
+// Session retuned to that bias.
+func TestBatchSessionLaneBiases(t *testing.T) {
+	cfg := DefaultConfig()
+	biases := []float64{1.0, 0.95, 0.9}
+	bs, err := NewBatchSession(cfg, len(biases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]RunSpec, len(biases))
+	for l, b := range biases {
+		if err := bs.SetLaneBias(l, b); err != nil {
+			t.Fatal(err)
+		}
+		var wl [NumCores]Workload
+		for i := range wl {
+			wl[i] = oscWorkload()
+		}
+		specs[l] = RunSpec{Workloads: wl, Start: 0, Duration: 15e-6}
+	}
+	got, err := bs.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, b := range biases {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetVoltageBias(b); err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(specs[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, "bias lane", got[l], want)
+	}
+}
+
+// TestBatchSessionReuse runs two back-to-back heterogeneous batches on
+// one session; the second must match fresh single-lane sessions, the
+// reuse guarantee lifted to the batch engine.
+func TestBatchSessionReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	bs, err := NewBatchSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(d float64) []RunSpec {
+		var wl0, wl1 [NumCores]Workload
+		wl0[0] = laneWorkload(0)
+		wl1[2], wl1[3] = laneWorkload(1), laneWorkload(2)
+		return []RunSpec{
+			{Workloads: wl0, Start: 0, Duration: d},
+			{Workloads: wl1, Start: 0, Duration: d},
+		}
+	}
+	if _, err := bs.RunBatch(mk(10e-6)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bs.RunBatch(mk(14e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, spec := range mk(14e-6) {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, "reused lane", got[l], want)
+	}
+}
+
+// TestBatchSessionValidation covers the batch-specific error paths:
+// spec count mismatch, mismatched lane windows, bad lane indices.
+func TestBatchSessionValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	bs, err := NewBatchSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatchSession(cfg, 0); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := bs.RunBatch(make([]RunSpec, 3)); err == nil {
+		t.Error("spec count mismatch accepted")
+	}
+	specs := []RunSpec{
+		{Duration: 10e-6},
+		{Duration: 12e-6},
+	}
+	if _, err := bs.RunBatch(specs); err == nil {
+		t.Error("mismatched lane durations accepted")
+	}
+	if err := bs.SetLaneBias(5, 1.0); err == nil {
+		t.Error("lane out of range accepted")
+	}
+	if err := bs.SetLaneBias(0, 0.5); err == nil {
+		t.Error("bias out of range accepted")
+	}
+}
+
+// TestBatchSessionCancellation: a canceled context interrupts the
+// lockstep window and leaves the session reusable.
+func TestBatchSessionCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	bs, err := NewBatchSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bs.RunBatchContext(ctx, make([]RunSpec, 2)); err == nil {
+		t.Error("invalid zero-duration specs accepted")
+	}
+	specs := []RunSpec{{Duration: 10e-6}, {Duration: 10e-6}}
+	if _, err := bs.RunBatchContext(ctx, specs); err != context.Canceled {
+		t.Errorf("canceled batch returned %v, want context.Canceled", err)
+	}
+	if _, err := bs.RunBatchContext(context.Background(), specs); err != nil {
+		t.Errorf("session unusable after cancellation: %v", err)
+	}
+}
+
+// TestSessionPoolBatch: GetBatch hands back width-matched pooled
+// sessions and results stay bit-identical cold vs warm.
+func TestSessionPoolBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := NewSessionPool(cfg)
+	specs := []RunSpec{{Duration: 10e-6}, {Duration: 10e-6}}
+	bs, err := pool.GetBatch(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := bs.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PutBatch(bs)
+	again, err := pool.GetBatch(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != bs {
+		t.Error("pool did not recycle the width-2 batch session")
+	}
+	warm, err := again.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range cold {
+		identicalMeasurements(t, "pooled batch lane", warm[l], cold[l])
+	}
+	if other, err := pool.GetBatch(1.0, 3); err != nil {
+		t.Fatal(err)
+	} else if other.Lanes() != 3 {
+		t.Errorf("GetBatch(3) returned width %d", other.Lanes())
+	}
+}

@@ -42,6 +42,13 @@ type Session struct {
 	// workload's power sample here so the chip-power accumulator
 	// reuses it instead of re-evaluating Workload.Power.
 	pw [NumCores]float64
+	// src[i] is the lowest core index whose workload slot holds the
+	// identical (pure) workload value as core i's, or i itself. The
+	// engine evaluates loads in core order within a step, all at the
+	// same instant, so core i's closure can copy pw[src[i]] instead of
+	// re-evaluating the shared waveform — bit-identical by definition.
+	// Refreshed from wl at the start of every run.
+	src [NumCores]int
 }
 
 // NewSession builds a session at nominal voltage (bias 1.0).
@@ -58,14 +65,22 @@ func NewSession(cfg Config) (*Session, error) {
 	s.circuit, s.nodes = pdn.ZEC12(pdnCfg)
 	for i := range s.wl {
 		s.wl[i] = s.idle
+		s.src[i] = i
 		// Loads model devices as nominal-voltage current sinks:
 		// I(t) = P(t)/Vnom (the standard linearization for PDN noise
 		// analysis). Each closure also parks the power sample in the
-		// scratch slice for the chip-power accumulator.
+		// scratch slice for the chip-power accumulator. Cores sharing a
+		// workload value reuse the sample an earlier core took at this
+		// same instant (see src).
 		i := i
 		s.circuit.AddLoad(fmt.Sprintf("core%d", i), s.nodes.Core[i],
 			func(t float64) float64 {
-				p := s.wl[i].Power(t)
+				var p float64
+				if j := s.src[i]; j != i {
+					p = s.pw[j]
+				} else {
+					p = s.wl[i].Power(t)
+				}
 				s.pw[i] = p
 				return p / s.vnom
 			})
@@ -107,6 +122,26 @@ func (s *Session) SetVoltageBias(bias float64) error {
 	s.uncoreI = s.cfg.UncorePower / s.vnom
 	s.circuit.FixNode(s.nodes.VRM, s.vnom)
 	return s.rebuildMacros()
+}
+
+// refreshAliases recomputes src from the current workload slots. A
+// core aliases the lowest earlier core holding the identical workload
+// value, unless that core's node is fixed (the engine then skips its
+// load, so no sample would be parked to reuse).
+func (s *Session) refreshAliases() {
+	for i := range s.wl {
+		s.src[i] = i
+		for j := 0; j < i; j++ {
+			if !sameWorkload(s.wl[j], s.wl[i]) {
+				continue
+			}
+			if _, fixed := s.circuit.FixedVoltage(s.nodes.Core[j]); fixed {
+				continue
+			}
+			s.src[i] = j
+			break
+		}
+	}
 }
 
 // rebuildMacros constructs the per-core skitter macros with
@@ -158,6 +193,7 @@ func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*Measurement, e
 			s.wl[i] = spec.Workloads[i]
 		}
 	}
+	s.refreshAliases()
 	if err := s.tr.Reset(spec.Start - warmup); err != nil {
 		return nil, err
 	}
@@ -242,10 +278,15 @@ func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*Measurement, e
 
 // SessionPool recycles sessions for one platform configuration. It is
 // safe for concurrent use; parallel studies Get a session per
-// measurement and Put it back when done.
+// measurement and Put it back when done. Batch sessions are pooled
+// alongside, keyed by lane width, so a sweep that packs its points
+// into width-B batches pays each width's setup cost once.
 type SessionPool struct {
 	cfg  Config
 	pool sync.Pool
+
+	bmu   sync.Mutex
+	batch map[int][]*BatchSession // free batch sessions by lane width
 }
 
 // NewSessionPool returns an empty pool for the configuration.
@@ -275,4 +316,42 @@ func (sp *SessionPool) Put(s *Session) {
 	if s != nil {
 		sp.pool.Put(s)
 	}
+}
+
+// GetBatch returns a lockstep batch session of the given lane width
+// with every lane retuned to the given bias, reusing a pooled session
+// of the same width when available. Callers that need per-lane biases
+// follow up with SetLaneBias.
+func (sp *SessionPool) GetBatch(bias float64, lanes int) (*BatchSession, error) {
+	sp.bmu.Lock()
+	var s *BatchSession
+	if free := sp.batch[lanes]; len(free) > 0 {
+		s = free[len(free)-1]
+		sp.batch[lanes] = free[:len(free)-1]
+	}
+	sp.bmu.Unlock()
+	if s == nil {
+		var err error
+		if s, err = NewBatchSession(sp.cfg, lanes); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.SetVoltageBias(bias); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PutBatch returns a batch session to the pool. The session must not
+// be used after PutBatch.
+func (sp *SessionPool) PutBatch(s *BatchSession) {
+	if s == nil {
+		return
+	}
+	sp.bmu.Lock()
+	if sp.batch == nil {
+		sp.batch = make(map[int][]*BatchSession)
+	}
+	sp.batch[s.lanes] = append(sp.batch[s.lanes], s)
+	sp.bmu.Unlock()
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 
 	"voltnoise/internal/signal"
 	"voltnoise/internal/uarch"
@@ -113,3 +114,17 @@ func (w FuncWorkload) Power(t float64) float64 { return w.Fn(t) }
 
 // Name implements Workload.
 func (w FuncWorkload) Name() string { return w.Label }
+
+// sameWorkload reports whether two workload slots hold the identical
+// workload value, guarding against uncomparable dynamic types (e.g.
+// FuncWorkload, whose func field makes == panic). The sessions use it
+// to evaluate a power waveform shared by several cores only once per
+// step — FuncWorkload is deliberately never deduplicated, since an
+// arbitrary Fn need not be pure.
+func sameWorkload(a, b Workload) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ta := reflect.TypeOf(a)
+	return ta == reflect.TypeOf(b) && ta.Comparable() && a == b
+}

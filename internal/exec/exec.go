@@ -50,6 +50,55 @@ func Clamp(workers, n int) int {
 	return workers
 }
 
+// DefaultBatchWidth is the lane width selected by batch == 0: wide
+// enough that the lockstep engine's multi-RHS solve amortizes the
+// per-step costs, narrow enough that lane state stays cache-resident.
+const DefaultBatchWidth = 8
+
+// BatchWidth resolves a batch knob against an item count and the
+// study's workers knob, following the workers convention: batch <= 0
+// selects DefaultBatchWidth, batch == 1 forces lane-per-run (the
+// single-lane engine), and the result never exceeds n. Auto selection
+// also shrinks the width so at least one batch exists per worker —
+// wide lanes must not starve the pool on small item counts.
+func BatchWidth(batch, n, workers int) int {
+	if n < 1 || batch == 1 {
+		return 1
+	}
+	if batch <= 0 {
+		batch = DefaultBatchWidth
+		if w := Clamp(workers, n); w > 1 {
+			if per := (n + w - 1) / w; batch > per {
+				batch = per
+			}
+		}
+	}
+	if batch > n {
+		batch = n
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return batch
+}
+
+// Chunks splits [0, n) into consecutive [start, end) ranges of at most
+// `width` items, in order — the lane packing used by batched studies.
+func Chunks(n, width int) [][2]int {
+	if n <= 0 || width < 1 {
+		return nil
+	}
+	out := make([][2]int, 0, (n+width-1)/width)
+	for start := 0; start < n; start += width {
+		end := start + width
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
 // ErrStop is returned by a MapOrdered reduction callback to stop
 // consuming items: outstanding work is cancelled and MapOrdered
 // returns nil.

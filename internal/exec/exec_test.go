@@ -271,3 +271,36 @@ func TestClamp(t *testing.T) {
 		t.Errorf("Clamp(16, 0) = %d", got)
 	}
 }
+
+func TestBatchWidth(t *testing.T) {
+	cases := []struct {
+		batch, n, workers, want int
+	}{
+		{0, 100, 1, 8},   // auto on a serial study: full default width
+		{0, 100, 4, 8},   // plenty of items: full width
+		{0, 8, 4, 2},     // auto shrinks so every worker gets a batch
+		{0, 3, 8, 1},     // fewer items than workers: lane-per-run
+		{1, 100, 4, 1},   // explicit lane-per-run
+		{3, 100, 4, 3},   // explicit width passes through
+		{16, 5, 1, 5},    // width capped at the item count
+		{-2, 100, 1, 8},  // negative behaves like auto
+		{4, 0, 4, 1},     // no items
+	}
+	for _, c := range cases {
+		if got := BatchWidth(c.batch, c.n, c.workers); got != c.want {
+			t.Errorf("BatchWidth(%d, %d, %d) = %d, want %d", c.batch, c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	if got := Chunks(7, 3); len(got) != 3 || got[0] != [2]int{0, 3} || got[1] != [2]int{3, 6} || got[2] != [2]int{6, 7} {
+		t.Errorf("Chunks(7,3) = %v", got)
+	}
+	if got := Chunks(4, 4); len(got) != 1 || got[0] != [2]int{0, 4} {
+		t.Errorf("Chunks(4,4) = %v", got)
+	}
+	if got := Chunks(0, 3); got != nil {
+		t.Errorf("Chunks(0,3) = %v, want nil", got)
+	}
+}

@@ -24,6 +24,37 @@ import (
 // reading and the core showing it.
 type Evaluator func(cores []int) (worstP2P float64, worstCore int, err error)
 
+// Eval is one placement's measured result, as returned by a
+// BatchEvaluator.
+type Eval struct {
+	// WorstP2P is the highest per-core noise of the placement.
+	WorstP2P float64
+	// WorstCore is the core reading WorstP2P.
+	WorstCore int
+}
+
+// BatchEvaluator measures a group of placements in one call — e.g. as
+// the lanes of one lockstep batch session — returning one Eval per
+// placement, in order. Each placement's result must be identical to
+// evaluating it alone.
+type BatchEvaluator func(placements [][]int) ([]Eval, error)
+
+// batchOf adapts a single-placement evaluator to the batch interface;
+// BestWorstBatchN hands it one placement per call at width 1.
+func batchOf(eval Evaluator) BatchEvaluator {
+	return func(placements [][]int) ([]Eval, error) {
+		out := make([]Eval, len(placements))
+		for i, cores := range placements {
+			w, wc, err := eval(cores)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Eval{WorstP2P: w, WorstCore: wc}
+		}
+		return out, nil
+	}
+}
+
 // Placement is one evaluated workload-to-core mapping.
 type Placement struct {
 	// Cores lists the cores running the workload, ascending.
@@ -49,6 +80,20 @@ func BestWorst(k int, eval Evaluator) (best, worst Placement, err error) {
 // enumeration order — the same winners the serial scan picks — under
 // every worker count. Canceling ctx stops the scan early.
 func BestWorstN(ctx context.Context, k, workers int, eval Evaluator) (best, worst Placement, err error) {
+	if eval == nil {
+		return best, worst, fmt.Errorf("mapping: nil evaluator")
+	}
+	return BestWorstBatchN(ctx, k, workers, 1, batchOf(eval))
+}
+
+// BestWorstBatchN is BestWorstN over a batch evaluator: the placement
+// enumeration is cut into groups of width exec.BatchWidth(batch,
+// ...) — the lanes of one lockstep batch measurement — and the groups
+// spread across `workers`. batch == 1 evaluates placement-per-call
+// (the single-lane path); the reduction walks results in enumeration
+// order either way, so the winners and tie-breaks are identical at
+// every (workers, batch) combination.
+func BestWorstBatchN(ctx context.Context, k, workers, batch int, eval BatchEvaluator) (best, worst Placement, err error) {
 	if k < 1 || k > core.NumCores {
 		return best, worst, fmt.Errorf("mapping: %d workloads on %d cores", k, core.NumCores)
 	}
@@ -59,26 +104,32 @@ func BestWorstN(ctx context.Context, k, workers int, eval Evaluator) (best, wors
 	analysis.Combinations(core.NumCores, k, func(cores []int) {
 		placements = append(placements, append([]int{}, cores...))
 	})
+	width := exec.BatchWidth(batch, len(placements), workers)
+	chunks := exec.Chunks(len(placements), width)
 	first := true
-	err = exec.MapOrdered(ctx, len(placements), workers,
-		func(_ context.Context, i int) (Placement, error) {
-			w, wc, err := eval(placements[i])
-			if err != nil {
-				return Placement{}, err
-			}
-			return Placement{Cores: placements[i], WorstP2P: w, WorstCore: wc}, nil
+	err = exec.MapOrdered(ctx, len(chunks), workers,
+		func(_ context.Context, ci int) ([]Eval, error) {
+			r := chunks[ci]
+			return eval(placements[r[0]:r[1]])
 		},
-		func(_ int, p Placement) error {
-			if first {
-				best, worst = p, p
-				first = false
-				return nil
+		func(ci int, evals []Eval) error {
+			r := chunks[ci]
+			if len(evals) != r[1]-r[0] {
+				return fmt.Errorf("mapping: evaluator returned %d results for %d placements", len(evals), r[1]-r[0])
 			}
-			if p.WorstP2P < best.WorstP2P {
-				best = p
-			}
-			if p.WorstP2P > worst.WorstP2P {
-				worst = p
+			for o, e := range evals {
+				p := Placement{Cores: placements[r[0]+o], WorstP2P: e.WorstP2P, WorstCore: e.WorstCore}
+				if first {
+					best, worst = p, p
+					first = false
+					continue
+				}
+				if p.WorstP2P < best.WorstP2P {
+					best = p
+				}
+				if p.WorstP2P > worst.WorstP2P {
+					worst = p
+				}
 			}
 			return nil
 		})
@@ -111,9 +162,19 @@ func Study(ks []int, eval Evaluator) ([]Opportunity, error) {
 // across `workers` concurrent workers (the evaluator must then be
 // safe for concurrent use).
 func StudyN(ctx context.Context, ks []int, workers int, eval Evaluator) ([]Opportunity, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("mapping: nil evaluator")
+	}
+	return StudyBatchN(ctx, ks, workers, 1, batchOf(eval))
+}
+
+// StudyBatchN is StudyN over a batch evaluator: each count's
+// placements pack into lockstep groups of width exec.BatchWidth(batch,
+// ...) before fanning out (see BestWorstBatchN).
+func StudyBatchN(ctx context.Context, ks []int, workers, batch int, eval BatchEvaluator) ([]Opportunity, error) {
 	out := make([]Opportunity, 0, len(ks))
 	for _, k := range ks {
-		best, worst, err := BestWorstN(ctx, k, workers, eval)
+		best, worst, err := BestWorstBatchN(ctx, k, workers, batch, eval)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,139 @@
+package noise
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"voltnoise/internal/mapping"
+)
+
+// Batch determinism suite: every study that packs its measurement runs
+// into lockstep batch lanes must produce bit-identical results at
+// every (workers, batch) combination. The lanes of a batch session
+// perform exactly the arithmetic of a dedicated single-lane session,
+// and every reduction is ordered, so batching is purely a scheduling
+// choice — like Workers, it must never move a number.
+
+// batchGrid is the (workers, batch) matrix every batched study is
+// checked across, against the serial lane-per-run baseline.
+var batchGrid = []struct{ workers, batch int }{
+	{1, 1}, {1, 3}, {1, 8},
+	{8, 1}, {8, 3}, {8, 8},
+}
+
+// withWorkersBatch returns a copy of the shared test lab pinned to the
+// given worker count and batch width.
+func withWorkersBatch(t *testing.T, workers, batch int) *Lab {
+	l := withWorkers(t, workers)
+	l.Batch = batch
+	return l
+}
+
+func TestFrequencySweepBatchDeterminism(t *testing.T) {
+	freqs := []float64{1e6, 2e6, 3e6, 4e6}
+	run := func(workers, batch int) []FreqPoint {
+		pts, err := withWorkersBatch(t, workers, batch).FrequencySweep(context.Background(), freqs, true, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	want := run(1, 1)
+	for _, g := range batchGrid {
+		if got := run(g.workers, g.batch); !reflect.DeepEqual(want, got) {
+			t.Errorf("FrequencySweep workers=%d batch=%d differs from serial:\n%v\n%v",
+				g.workers, g.batch, want, got)
+		}
+	}
+}
+
+func TestMisalignmentSweepBatchDeterminism(t *testing.T) {
+	run := func(workers, batch int) []MisalignPoint {
+		pts, err := withWorkersBatch(t, workers, batch).MisalignmentSweep(context.Background(), 2e6, []int{0, 2}, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	want := run(1, 1)
+	for _, g := range batchGrid {
+		if got := run(g.workers, g.batch); !reflect.DeepEqual(want, got) {
+			t.Errorf("MisalignmentSweep workers=%d batch=%d differs from serial:\n%v\n%v",
+				g.workers, g.batch, want, got)
+		}
+	}
+}
+
+func TestMappingRunsBatchDeterminism(t *testing.T) {
+	assigns := [][6]WorkloadKind{
+		{KindMax, KindIdle, KindIdle, KindIdle, KindIdle, KindIdle},
+		{KindMax, KindMedium, KindIdle, KindIdle, KindIdle, KindIdle},
+		{KindMax, KindMax, KindMedium, KindMedium, KindIdle, KindIdle},
+		{KindMax, KindMax, KindMax, KindMax, KindMax, KindMax},
+	}
+	run := func(workers, batch int) []MappingRun {
+		runs, err := withWorkersBatch(t, workers, batch).runMappings(context.Background(), 2e6, 50, assigns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	want := run(1, 1)
+	for _, g := range batchGrid {
+		if got := run(g.workers, g.batch); !reflect.DeepEqual(want, got) {
+			t.Errorf("runMappings workers=%d batch=%d differs from serial:\n%v\n%v",
+				g.workers, g.batch, want, got)
+		}
+	}
+}
+
+func TestMappingOpportunityBatchDeterminism(t *testing.T) {
+	run := func(workers, batch int) []mapping.Opportunity {
+		ops, err := withWorkersBatch(t, workers, batch).MappingOpportunity(context.Background(), 2e6, 50, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	want := run(1, 1)
+	for _, g := range batchGrid {
+		if got := run(g.workers, g.batch); !reflect.DeepEqual(want, got) {
+			t.Errorf("MappingOpportunity workers=%d batch=%d differs from serial:\n%+v\n%+v",
+				g.workers, g.batch, want, got)
+		}
+	}
+}
+
+// TestBatchSweepColdVsWarmPool: the batched sweep's cold run builds
+// its pooled batch sessions; the warm run reuses them. Both must be
+// bit-identical — session-reuse determinism lifted to batch lanes.
+func TestBatchSweepColdVsWarmPool(t *testing.T) {
+	freqs := []float64{1e6, 2e6, 3e6}
+	l := withWorkersBatch(t, 4, 3)
+	cold, err := l.FrequencySweep(context.Background(), freqs, true, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := l.FrequencySweep(context.Background(), freqs, true, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cold vs warm batch pool differ:\n%v\n%v", cold, warm)
+	}
+}
+
+// TestBatchStudyCancellation: a pre-canceled context aborts a batched
+// sweep, and the lab stays usable afterwards.
+func TestBatchStudyCancellation(t *testing.T) {
+	l := withWorkersBatch(t, 2, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.FrequencySweep(ctx, []float64{1e6, 2e6, 3e6}, true, 200); err != context.Canceled {
+		t.Fatalf("canceled batched sweep returned %v, want context.Canceled", err)
+	}
+	if _, err := l.FrequencySweep(context.Background(), []float64{2e6}, false, 0); err != nil {
+		t.Fatalf("lab unusable after canceled batched sweep: %v", err)
+	}
+}

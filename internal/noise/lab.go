@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"voltnoise/internal/core"
+	"voltnoise/internal/exec"
 	"voltnoise/internal/isa"
 	"voltnoise/internal/pdn"
 	"voltnoise/internal/stressmark"
@@ -38,6 +39,15 @@ type Lab struct {
 	// are bit-identical for every setting — the engine reduces in item
 	// order (see internal/exec).
 	Workers int
+	// Batch is the lane width of the lockstep batch engine: studies
+	// pack measurement runs sharing a window into lanes of one
+	// core.BatchSession, amortizing the step-plan walk and turning the
+	// per-step solve into a multi-RHS substitution. Zero selects
+	// exec.DefaultBatchWidth (shrunk so every worker stays busy); one
+	// forces lane-per-run, the single-lane engine. Results are
+	// bit-identical for every width — each lane performs exactly the
+	// single-lane arithmetic.
+	Batch int
 }
 
 // Option configures New.
@@ -46,6 +56,7 @@ type Option func(*labOptions)
 type labOptions struct {
 	search  stressmark.SearchConfig
 	workers int
+	batch   int
 }
 
 // WithSearch selects the stressmark sequence-search configuration
@@ -58,6 +69,12 @@ func WithSearch(scfg stressmark.SearchConfig) Option {
 // studies (see Lab.Workers).
 func WithWorkers(n int) Option {
 	return func(o *labOptions) { o.workers = n }
+}
+
+// WithBatch sets the lockstep lane width of the batched studies (see
+// Lab.Batch).
+func WithBatch(n int) Option {
+	return func(o *labOptions) { o.batch = n }
 }
 
 // New builds a lab on the given platform: runs the maximum-power
@@ -73,6 +90,7 @@ func New(plat *core.Platform, opts ...Option) (*Lab, error) {
 		return nil, err
 	}
 	l.Workers = o.workers
+	l.Batch = o.batch
 	return l, nil
 }
 
@@ -202,6 +220,115 @@ func (l *Lab) runSpecWindow(ctx context.Context, s stressmark.Spec, offsets *[co
 		return nil, err
 	}
 	return l.runMeasurement(ctx, core.RunSpec{Workloads: wl, Start: start, Duration: dur, Record: record})
+}
+
+// measJob is one measurement a batched study wants taken: the
+// workloads plus the measurement window.
+type measJob struct {
+	wl     [core.NumCores]core.Workload
+	start  float64
+	dur    float64
+	record bool
+}
+
+func (j measJob) spec() core.RunSpec {
+	return core.RunSpec{Workloads: j.wl, Start: j.start, Duration: j.dur, Record: j.record}
+}
+
+// specJob builds the measurement job for a spec over its default
+// window, instantiating one stressmark copy per core.
+func (l *Lab) specJob(s stressmark.Spec, offsets *[core.NumCores]uint64) (measJob, error) {
+	cfg := l.Platform.Config()
+	var (
+		wl  [core.NumCores]core.Workload
+		err error
+	)
+	if s.Sync != nil {
+		wl, err = stressmark.SyncWorkloads(s, cfg.Core, l.table(), offsets)
+	} else {
+		if offsets != nil {
+			return measJob{}, fmt.Errorf("noise: offsets require a synchronized spec")
+		}
+		wl, err = stressmark.UnsyncWorkloads(s, cfg.Core, l.table())
+	}
+	if err != nil {
+		return measJob{}, err
+	}
+	start, dur := measureWindow(s)
+	return measJob{wl: wl, start: start, dur: dur}, nil
+}
+
+// runMeasurements executes the jobs and returns one measurement per
+// job, in job order. Jobs sharing a measurement window are packed into
+// the lanes of lockstep batch sessions (width exec.BatchWidth of
+// l.Batch), and the batches fan out across l.Workers. Every lane
+// performs exactly the arithmetic of a single-lane run, so the results
+// are bit-identical to the lane-per-run path at every (workers, batch)
+// combination.
+func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Measurement, error) {
+	pool := l.Platform.Sessions()
+	width := exec.BatchWidth(l.Batch, len(jobs), l.Workers)
+	if pool == nil || width <= 1 {
+		return exec.Map(ctx, len(jobs), l.Workers, func(ctx context.Context, i int) (*core.Measurement, error) {
+			return l.runMeasurement(ctx, jobs[i].spec())
+		})
+	}
+	// Group jobs by window — lockstep lanes must share the window — in
+	// first-appearance order, then cut each group into width-sized
+	// batches.
+	type wkey struct{ start, dur float64 }
+	groupIdx := map[wkey]int{}
+	var groups [][]int
+	for i, j := range jobs {
+		k := wkey{j.start, j.dur}
+		gi, ok := groupIdx[k]
+		if !ok {
+			gi = len(groups)
+			groupIdx[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	var batches [][]int
+	for _, g := range groups {
+		for _, r := range exec.Chunks(len(g), width) {
+			batches = append(batches, g[r[0]:r[1]])
+		}
+	}
+	bias := l.Platform.VoltageBias()
+	out := make([]*core.Measurement, len(jobs))
+	err := exec.ForEach(ctx, len(batches), l.Workers, func(ctx context.Context, bi int) error {
+		idxs := batches[bi]
+		if len(idxs) == 1 {
+			m, err := l.runMeasurement(ctx, jobs[idxs[0]].spec())
+			if err != nil {
+				return err
+			}
+			out[idxs[0]] = m
+			return nil
+		}
+		bs, err := pool.GetBatch(bias, len(idxs))
+		if err != nil {
+			return err
+		}
+		defer pool.PutBatch(bs)
+		specs := make([]core.RunSpec, len(idxs))
+		for k, ji := range idxs {
+			specs[k] = jobs[ji].spec()
+		}
+		ms, err := bs.RunBatchContext(ctx, specs)
+		if err != nil {
+			return err
+		}
+		for k, ji := range idxs {
+			out[ji] = ms[k]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runMeasurement executes one run through the platform's session pool

@@ -6,7 +6,6 @@ import (
 
 	"voltnoise/internal/analysis"
 	"voltnoise/internal/core"
-	"voltnoise/internal/exec"
 )
 
 // WorkloadKind labels the three workloads of the paper's ΔI study
@@ -156,10 +155,11 @@ func isSortedRun(a []int) bool {
 	return true
 }
 
-// runMappings measures each assignment, fanned out across l.Workers.
-// The stressmark workloads are pure (Power(t) reads immutable state),
-// so the two prototypes are safely shared by every worker; each run
-// holds its own pooled session.
+// runMappings measures each assignment: every assignment shares the
+// spec's measurement window, so the whole set packs into lockstep
+// batch lanes (l.Batch) fanned out across l.Workers. The stressmark
+// workloads are pure (Power(t) reads immutable state), so the two
+// prototypes are safely shared by every lane and worker.
 func (l *Lab) runMappings(ctx context.Context, freq float64, events int, assigns [][core.NumCores]WorkloadKind) ([]MappingRun, error) {
 	cfg := l.Platform.Config()
 	maxSpec := syncSpec(l.MaxSpec(freq), events)
@@ -173,8 +173,8 @@ func (l *Lab) runMappings(ctx context.Context, freq float64, events int, assigns
 		return nil, err
 	}
 	start, dur := measureWindow(maxSpec)
-	return exec.Map(ctx, len(assigns), l.Workers, func(ctx context.Context, j int) (MappingRun, error) {
-		assign := assigns[j]
+	jobs := make([]measJob, len(assigns))
+	for j, assign := range assigns {
 		var wl [core.NumCores]core.Workload
 		for i, k := range assign {
 			switch k {
@@ -184,17 +184,22 @@ func (l *Lab) runMappings(ctx context.Context, freq float64, events int, assigns
 				wl[i] = medWl
 			}
 		}
-		m, err := l.runMeasurement(ctx, core.RunSpec{Workloads: wl, Start: start, Duration: dur})
-		if err != nil {
-			return MappingRun{}, err
-		}
-		return MappingRun{
-			Assign:        assign,
+		jobs[j] = measJob{wl: wl, start: start, dur: dur}
+	}
+	ms, err := l.runMeasurements(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MappingRun, len(assigns))
+	for j, m := range ms {
+		out[j] = MappingRun{
+			Assign:        assigns[j],
 			P2P:           m.P2P,
-			DeltaIPercent: deltaIPercent(assign),
+			DeltaIPercent: deltaIPercent(assigns[j]),
 			MinVoltage:    m.MinVoltage(),
-		}, nil
-	})
+		}
+	}
+	return out, nil
 }
 
 // DeltaIPoint is one point of the Figure 11a scatter: for a given ΔI

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"voltnoise/internal/core"
-	"voltnoise/internal/exec"
 	"voltnoise/internal/signal"
 )
 
@@ -35,25 +34,37 @@ func (p FreqPoint) Worst() float64 {
 // emerge); with sync=true it is Figure 9 (TOD-synchronized bursts of
 // `events` consecutive ΔI events every ~4 ms; noise rises across the
 // whole spectrum).
-// Sweep points are independent measurement runs, so they fan out
-// across l.Workers; ordered reduction keeps the output bit-identical
-// to the serial loop. Canceling ctx interrupts the sweep mid-run.
+// Sweep points are independent measurement runs: points sharing a
+// measurement window ride the lanes of lockstep batch sessions
+// (l.Batch) and the batches fan out across l.Workers; ordered
+// reduction and per-lane arithmetic keep the output bit-identical to
+// the serial lane-per-run loop. Canceling ctx interrupts the sweep
+// mid-run.
 func (l *Lab) FrequencySweep(ctx context.Context, freqs []float64, sync bool, events int) ([]FreqPoint, error) {
-	return exec.Map(ctx, len(freqs), l.Workers, func(ctx context.Context, i int) (FreqPoint, error) {
-		f := freqs[i]
+	jobs := make([]measJob, len(freqs))
+	for i, f := range freqs {
 		if f <= 0 {
-			return FreqPoint{}, fmt.Errorf("noise: non-positive sweep frequency %g", f)
+			return nil, fmt.Errorf("noise: non-positive sweep frequency %g", f)
 		}
 		spec := l.MaxSpec(f)
 		if sync {
 			spec = syncSpec(spec, events)
 		}
-		m, err := l.runSpec(ctx, spec, nil, false)
+		j, err := l.specJob(spec, nil)
 		if err != nil {
-			return FreqPoint{}, err
+			return nil, err
 		}
-		return FreqPoint{Freq: f, P2P: m.P2P}, nil
-	})
+		jobs[i] = j
+	}
+	ms, err := l.runMeasurements(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FreqPoint, len(freqs))
+	for i, m := range ms {
+		out[i] = FreqPoint{Freq: freqs[i], P2P: m.P2P}
+	}
+	return out, nil
 }
 
 // Waveform records the per-core supply voltage while running the
@@ -132,23 +143,27 @@ func (l *Lab) MisalignmentSweep(ctx context.Context, freq float64, maxTicksList 
 		out = append(out, MisalignPoint{MaxTicks: maxTicks, Placements: len(placements)})
 	}
 	spec := syncSpec(l.MaxSpec(freq), events)
-	readings, err := exec.Map(ctx, len(jobs), l.Workers, func(ctx context.Context, i int) ([core.NumCores]float64, error) {
+	mjobs := make([]measJob, len(jobs))
+	for i := range jobs {
 		offs := jobs[i].offs
-		m, err := l.runSpec(ctx, spec, &offs, false)
+		mj, err := l.specJob(spec, &offs)
 		if err != nil {
-			return [core.NumCores]float64{}, err
+			return nil, err
 		}
-		return m.P2P, nil
-	})
+		mjobs[i] = mj
+	}
+	// Every job shares the spec's window, so the whole grid packs into
+	// lockstep lanes (l.Batch) fanned out across l.Workers.
+	readings, err := l.runMeasurements(ctx, mjobs)
 	if err != nil {
 		return nil, err
 	}
 	// Accumulate in job order — exactly the serial summation order, so
 	// the averages carry no floating-point drift from parallelism.
-	for j, p2p := range readings {
+	for j, m := range readings {
 		pt := &out[jobs[j].point]
 		for i := range pt.MeanP2P {
-			pt.MeanP2P[i] += p2p[i]
+			pt.MeanP2P[i] += m.P2P[i]
 		}
 	}
 	for k := range out {

@@ -1,0 +1,431 @@
+package pdn
+
+import (
+	"fmt"
+)
+
+// BatchTransient advances B independent load lanes in lockstep through
+// one shared circuit. Every lane sees the same topology and element
+// values — the companion and DC matrices are stamped and LU-factored
+// exactly once — but each lane evaluates the circuit's loads against
+// its own state (selected through the onLane hook) and may pin fixed
+// supplies to lane-specific potentials. The per-step solve becomes a
+// multi-RHS forward/back substitution over a contiguous n×B block, and
+// the step-plan walk and companion updates are amortized across all
+// lanes, so a width-8 batch costs far less than 8 single-lane engines.
+//
+// Lane state is laid out lane-innermost (row i, lane l at i*B+l): the
+// hot loops stream contiguous lane-width runs and carry B independent
+// floating-point dependency chains where Transient carries one.
+//
+// Every lane is bit-identical to a single-lane Transient driven by the
+// same loads: per lane, each step performs the same floating-point
+// operations in the same order — batching interleaves work across
+// lanes, never reorders it within one.
+type BatchTransient struct {
+	c     *Circuit
+	dt    float64
+	lanes int
+	lu    *realLU
+	dcLU  *realLU // DC operating-point factorization (inductors shorted)
+	idx   []int   // NodeID -> unknown index or -1
+	n     int     // number of unknowns
+
+	// onLane selects a lane before its loads are evaluated, so the
+	// owner can swap the workload state the load closures read.
+	onLane func(lane int)
+
+	// Per-element companion state; the lane dimension is innermost.
+	geq  []float64 // companion conductance per element (shared by lanes)
+	vab  []float64 // branch voltage per element x lane
+	ibr  []float64 // branch current per element x lane (a -> b)
+	pots []float64 // node potentials per node x lane
+
+	// fixedPot holds the per-lane potential of every fixed node
+	// (node x lane), seeded from the circuit at construction. It is
+	// engine-owned state: retune supplies with SetLaneFixed, not
+	// Circuit.FixNode — later FixNode calls are not observed here.
+	fixedPot []float64
+
+	plan   []stepElem // per-step RHS contributors, in element order
+	planFA []float64  // fixed-node contributions per plan entry x lane
+	planFB []float64
+
+	rhs []float64 // n x lanes right-hand sides
+	sol []float64 // n x lanes solutions
+
+	laneRHS []float64 // n-vector scratch for the per-lane DC init
+	laneSol []float64
+
+	time float64
+	step int
+}
+
+// NewBatchTransient prepares a lockstep batch simulation of c with
+// fixed timestep dt, starting at time zero. See NewBatchTransientAt.
+func NewBatchTransient(c *Circuit, dt float64, lanes int, onLane func(lane int)) (*BatchTransient, error) {
+	return NewBatchTransientAt(c, dt, 0, lanes, onLane)
+}
+
+// NewBatchTransientAt prepares a lockstep batch simulation of c with
+// fixed timestep dt and the given lane count, starting at simulation
+// time start. onLane (may be nil) is invoked with the lane index
+// immediately before that lane's loads are evaluated — during
+// construction, Reset, and every Step — so load closures shared by all
+// lanes can read lane-local workload state. Each lane is initialized
+// to its own DC operating point, exactly as NewTransientAt does for a
+// single lane.
+func NewBatchTransientAt(c *Circuit, dt, start float64, lanes int, onLane func(lane int)) (*BatchTransient, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("pdn: non-positive timestep %g", dt)
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("pdn: batch lane count %d, want >= 1", lanes)
+	}
+	idx, n := c.unknowns()
+	if n == 0 {
+		return nil, fmt.Errorf("pdn: circuit has no unknown nodes")
+	}
+	t := &BatchTransient{
+		c: c, dt: dt, lanes: lanes, idx: idx, n: n, time: start,
+		onLane:   onLane,
+		vab:      make([]float64, len(c.elements)*lanes),
+		ibr:      make([]float64, len(c.elements)*lanes),
+		pots:     make([]float64, c.NumNodes()*lanes),
+		fixedPot: make([]float64, c.NumNodes()*lanes),
+		rhs:      make([]float64, n*lanes),
+		sol:      make([]float64, n*lanes),
+		laneRHS:  make([]float64, n),
+		laneSol:  make([]float64, n),
+	}
+	for node, i := range idx {
+		if i >= 0 {
+			continue
+		}
+		v := c.potentialOfFixed(NodeID(node))
+		for l := 0; l < lanes; l++ {
+			t.fixedPot[node*lanes+l] = v
+		}
+	}
+	geq, lu, err := stampCompanion(c, dt, idx, n)
+	if err != nil {
+		return nil, err
+	}
+	t.geq, t.lu = geq, lu
+	dcLU, err := factorDCMatrix(c, idx, n)
+	if err != nil {
+		return nil, err
+	}
+	t.dcLU = dcLU
+	t.buildPlan()
+	if err := t.initState(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Lanes returns the batch width.
+func (t *BatchTransient) Lanes() int { return t.lanes }
+
+// Time returns the current simulation time in seconds.
+func (t *BatchTransient) Time() float64 { return t.time }
+
+// Dt returns the fixed timestep.
+func (t *BatchTransient) Dt() float64 { return t.dt }
+
+// SetLaneFixed pins a fixed node to a lane-specific potential. The
+// node must already be fixed in the circuit — fixed-node potentials
+// enter only the right-hand side, so lanes can run at different supply
+// settings against the same factored matrices. The new potential takes
+// effect at the next Reset (matching Circuit.FixNode, which Transient
+// also observes only through Reset).
+func (t *BatchTransient) SetLaneFixed(lane int, n NodeID, volts float64) error {
+	t.c.checkNode(n)
+	if lane < 0 || lane >= t.lanes {
+		return fmt.Errorf("pdn: lane %d out of range [0,%d)", lane, t.lanes)
+	}
+	if _, ok := t.c.FixedVoltage(n); !ok {
+		return fmt.Errorf("pdn: SetLaneFixed on %q, which is not a fixed node", t.c.NodeName(n))
+	}
+	t.fixedPot[int(n)*t.lanes+lane] = volts
+	return nil
+}
+
+// Voltage returns the potential of node n in the given lane at the
+// current time.
+func (t *BatchTransient) Voltage(lane int, n NodeID) float64 {
+	t.c.checkNode(n)
+	return t.pots[int(n)*t.lanes+lane]
+}
+
+// BranchCurrent returns the current (a -> b) through element i in
+// insertion order, for the given lane. Exported for white-box testing.
+func (t *BatchTransient) BranchCurrent(lane, i int) float64 {
+	return t.ibr[i*t.lanes+lane]
+}
+
+// Reset rewinds all lanes to the given start time and re-derives each
+// lane's DC operating point from the circuit's current loads and the
+// lane's fixed potentials. Neither nodal matrix is re-stamped or
+// re-factored, so a batch session can retune lane supplies, swap what
+// the load closures compute, and restart from here at the cost of one
+// linear solve per lane.
+func (t *BatchTransient) Reset(start float64) error {
+	t.time = start
+	t.step = 0
+	t.buildPlan()
+	return t.initState()
+}
+
+// buildPlan captures the per-step RHS contributions, snapshotting each
+// lane's fixed-node potentials in effect now. The entry list (and so
+// the accumulation order per lane) is identical to the single-lane
+// plan: hasFA/hasFB depend only on topology, never on lane state.
+func (t *BatchTransient) buildPlan() {
+	t.plan = t.plan[:0]
+	for ei, e := range t.c.elements {
+		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], ia: t.idx[e.a], ib: t.idx[e.b]}
+		pe.hasFA = pe.ia >= 0 && pe.ib < 0
+		pe.hasFB = pe.ib >= 0 && pe.ia < 0
+		if e.kind == kindResistor && !pe.hasFA && !pe.hasFB {
+			continue // no history source, no fixed contribution
+		}
+		t.plan = append(t.plan, pe)
+	}
+	B := t.lanes
+	if need := len(t.plan) * B; cap(t.planFA) < need {
+		t.planFA = make([]float64, need)
+		t.planFB = make([]float64, need)
+	} else {
+		t.planFA = t.planFA[:need]
+		t.planFB = t.planFB[:need]
+	}
+	for pi := range t.plan {
+		pe := &t.plan[pi]
+		e := t.c.elements[pe.ei]
+		for l := 0; l < B; l++ {
+			if pe.hasFA {
+				t.planFA[pi*B+l] = pe.geq * t.fixedPot[int(e.b)*B+l]
+			}
+			if pe.hasFB {
+				t.planFB[pi*B+l] = pe.geq * t.fixedPot[int(e.a)*B+l]
+			}
+		}
+	}
+}
+
+// initState derives each lane's initial condition from its DC
+// operating point: loads evaluated at the current simulation time (for
+// that lane, via onLane) against the cached DC factorization. The
+// per-lane arithmetic mirrors Transient.initState exactly.
+func (t *BatchTransient) initState() error {
+	c := t.c
+	B := t.lanes
+	for l := 0; l < B; l++ {
+		rhs, sol := t.laneRHS, t.laneSol
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		for _, e := range c.elements {
+			ge, ok := dcConductance(e)
+			if !ok {
+				continue
+			}
+			ia, ib := t.idx[e.a], t.idx[e.b]
+			if ia >= 0 && ib < 0 {
+				rhs[ia] += ge * t.fixedPot[int(e.b)*B+l]
+			}
+			if ib >= 0 && ia < 0 {
+				rhs[ib] += ge * t.fixedPot[int(e.a)*B+l]
+			}
+		}
+		if t.onLane != nil {
+			t.onLane(l)
+		}
+		for _, ld := range c.loads {
+			if i := t.idx[ld.Node]; i >= 0 {
+				rhs[i] -= ld.Current(t.time)
+			}
+		}
+		t.dcLU.solveInto(sol, rhs)
+		for node, i := range t.idx {
+			if i >= 0 {
+				t.pots[node*B+l] = sol[i]
+			} else {
+				t.pots[node*B+l] = t.fixedPot[node*B+l]
+			}
+		}
+		// Branch states from the DC solution.
+		for ei, e := range c.elements {
+			va, vb := t.pots[int(e.a)*B+l], t.pots[int(e.b)*B+l]
+			t.vab[ei*B+l] = va - vb
+			switch e.kind {
+			case kindResistor:
+				t.ibr[ei*B+l] = (va - vb) / e.value
+			case kindInductor:
+				t.ibr[ei*B+l] = (va - vb) / dcShortOhms
+				t.vab[ei*B+l] = 0 // an ideal inductor carries no DC voltage
+			case kindCapacitor:
+				t.ibr[ei*B+l] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// Step advances every lane by one timestep. It allocates nothing.
+func (t *BatchTransient) Step() error {
+	c := t.c
+	B := t.lanes
+	next := t.time + t.dt
+	rhs := t.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	// History sources and fixed-node conductance contributions, from
+	// the precomputed plan. Per lane this is the same element order and
+	// the same arithmetic as the single-lane Step.
+	for pi := range t.plan {
+		pe := &t.plan[pi]
+		if pe.hasFA {
+			fa := t.planFA[pi*B : pi*B+B : pi*B+B]
+			ra := rhs[pe.ia*B : pe.ia*B+B]
+			for l := range ra {
+				ra[l] += fa[l]
+			}
+		}
+		if pe.hasFB {
+			fb := t.planFB[pi*B : pi*B+B : pi*B+B]
+			rb := rhs[pe.ib*B : pe.ib*B+B]
+			for l := range rb {
+				rb[l] += fb[l]
+			}
+		}
+		switch pe.kind {
+		case kindCapacitor:
+			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
+			// Branch current a->b contributes +hist into node a's RHS.
+			geq := pe.geq
+			vab := t.vab[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
+			ibr := t.ibr[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
+			switch {
+			case pe.ia >= 0 && pe.ib >= 0:
+				ra := rhs[pe.ia*B : pe.ia*B+B]
+				rb := rhs[pe.ib*B : pe.ib*B+B]
+				for l := range ra {
+					hist := geq*vab[l] + ibr[l]
+					ra[l] += hist
+					rb[l] -= hist
+				}
+			case pe.ia >= 0:
+				ra := rhs[pe.ia*B : pe.ia*B+B]
+				for l := range ra {
+					ra[l] += geq*vab[l] + ibr[l]
+				}
+			case pe.ib >= 0:
+				rb := rhs[pe.ib*B : pe.ib*B+B]
+				for l := range rb {
+					rb[l] -= geq*vab[l] + ibr[l]
+				}
+			}
+		case kindInductor:
+			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
+			geq := pe.geq
+			vab := t.vab[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
+			ibr := t.ibr[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
+			switch {
+			case pe.ia >= 0 && pe.ib >= 0:
+				ra := rhs[pe.ia*B : pe.ia*B+B]
+				rb := rhs[pe.ib*B : pe.ib*B+B]
+				for l := range ra {
+					hist := ibr[l] + geq*vab[l]
+					ra[l] -= hist
+					rb[l] += hist
+				}
+			case pe.ia >= 0:
+				ra := rhs[pe.ia*B : pe.ia*B+B]
+				for l := range ra {
+					ra[l] -= ibr[l] + geq*vab[l]
+				}
+			case pe.ib >= 0:
+				rb := rhs[pe.ib*B : pe.ib*B+B]
+				for l := range rb {
+					rb[l] += ibr[l] + geq*vab[l]
+				}
+			}
+		}
+	}
+	// Loads evaluated at the new time, lane by lane (backward-looking
+	// sources keep the trapezoidal solve linear).
+	for l := 0; l < B; l++ {
+		if t.onLane != nil {
+			t.onLane(l)
+		}
+		for _, ld := range c.loads {
+			if i := t.idx[ld.Node]; i >= 0 {
+				rhs[i*B+l] -= ld.Current(next)
+			}
+		}
+	}
+	t.lu.solveBatchInto(t.sol, rhs, B)
+	for i, v := range t.sol {
+		// v-v is 0 for every finite v and NaN for NaN and ±Inf, so one
+		// subtraction replaces the IsNaN/IsInf pair on this hot path.
+		if v-v != 0 {
+			return fmt.Errorf("pdn: integration diverged at t=%g (lane %d)", next, i%B)
+		}
+	}
+	// Scatter node potentials.
+	for node, i := range t.idx {
+		po := t.pots[node*B : node*B+B]
+		if i >= 0 {
+			copy(po, t.sol[i*B:i*B+B])
+		} else {
+			copy(po, t.fixedPot[node*B:node*B+B])
+		}
+	}
+	// Update branch states, all lanes per element.
+	for ei, e := range c.elements {
+		pa := t.pots[int(e.a)*B : int(e.a)*B+B : int(e.a)*B+B]
+		pb := t.pots[int(e.b)*B : int(e.b)*B+B : int(e.b)*B+B]
+		vab := t.vab[ei*B : ei*B+B : ei*B+B]
+		ibr := t.ibr[ei*B : ei*B+B : ei*B+B]
+		geq := t.geq[ei]
+		switch e.kind {
+		case kindResistor:
+			for l := range vab {
+				v := pa[l] - pb[l]
+				ibr[l] = v * geq
+				vab[l] = v
+			}
+		case kindCapacitor:
+			for l := range vab {
+				v := pa[l] - pb[l]
+				hist := geq*vab[l] + ibr[l]
+				ibr[l] = geq*v - hist
+				vab[l] = v
+			}
+		case kindInductor:
+			for l := range vab {
+				v := pa[l] - pb[l]
+				hist := ibr[l] + geq*vab[l]
+				ibr[l] = geq*v + hist
+				vab[l] = v
+			}
+		}
+	}
+	t.time = next
+	t.step++
+	return nil
+}
+
+// RunUntil advances all lanes until the given absolute time without
+// recording anything. Useful for warm-up.
+func (t *BatchTransient) RunUntil(until float64) error {
+	for t.time < until-t.dt/2 {
+		if err := t.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

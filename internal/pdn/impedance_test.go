@@ -85,6 +85,92 @@ func TestImpedanceTankPeaksAtResonance(t *testing.T) {
 	}
 }
 
+func TestImpedanceProfileEmptyFreqs(t *testing.T) {
+	// An empty frequency list is a degenerate but legal request: an
+	// empty non-nil profile, no error, and Peaks copes with it.
+	ckt := NewCircuit()
+	src, out := ckt.Node("src"), ckt.Node("out")
+	ckt.FixNode(src, 1)
+	ckt.AddResistor("r", src, out, 1)
+	for _, freqs := range [][]float64{nil, {}} {
+		prof, err := ckt.ImpedanceProfile(out, freqs)
+		if err != nil {
+			t.Fatalf("ImpedanceProfile(%v): %v", freqs, err)
+		}
+		if prof == nil || len(prof) != 0 {
+			t.Errorf("ImpedanceProfile(%v) = %v, want empty non-nil", freqs, prof)
+		}
+		if peaks := Peaks(prof); len(peaks) != 0 {
+			t.Errorf("Peaks of empty profile = %v", peaks)
+		}
+	}
+}
+
+func TestImpedanceProfileStopsAtFirstBadFreq(t *testing.T) {
+	ckt := NewCircuit()
+	src, out := ckt.Node("src"), ckt.Node("out")
+	ckt.FixNode(src, 1)
+	ckt.AddResistor("r", src, out, 1)
+	if _, err := ckt.ImpedanceProfile(out, []float64{1e3, 0, 1e6}); err == nil {
+		t.Error("expected error for profile containing f=0")
+	}
+}
+
+func TestImpedanceProfileL3BridgeOff(t *testing.T) {
+	// With the L3 bridge ablated the circuit stays solvable (the L3
+	// hangs off the package through r.l3iso) and the core-grid
+	// impedance rises in the mid band: the eDRAM decap no longer damps
+	// the cores.
+	freqs := LogSpace(100e3, 10e6, 31)
+	prof := func(bridge bool) []ImpedancePoint {
+		cfg := DefaultZEC12Config()
+		cfg.L3Bridge = bridge
+		c, nodes := ZEC12(cfg)
+		p, err := c.ImpedanceProfile(nodes.Core[0], freqs)
+		if err != nil {
+			t.Fatalf("L3Bridge=%v: %v", bridge, err)
+		}
+		return p
+	}
+	on, off := prof(true), prof(false)
+	worse := 0
+	for i := range freqs {
+		if off[i].Mag() > on[i].Mag() {
+			worse++
+		}
+	}
+	if worse < len(freqs)/2 {
+		t.Errorf("L3 ablation raised |Z| at only %d/%d mid-band points", worse, len(freqs))
+	}
+}
+
+func TestDomainOfClusters(t *testing.T) {
+	// The two on-die domains: even cores form one, odd cores the
+	// other, and ClusterOf agrees with DomainOf everywhere.
+	wantDomain := [NumCores]int{0, 1, 0, 1, 0, 1}
+	for core := 0; core < NumCores; core++ {
+		if got := DomainOf(core); got != wantDomain[core] {
+			t.Errorf("DomainOf(%d) = %d, want %d", core, got, wantDomain[core])
+		}
+		cluster := ClusterOf(core)
+		found := false
+		for _, m := range cluster {
+			if m == core {
+				found = true
+			}
+			if DomainOf(m) != DomainOf(core) {
+				t.Errorf("ClusterOf(%d) contains %d from domain %d", core, m, DomainOf(m))
+			}
+		}
+		if !found {
+			t.Errorf("ClusterOf(%d) = %v does not contain the core itself", core, cluster)
+		}
+	}
+	if ClusterOf(2) != [3]int{0, 2, 4} || ClusterOf(5) != [3]int{1, 3, 5} {
+		t.Errorf("clusters not ascending: %v %v", ClusterOf(2), ClusterOf(5))
+	}
+}
+
 func TestImpedanceErrors(t *testing.T) {
 	ckt := NewCircuit()
 	src, out := ckt.Node("src"), ckt.Node("out")

@@ -74,36 +74,22 @@ func NewTransientAt(c *Circuit, dt, start float64) (*Transient, error) {
 	}
 	t := &Transient{
 		c: c, dt: dt, idx: idx, n: n, time: start,
-		geq:  make([]float64, len(c.elements)),
 		vab:  make([]float64, len(c.elements)),
 		ibr:  make([]float64, len(c.elements)),
 		pots: make([]float64, c.NumNodes()),
 		rhs:  make([]float64, n),
 		sol:  make([]float64, n),
 	}
-	// Companion conductances.
-	g := make([]float64, n*n)
-	for ei, e := range c.elements {
-		var ge float64
-		switch e.kind {
-		case kindResistor:
-			ge = 1 / e.value
-		case kindCapacitor:
-			ge = 2 * e.value / dt
-		case kindInductor:
-			ge = dt / (2 * e.value)
-		}
-		t.geq[ei] = ge
-		stampReal(g, n, idx, e.a, e.b, ge)
-	}
-	lu, err := factorReal(g, n)
+	geq, lu, err := stampCompanion(c, dt, idx, n)
 	if err != nil {
-		return nil, fmt.Errorf("pdn: transient setup: %w", err)
-	}
-	t.lu = lu
-	if err := t.factorDC(); err != nil {
 		return nil, err
 	}
+	t.geq, t.lu = geq, lu
+	dcLU, err := factorDCMatrix(c, idx, n)
+	if err != nil {
+		return nil, err
+	}
+	t.dcLU = dcLU
 	t.buildPlan()
 	if err := t.initState(); err != nil {
 		return nil, err
@@ -146,6 +132,34 @@ func (t *Transient) buildPlan() {
 	}
 }
 
+// stampCompanion computes the trapezoidal companion conductance of
+// every element and folds the set into a freshly factored nodal
+// matrix. The matrix depends only on element values and the timestep,
+// so single-lane and batched engines over the same circuit derive
+// identical factorizations from this one helper.
+func stampCompanion(c *Circuit, dt float64, idx []int, n int) (geq []float64, lu *realLU, err error) {
+	geq = make([]float64, len(c.elements))
+	g := make([]float64, n*n)
+	for ei, e := range c.elements {
+		var ge float64
+		switch e.kind {
+		case kindResistor:
+			ge = 1 / e.value
+		case kindCapacitor:
+			ge = 2 * e.value / dt
+		case kindInductor:
+			ge = dt / (2 * e.value)
+		}
+		geq[ei] = ge
+		stampReal(g, n, idx, e.a, e.b, ge)
+	}
+	lu, err = factorReal(g, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pdn: transient setup: %w", err)
+	}
+	return geq, lu, nil
+}
+
 // stampReal adds conductance ge between nodes a and b into the nodal
 // matrix of unknowns (rows/cols indexed by idx).
 func stampReal(g []float64, n int, idx []int, a, b NodeID, ge float64) {
@@ -166,30 +180,36 @@ func stampReal(g []float64, n int, idx []int, a, b NodeID, ge float64) {
 // the DC operating-point solve.
 const dcShortOhms = 1e-9
 
-// factorDC stamps and factors the DC operating-point matrix: inductors
-// become tiny resistances, capacitors are open. The matrix depends
-// only on element values, so it is factored once and reused by every
-// initState, across runs and fixed-supply retunes alike.
-func (t *Transient) factorDC() error {
-	g := make([]float64, t.n*t.n)
-	for _, e := range t.c.elements {
-		var ge float64
-		switch e.kind {
-		case kindResistor:
-			ge = 1 / e.value
-		case kindInductor:
-			ge = 1 / dcShortOhms
-		case kindCapacitor:
+// dcConductance returns the element's conductance in the DC
+// operating-point solve (capacitors are open and report ok=false).
+func dcConductance(e element) (ge float64, ok bool) {
+	switch e.kind {
+	case kindResistor:
+		return 1 / e.value, true
+	case kindInductor:
+		return 1 / dcShortOhms, true
+	}
+	return 0, false
+}
+
+// factorDCMatrix stamps and factors the DC operating-point matrix:
+// inductors become tiny resistances, capacitors are open. The matrix
+// depends only on element values, so it is factored once and reused by
+// every initState, across runs and fixed-supply retunes alike.
+func factorDCMatrix(c *Circuit, idx []int, n int) (*realLU, error) {
+	g := make([]float64, n*n)
+	for _, e := range c.elements {
+		ge, ok := dcConductance(e)
+		if !ok {
 			continue
 		}
-		stampReal(g, t.n, t.idx, e.a, e.b, ge)
+		stampReal(g, n, idx, e.a, e.b, ge)
 	}
-	lu, err := factorReal(g, t.n)
+	lu, err := factorReal(g, n)
 	if err != nil {
-		return fmt.Errorf("pdn: DC operating point: %w (is every node connected to a source?)", err)
+		return nil, fmt.Errorf("pdn: DC operating point: %w (is every node connected to a source?)", err)
 	}
-	t.dcLU = lu
-	return nil
+	return lu, nil
 }
 
 // initState derives the initial condition from the DC operating point:
@@ -201,13 +221,8 @@ func (t *Transient) initState() error {
 		t.rhs[i] = 0
 	}
 	for _, e := range c.elements {
-		var ge float64
-		switch e.kind {
-		case kindResistor:
-			ge = 1 / e.value
-		case kindInductor:
-			ge = 1 / dcShortOhms
-		case kindCapacitor:
+		ge, ok := dcConductance(e)
+		if !ok {
 			continue
 		}
 		// Fixed-node contributions move to the RHS.
@@ -326,7 +341,9 @@ func (t *Transient) Step() error {
 	}
 	t.lu.solveInto(t.sol, t.rhs)
 	for _, v := range t.sol {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		// v-v is 0 for every finite v and NaN for NaN and ±Inf, so one
+		// subtraction replaces the IsNaN/IsInf pair on this hot path.
+		if v-v != 0 {
 			return fmt.Errorf("pdn: integration diverged at t=%g", next)
 		}
 	}

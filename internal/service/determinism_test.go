@@ -109,3 +109,40 @@ func TestWorkerCountInvariance(t *testing.T) {
 		t.Errorf("workers=1 and workers=8 bodies differ:\n%s\n%s", b1, b8)
 	}
 }
+
+// TestBatchWidthInvariance: the Batch knob is scheduling-only — like
+// Workers it neither changes the canonical hash nor the result bytes,
+// whether the study runs lane-per-run or packed into lockstep lanes.
+func TestBatchWidthInvariance(t *testing.T) {
+	ctx := testCtx(t)
+	_, c := startServer(t, service.Config{Runner: labRunner, CacheEntries: -1})
+
+	ref := sweepReq(3)
+	ref.Batch = 1
+	hr, err := ref.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _, err := c.Run(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{3, 8} {
+		req := sweepReq(3)
+		req.Batch = batch
+		h, err := req.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != hr {
+			t.Fatalf("batch=%d changed the canonical hash: %s vs %s", batch, h, hr)
+		}
+		b, _, err := c.Run(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b) {
+			t.Errorf("batch=1 and batch=%d bodies differ:\n%s\n%s", batch, b1, b)
+		}
+	}
+}

@@ -81,6 +81,12 @@ type Request struct {
 	// Workers caps the study's parallel measurement workers
 	// (0 = one per CPU, 1 = serial). Scheduling only; not hashed.
 	Workers int `json:"workers,omitempty"`
+	// Batch is the lockstep batch lane width for studies that pack
+	// measurement runs into one factored circuit (0 = auto,
+	// 1 = lane-per-run). Like Workers it is scheduling only — every
+	// width produces bit-identical bytes — so it is excluded from the
+	// canonical hash.
+	Batch int `json:"batch,omitempty"`
 
 	FreqSweep  *FreqSweepParams  `json:"freq_sweep,omitempty"`
 	VminWalk   *VminWalkParams   `json:"vmin_walk,omitempty"`
@@ -327,13 +333,16 @@ func (r *Request) Normalize() (*Request, error) {
 	if n.Workers < 0 {
 		n.Workers = 0 // repository convention: non-positive selects one worker per CPU
 	}
+	if n.Batch < 0 {
+		n.Batch = 0 // repository convention: non-positive selects the auto width
+	}
 	return &n, nil
 }
 
 // canonicalRequest is the hashed form: schema version plus every
 // result-affecting field of a normalized request, serialized by
-// encoding/json in fixed struct-field order. Workers is deliberately
-// absent — it changes scheduling, never bytes.
+// encoding/json in fixed struct-field order. Workers and Batch are
+// deliberately absent — they change scheduling, never bytes.
 type canonicalRequest struct {
 	V          int               `json:"v"`
 	Study      Study             `json:"study"`
@@ -347,7 +356,8 @@ type canonicalRequest struct {
 // Hash returns the canonical configuration hash of the request: the
 // hex SHA-256 of the normalized, stably serialized configuration.
 // It is the content-addressed cache and singleflight key. Requests
-// differing only in scheduling knobs (Workers) hash identically.
+// differing only in scheduling knobs (Workers, Batch) hash
+// identically.
 func (r *Request) Hash() (string, error) {
 	n, err := r.Normalize()
 	if err != nil {

@@ -29,6 +29,12 @@ func TestHashStable(t *testing.T) {
 	if h, _ := workers.Hash(); h != base {
 		t.Errorf("workers changed the hash: %s vs %s", h, base)
 	}
+	// Batch is scheduling only too: excluded from the hash.
+	batch := validSweep()
+	batch.Batch = 8
+	if h, _ := batch.Hash(); h != base {
+		t.Errorf("batch changed the hash: %s vs %s", h, base)
+	}
 	// Result-affecting fields must change the hash.
 	variants := map[string]*Request{
 		"quick":  {Study: StudyFreqSweep, FreqSweep: &FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 2}},

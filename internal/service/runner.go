@@ -74,8 +74,8 @@ func (r *LabRunner) lab(quick bool) (*noise.Lab, error) {
 }
 
 // jobLab returns a shallow per-job copy of the shared lab with the
-// request's worker cap applied, so concurrent jobs never race on the
-// Workers field.
+// request's scheduling knobs applied, so concurrent jobs never race
+// on the Workers/Batch fields.
 func (r *LabRunner) jobLab(req *Request) (*noise.Lab, error) {
 	shared, err := r.lab(req.Quick)
 	if err != nil {
@@ -83,6 +83,7 @@ func (r *LabRunner) jobLab(req *Request) (*noise.Lab, error) {
 	}
 	l := *shared
 	l.Workers = req.Workers
+	l.Batch = req.Batch
 	return &l, nil
 }
 
@@ -137,6 +138,7 @@ func (r *LabRunner) runVminWalk(ctx context.Context, req *Request) (any, error) 
 	vcfg.FailVoltage = p.FailVoltage
 	vcfg.MinBias = p.MinBias
 	vcfg.Workers = req.Workers
+	vcfg.Batch = req.Batch
 	pts, err := l.ConsecutiveEventStudy(ctx, []float64{p.FreqHz}, []int{p.Events}, vcfg)
 	if err != nil {
 		return nil, err

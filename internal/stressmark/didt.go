@@ -113,6 +113,8 @@ func (s Spec) Workload(cfg uarch.Config, table *isa.Table) (core.Workload, error
 		w.sync = &sync
 		w.wave.Phase = 0 // bursts are phase-locked to the sync point
 		w.burstLen = float64(s.Events) / s.StimulusFreq
+		w.syncPeriod = sync.Period()
+		w.syncOffset = float64(sync.Match) * tod.TickSeconds
 		w.name += "+sync"
 	}
 	return w, nil
@@ -133,6 +135,11 @@ type didtWorkload struct {
 	spin     float64
 	sync     *tod.SyncCondition
 	burstLen float64
+	// Cached from sync at lowering time: Power sits on the transient
+	// engine's per-step hot path, and both values are pure functions
+	// of the (immutable) condition.
+	syncPeriod float64
+	syncOffset float64
 }
 
 func (w *didtWorkload) Name() string { return w.name }
@@ -141,8 +148,7 @@ func (w *didtWorkload) Power(t float64) float64 {
 	if w.sync == nil {
 		return w.wave.Value(t)
 	}
-	period := w.sync.Period()
-	offset := float64(w.sync.Match) * tod.TickSeconds
+	period, offset := w.syncPeriod, w.syncOffset
 	burstStart := math.Floor((t-offset)/period)*period + offset
 	dt := t - burstStart
 	if dt >= 0 && dt < w.burstLen {
@@ -191,17 +197,31 @@ func SyncWorkloads(s Spec, cfg uarch.Config, table *isa.Table, offsets *[core.Nu
 	if s.Sync == nil {
 		return out, fmt.Errorf("stressmark: SyncWorkloads with an unsynchronized spec")
 	}
+	if err := s.Sync.Validate(); err != nil {
+		return out, err // Misalign would silently wrap an invalid Match
+	}
+	// Lowering is pure, so cores whose sync conditions coincide share
+	// one workload instance: aligned copies (the common case) all point
+	// at the same object, which lets the measurement engines evaluate
+	// the shared power waveform once per step for the whole group.
+	byOffset := make(map[uint64]core.Workload, 1)
 	for i := range out {
-		si := s
-		cond := *s.Sync
+		var off uint64
 		if offsets != nil {
-			cond = cond.Misalign(offsets[i])
+			off = offsets[i]
 		}
+		if w, ok := byOffset[off]; ok {
+			out[i] = w
+			continue
+		}
+		si := s
+		cond := s.Sync.Misalign(off)
 		si.Sync = &cond
 		w, err := si.Workload(cfg, table)
 		if err != nil {
 			return out, err
 		}
+		byOffset[off] = w
 		out[i] = w
 	}
 	return out, nil

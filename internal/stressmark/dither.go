@@ -60,7 +60,7 @@ type ditherWorkload struct {
 func (w *ditherWorkload) Name() string { return w.didt.name + "+dither" }
 
 func (w *ditherWorkload) Power(t float64) float64 {
-	period := w.didt.sync.Period()
+	period := w.didt.syncPeriod // == sync.Period(), cached at lowering
 	// Which burst period are we in?
 	n := int64(t / period)
 	if t < 0 {

@@ -67,6 +67,63 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunBatchDeterminism: packing bias steps into lockstep batch
+// lanes reports the identical Result at every (workers, batch)
+// combination, in both the failing and the non-failing regime. Lanes
+// run at per-lane biases against one factored circuit, and the ordered
+// reduction still walks steps in descending-bias order, so
+// Steps/FailBias/MarginPercent and MinVoltageSeen never move.
+func TestRunBatchDeterminism(t *testing.T) {
+	var noisy [core.NumCores]core.Workload
+	for i := range noisy {
+		noisy[i] = core.FuncWorkload{Label: "osc", Fn: func(tm float64) float64 {
+			if math.Mod(tm, 0.5e-6) < 0.25e-6 {
+				return 50
+			}
+			return 16
+		}}
+	}
+	var idle [core.NumCores]core.Workload
+
+	cases := []struct {
+		name string
+		wl   [core.NumCores]core.Workload
+	}{
+		{"failing", noisy},
+		{"no_failure", idle},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MinBias = 0.90
+			cfg.Windows = []Window{{Start: 0, Duration: 20e-6}}
+			run := func(workers, batch int) *Result {
+				c := cfg
+				c.Workers = workers
+				c.Batch = batch
+				p, err := core.New(core.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(context.Background(), p, tc.wl, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := run(1, 1)
+			for _, workers := range []int{1, 8} {
+				for _, batch := range []int{1, 3, 8} {
+					if got := run(workers, batch); !reflect.DeepEqual(want, got) {
+						t.Errorf("Run workers=%d batch=%d differs from serial:\n%+v\n%+v",
+							workers, batch, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestRunWarmPoolMatchesCold: a second walk on the same platform draws
 // warm sessions from its pool; the result must match the cold walk
 // bit-for-bit.

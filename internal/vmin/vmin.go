@@ -46,6 +46,14 @@ type Config struct {
 	// setting (parallel runs may probe a few steps past the failure
 	// and discard them).
 	Workers int
+	// Batch is the lockstep lane width: consecutive bias steps pack
+	// into the lanes of one batch session — per-lane fixed supplies
+	// let one factored circuit probe several biases per step walk.
+	// Zero selects exec.DefaultBatchWidth (shrunk to keep every worker
+	// busy); one forces step-per-run. Like Workers, every setting is
+	// bit-identical: lanes perform exactly the single-session
+	// arithmetic and the reduction stays in descending-bias order.
+	Batch int
 }
 
 // DefaultConfig returns the standard experiment setup for workloads
@@ -132,37 +140,92 @@ func Run(ctx context.Context, p *core.Platform, workloads [core.NumCores]core.Wo
 	}
 	res := &Result{}
 	lastSafe := cfg.StartBias
-	err := exec.MapOrdered(ctx, len(biases), cfg.Workers,
-		func(ctx context.Context, i int) (step, error) {
-			s, err := sessions.Get(biases[i])
-			if err != nil {
-				return step{}, err
-			}
-			defer sessions.Put(s)
-			minV := 2.0
-			for _, w := range cfg.Windows {
-				m, err := s.RunContext(ctx, core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
+	reduce := func(s step) error {
+		res.Steps++
+		if s.minV < cfg.FailVoltage {
+			res.Failed = true
+			res.FailBias = s.bias
+			res.MarginPercent = (1 - lastSafe) * 100
+			return exec.ErrStop
+		}
+		lastSafe = s.bias
+		res.MinVoltageSeen = s.minV
+		return nil
+	}
+	var err error
+	if width := exec.BatchWidth(cfg.Batch, len(biases), cfg.Workers); width > 1 {
+		// Pack consecutive bias steps into lockstep lanes: per-lane
+		// fixed supplies probe several biases through one factored
+		// circuit, one window walk per chunk.
+		chunks := exec.Chunks(len(biases), width)
+		err = exec.MapOrdered(ctx, len(chunks), cfg.Workers,
+			func(ctx context.Context, ci int) ([]step, error) {
+				r := chunks[ci]
+				lanes := r[1] - r[0]
+				bs, err := sessions.GetBatch(biases[r[0]], lanes)
+				if err != nil {
+					return nil, err
+				}
+				defer sessions.PutBatch(bs)
+				for l := 0; l < lanes; l++ {
+					if err := bs.SetLaneBias(l, biases[r[0]+l]); err != nil {
+						return nil, err
+					}
+				}
+				out := make([]step, lanes)
+				for l := range out {
+					out[l].minV = 2.0
+				}
+				specs := make([]core.RunSpec, lanes)
+				for _, w := range cfg.Windows {
+					for l := range specs {
+						specs[l] = core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration}
+					}
+					ms, err := bs.RunBatchContext(ctx, specs)
+					if err != nil {
+						return nil, err
+					}
+					for l, m := range ms {
+						if v := m.MinVoltage(); v < out[l].minV {
+							out[l].minV = v
+						}
+					}
+				}
+				for l := range out {
+					out[l].bias = bs.LaneBias(l)
+				}
+				return out, nil
+			},
+			func(_ int, steps []step) error {
+				for _, s := range steps {
+					if err := reduce(s); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	} else {
+		err = exec.MapOrdered(ctx, len(biases), cfg.Workers,
+			func(ctx context.Context, i int) (step, error) {
+				s, err := sessions.Get(biases[i])
 				if err != nil {
 					return step{}, err
 				}
-				if v := m.MinVoltage(); v < minV {
-					minV = v
+				defer sessions.Put(s)
+				minV := 2.0
+				for _, w := range cfg.Windows {
+					m, err := s.RunContext(ctx, core.RunSpec{Workloads: workloads, Start: w.Start, Duration: w.Duration})
+					if err != nil {
+						return step{}, err
+					}
+					if v := m.MinVoltage(); v < minV {
+						minV = v
+					}
 				}
-			}
-			return step{bias: s.VoltageBias(), minV: minV}, nil
-		},
-		func(_ int, s step) error {
-			res.Steps++
-			if s.minV < cfg.FailVoltage {
-				res.Failed = true
-				res.FailBias = s.bias
-				res.MarginPercent = (1 - lastSafe) * 100
-				return exec.ErrStop
-			}
-			lastSafe = s.bias
-			res.MinVoltageSeen = s.minV
-			return nil
-		})
+				return step{bias: s.VoltageBias(), minV: minV}, nil
+			},
+			func(_ int, s step) error { return reduce(s) })
+	}
 	if err != nil {
 		return nil, err
 	}
