@@ -6,8 +6,12 @@
 #   make bench-json  benchmark snapshot -> BENCH_PR5.json
 #   make bench-check fresh run compared against the committed snapshot
 #   make run-service start the voltnoised HTTP service on :8080
+#   make fault       fault-injection suite: store failures, corruption,
+#                    crash recovery, journaled shutdown
+#   make recover-smoke kill -9 a live voltnoised and verify the cache
+#                    and journal survive the restart
 #   make ci          everything the CI gate runs (tier-1 + race +
-#                    batch determinism + bench-check)
+#                    fault injection + batch determinism + bench-check)
 #
 # BENCH_SELECT narrows bench/bench-json; BENCH_OUT moves the snapshot;
 # BENCH_MAX_REGRESS loosens/tightens the bench-check budget.
@@ -21,7 +25,7 @@ BENCH_BASELINE ?= BENCH_PR5.json
 # losing the batched solve are several times larger.
 BENCH_MAX_REGRESS ?= 25%
 
-.PHONY: all build vet test tier1 race batch-determinism bench bench-json bench-check run-service ci clean
+.PHONY: all build vet test tier1 race batch-determinism fault recover-smoke bench bench-json bench-check run-service ci clean
 
 all: tier1
 
@@ -79,13 +83,30 @@ bench-check:
 run-service:
 	$(GO) run ./cmd/voltnoised serve -addr :8080
 
+# fault runs the durability and fault-injection suites under the race
+# detector: injected store failures and corruption must degrade to
+# recomputes (never fail a study), crash recovery must replay
+# byte-identical results, and a journaled shutdown must park queued
+# jobs for the next start.
+fault:
+	$(GO) test -race ./internal/service/store/... ./internal/service/journal/
+	$(GO) test -race -run 'Fault|Store|Corrupt|Crash|Recovery|Shutdown|Nth' ./internal/service/
+
+# recover-smoke kill -9s a live voltnoised mid-flight and verifies the
+# restarted server serves the pre-crash result from disk (X-Cache: hit,
+# byte-identical) and re-enqueues journaled unfinished jobs.
+recover-smoke:
+	./scripts/recover_smoke.sh
+
 # ci is the full gate: tier-1 plus the race detector over the service
 # (always, it is the concurrency hot spot) and the internal packages,
-# the batch determinism suites under -race, and a bench-check run that
-# fails the gate on a benchmark regression past BENCH_MAX_REGRESS.
+# the fault-injection and durability suites, the batch determinism
+# suites under -race, and a bench-check run that fails the gate on a
+# benchmark regression past BENCH_MAX_REGRESS.
 ci: tier1
 	$(GO) test -race ./internal/service/...
 	$(GO) test -race ./internal/...
+	$(MAKE) fault
 	$(MAKE) batch-determinism
 	$(MAKE) bench-check
 

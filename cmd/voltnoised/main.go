@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	voltnoised serve [-addr :8080] [-queue 64] [-pool 2] [-cache 256] [-pprof addr]
+//	voltnoised serve [-addr :8080] [-queue 64] [-pool 2] [-cache 256]
+//	                 [-data-dir dir] [-journal file] [-pprof addr]
 //	voltnoised ctl [-addr http://127.0.0.1:8080] submit <req.json|->
 //	voltnoised ctl [...] status|result|wait|cancel <job-id>
 //	voltnoised ctl [...] run <req.json|->
@@ -21,6 +22,17 @@
 // "{" is parsed as inline JSON. Identical configurations are served
 // from the cache (byte-identical to a fresh computation); a full job
 // queue answers 429 — submit again after the Retry-After interval.
+//
+// -data-dir makes the service crash-safe: completed results persist
+// under <dir>/results (one checksummed file per canonical config
+// hash, written atomically) and accepted jobs are journaled to
+// <dir>/journal.wal before they are enqueued. After any restart —
+// kill -9 included — cached results are served byte-identical from
+// disk and journaled-but-unfinished jobs are re-enqueued; only the
+// computation that was mid-flight is repeated. -journal points the
+// write-ahead journal somewhere else (or enables it without a result
+// store). Persistence failures never fail a study: the service
+// degrades to recomputing and reports it via /metrics and /readyz.
 //
 // -pprof starts a second HTTP listener serving net/http/pprof
 // profiling endpoints (/debug/pprof/...) on the given address. It is
@@ -40,12 +52,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"voltnoise/internal/service"
 	"voltnoise/internal/service/client"
+	"voltnoise/internal/service/journal"
+	"voltnoise/internal/service/store"
 )
 
 func main() {
@@ -75,15 +90,40 @@ func runServe(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 64, "job queue depth (excess submissions get 429)")
 	pool := fs.Int("pool", 2, "concurrent study workers")
 	cache := fs.Int("cache", 256, "LRU result-cache entries (negative disables)")
+	dataDir := fs.String("data-dir", "", "persistence root: results in <dir>/results, journal at <dir>/journal.wal (empty = in-memory only)")
+	journalPath := fs.String("journal", "", "write-ahead job journal path (default <data-dir>/journal.wal when -data-dir is set)")
 	pprofAddr := fs.String("pprof", "", "profiling listen address for /debug/pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc := service.NewServer(service.Config{
+	cfg := service.Config{
 		QueueDepth:   *queue,
 		PoolSize:     *pool,
 		CacheEntries: *cache,
-	})
+	}
+	if *dataDir != "" {
+		disk, err := store.NewDisk(filepath.Join(*dataDir, "results"))
+		if err != nil {
+			return fmt.Errorf("result store: %w", err)
+		}
+		// Memory LRU in front for hot lookups, disk behind for
+		// durability; the LRU cap keeps its meaning from -cache.
+		cfg.Store = store.NewTiered(store.NewMemory(*cache), disk)
+		fmt.Fprintf(out, "voltnoised results in %s (%d on disk)\n", disk.Dir(), disk.Len())
+		if *journalPath == "" {
+			*journalPath = filepath.Join(*dataDir, "journal.wal")
+		}
+	}
+	if *journalPath != "" {
+		jnl, err := journal.Open(*journalPath)
+		if err != nil {
+			return fmt.Errorf("job journal: %w", err)
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+		fmt.Fprintf(out, "voltnoised journal %s (%d pending job(s) to recover)\n", jnl.Path(), len(jnl.Pending()))
+	}
+	svc := service.NewServer(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
 	if *pprofAddr != "" {

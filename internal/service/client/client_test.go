@@ -1,0 +1,254 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"voltnoise/internal/service"
+)
+
+// fastRetry returns a client with aggressive backoff so retry tests
+// run in milliseconds.
+func fastRetry(base string) *Client {
+	c := New(base)
+	c.RetryBase = time.Millisecond
+	c.RetryMax = 5 * time.Millisecond
+	return c
+}
+
+func TestRetriesOn5xxThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"transient backend blip"}`, http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"studies": []string{"freq_sweep"}})
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	studies, err := c.Studies(context.Background())
+	if err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if len(studies) != 1 || studies[0] != "freq_sweep" {
+		t.Errorf("studies = %v", studies)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestRetriesOn429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"service: job queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(&service.JobStatus{ID: "j-000001", Status: service.StateQueued})
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	st, err := c.Submit(context.Background(), &service.Request{})
+	if err != nil {
+		t.Fatalf("429 not retried: %v", err)
+	}
+	if st.ID != "j-000001" {
+		t.Errorf("status = %+v", st)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	_, err := c.Job(context.Background(), "j-999999")
+	if err == nil {
+		t.Fatal("404 succeeded")
+	}
+	if IsTransient(err) {
+		t.Errorf("404 classified transient: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on 4xx)", got)
+	}
+}
+
+func TestExhaustedRetriesAreTransient(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"still broken"}`, http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	c.MaxAttempts = 2
+	_, err := c.Job(context.Background(), "j-000001")
+	if err == nil {
+		t.Fatal("persistent 502 succeeded")
+	}
+	if !IsTransient(err) {
+		t.Errorf("exhausted 5xx not marked transient: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want MaxAttempts=2", got)
+	}
+}
+
+func TestConnectionErrorRetriedAndTransient(t *testing.T) {
+	// A listener that was closed: connection refused on every attempt.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close()
+	c := fastRetry(ts.URL)
+	c.MaxAttempts = 2
+	_, err := c.Job(context.Background(), "j-000001")
+	if err == nil {
+		t.Fatal("dead server succeeded")
+	}
+	if !IsTransient(err) {
+		t.Errorf("connection error not transient: %v", err)
+	}
+}
+
+func TestRequestTimeoutBoundsAttempts(t *testing.T) {
+	stall := make(chan struct{})
+	defer close(stall)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	c.MaxAttempts = 2
+	c.RequestTimeout = 25 * time.Millisecond
+	start := time.Now()
+	err := c.Healthy(context.Background())
+	if err == nil {
+		t.Fatal("stalled server answered healthy")
+	}
+	if !IsTransient(err) {
+		t.Errorf("per-attempt timeout not transient: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("two 25ms attempts took %v — default timeout not applied per attempt", elapsed)
+	}
+}
+
+func TestCallerContextCancelIsFinal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := c.Healthy(ctx)
+	if err == nil {
+		t.Fatal("canceled call succeeded")
+	}
+	if IsTransient(err) {
+		t.Errorf("caller-context cancellation marked transient: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry past caller deadline)", got)
+	}
+}
+
+// flakyJobServer answers /v1/jobs/{id} with outage-shaped errors for
+// the first fails polls, then "running" until doneAfter, then "done".
+func flakyJobServer(fails, runningPolls int32) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		switch {
+		case n <= fails:
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+		case n <= fails+runningPolls:
+			json.NewEncoder(w).Encode(&service.JobStatus{ID: "j-000001", Status: service.StateRunning})
+		default:
+			json.NewEncoder(w).Encode(&service.JobStatus{ID: "j-000001", Status: service.StateDone})
+		}
+	}))
+	return ts, &calls
+}
+
+func TestWaitSurvivesTransientOutage(t *testing.T) {
+	// 5 consecutive 503s exceed one call's retry budget (3 attempts),
+	// so Wait itself must keep re-polling through the outage.
+	ts, _ := flakyJobServer(5, 2)
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.Wait(ctx, "j-000001", time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait did not survive the outage: %v", err)
+	}
+	if st.Status != service.StateDone {
+		t.Errorf("status = %s, want done", st.Status)
+	}
+}
+
+func TestWaitReportsLastErrorOnDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"hard down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err := c.Wait(ctx, "j-000001", time.Millisecond)
+	if err == nil {
+		t.Fatal("wait against a dead server succeeded")
+	}
+	if !contains(err.Error(), "hard down") {
+		t.Errorf("deadline error does not carry the last poll failure: %v", err)
+	}
+}
+
+func TestWaitPermanentErrorImmediate(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	_, err := c.Wait(context.Background(), "j-404", time.Millisecond)
+	if err == nil {
+		t.Fatal("unknown job wait succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (404 must not be re-polled)", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

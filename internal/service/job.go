@@ -39,8 +39,11 @@ type JobStatus struct {
 	Cached bool `json:"cached,omitempty"`
 	// Deduped marks a submission collapsed onto an existing identical
 	// in-flight job; ID names that job.
-	Deduped bool   `json:"deduped,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Recovered marks a job replayed from the write-ahead journal
+	// after a restart rather than submitted on this incarnation.
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // job is the server-side job record.
@@ -61,6 +64,8 @@ type job struct {
 	done chan struct{}
 	// cached marks a job satisfied from the cache at submission.
 	cached bool
+	// recovered marks a job replayed from the journal at startup.
+	recovered bool
 }
 
 func newJob(id, hash string, req *Request) *job {
@@ -118,12 +123,13 @@ func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return &JobStatus{
-		ID:     j.id,
-		Study:  j.req.Study,
-		Hash:   j.hash,
-		Status: j.state,
-		Cached: j.cached,
-		Error:  j.err,
+		ID:        j.id,
+		Study:     j.req.Study,
+		Hash:      j.hash,
+		Status:    j.state,
+		Cached:    j.cached,
+		Recovered: j.recovered,
+		Error:     j.err,
 	}
 }
 

@@ -1,0 +1,233 @@
+// Package journal is the voltnoised write-ahead job journal: every
+// accepted job is appended (id, canonical hash, raw request JSON)
+// before it is enqueued, and every terminal transition (done, failed,
+// canceled) is appended when it happens. After a crash — kill -9
+// included — replaying the journal recovers exactly the jobs that
+// were accepted but never finished, so a restart costs only the
+// in-flight computation, not the queue.
+//
+// The format is append-only JSONL, one record per line, fsynced per
+// append. Torn trailing lines (a crash mid-append) are tolerated on
+// replay and dropped on the next compaction. Open replays and then
+// compacts: finished entries are discarded and the file is rewritten
+// atomically to hold only the still-pending accepts.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record op kinds.
+const (
+	opAccept = "accept"
+	opState  = "state"
+)
+
+// record is one JSONL line.
+type record struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// Accept fields.
+	Hash string          `json:"hash,omitempty"`
+	Req  json.RawMessage `json:"req,omitempty"`
+	// State fields: the terminal state name ("done", "failed",
+	// "canceled"). Non-terminal transitions are not journaled — they
+	// carry no recovery information.
+	State string `json:"state,omitempty"`
+}
+
+// Pending is a journaled job that never reached a terminal state.
+type Pending struct {
+	ID   string
+	Hash string
+	Req  json.RawMessage
+}
+
+// Journal is an open write-ahead journal. Safe for concurrent use.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	pending []Pending // replayed at Open, in journal order
+	closed  bool
+}
+
+// Open replays the journal at path (creating it if absent), compacts
+// it down to the still-pending accepts, and returns it ready for
+// appends. The replayed pending jobs are available via Pending.
+func Open(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+		}
+	}
+	pending, err := replay(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rewrite(path, pending); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	return &Journal{path: path, f: f, pending: pending}, nil
+}
+
+// Pending returns the jobs replayed at Open that had not finished, in
+// acceptance order. The slice is the journal's own; callers must not
+// mutate it.
+func (j *Journal) Pending() []Pending { return j.pending }
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Accept journals an accepted job before it is enqueued. The write is
+// fsynced: once Accept returns, the job survives a crash.
+func (j *Journal) Accept(id, hash string, req json.RawMessage) error {
+	return j.append(record{Op: opAccept, ID: id, Hash: hash, Req: req})
+}
+
+// Finish journals a terminal state transition for a job.
+func (j *Journal) Finish(id, state string) error {
+	return j.append(record{Op: opState, ID: id, State: state})
+}
+
+func (j *Journal) append(r record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: appending: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// replay reads every record, returning accepts with no terminal
+// state. A torn trailing line is tolerated; a torn middle line (which
+// fsync-per-append should make impossible) fails loudly rather than
+// silently dropping jobs.
+func replay(path string) ([]Pending, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: replaying %s: %w", path, err)
+	}
+	defer f.Close()
+
+	accepts := make(map[string]Pending)
+	var order []string
+	finished := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line, torn := 0, false
+	for sc.Scan() {
+		line++
+		if torn {
+			return nil, fmt.Errorf("journal: %s:%d: undecodable record not at tail", path, line-1)
+		}
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(b, &r); err != nil {
+			torn = true // acceptable only as the final (torn) line
+			continue
+		}
+		switch r.Op {
+		case opAccept:
+			if _, dup := accepts[r.ID]; !dup {
+				order = append(order, r.ID)
+			}
+			accepts[r.ID] = Pending{ID: r.ID, Hash: r.Hash, Req: r.Req}
+		case opState:
+			finished[r.ID] = true
+		default:
+			return nil, fmt.Errorf("journal: %s:%d: unknown op %q", path, line, r.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: scanning %s: %w", path, err)
+	}
+	var pending []Pending
+	for _, id := range order {
+		if !finished[id] {
+			pending = append(pending, accepts[id])
+		}
+	}
+	return pending, nil
+}
+
+// rewrite atomically replaces the journal with only the pending
+// accepts — the compaction step. An empty pending set truncates the
+// file (the common healthy-shutdown case).
+func rewrite(path string, pending []Pending) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for _, p := range pending {
+		line, err := json.Marshal(record{Op: opAccept, ID: p.ID, Hash: p.Hash, Req: p.Req})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compacting: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: syncing compaction: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compacting: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("journal: publishing compaction: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openAt(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestAcceptFinishReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j := openAt(t, path)
+	if len(j.Pending()) != 0 {
+		t.Fatalf("fresh journal has %d pending", len(j.Pending()))
+	}
+	req := json.RawMessage(`{"study":"freq_sweep"}`)
+	must(t, j.Accept("j-000001", "aaa", req))
+	must(t, j.Accept("j-000002", "bbb", req))
+	must(t, j.Finish("j-000001", "done"))
+	must(t, j.Close())
+
+	// Reopen: only the unfinished job is pending, in order.
+	j2 := openAt(t, path)
+	p := j2.Pending()
+	if len(p) != 1 || p[0].ID != "j-000002" || p[0].Hash != "bbb" {
+		t.Fatalf("pending = %+v, want j-000002/bbb", p)
+	}
+	if string(p[0].Req) != string(req) {
+		t.Errorf("request bytes mutated: %s", p[0].Req)
+	}
+}
+
+func TestCompactionDropsFinished(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j := openAt(t, path)
+	req := json.RawMessage(`{}`)
+	for i, id := range []string{"j-000001", "j-000002", "j-000003"} {
+		must(t, j.Accept(id, "h", req))
+		if i != 1 {
+			must(t, j.Finish(id, "done"))
+		}
+	}
+	must(t, j.Close())
+
+	// Open compacts: the file now holds only the pending accept.
+	j2 := openAt(t, path)
+	must(t, j2.Close())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(raw)), "\n") + 1
+	if got := strings.TrimSpace(string(raw)); got == "" {
+		t.Fatal("compaction dropped the pending job")
+	} else if lines != 1 {
+		t.Errorf("compacted journal has %d lines, want 1:\n%s", lines, raw)
+	}
+	if !strings.Contains(string(raw), "j-000002") {
+		t.Errorf("compacted journal lost the pending id:\n%s", raw)
+	}
+
+	// All-finished journal compacts to empty.
+	j3 := openAt(t, path)
+	must(t, j3.Finish("j-000002", "canceled"))
+	must(t, j3.Close())
+	j4 := openAt(t, path)
+	if len(j4.Pending()) != 0 {
+		t.Errorf("pending after finish = %+v", j4.Pending())
+	}
+	raw, _ = os.ReadFile(path)
+	if len(raw) != 0 {
+		t.Errorf("fully-finished journal not truncated: %q", raw)
+	}
+}
+
+func TestTornTrailingLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j := openAt(t, path)
+	must(t, j.Accept("j-000001", "aaa", json.RawMessage(`{}`)))
+	must(t, j.Close())
+
+	// Simulate a crash mid-append: garbage tail without newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"state","id":"j-0000`)
+	f.Close()
+
+	j2 := openAt(t, path)
+	p := j2.Pending()
+	if len(p) != 1 || p[0].ID != "j-000001" {
+		t.Fatalf("pending after torn tail = %+v", p)
+	}
+	must(t, j2.Close())
+	// The compaction rewrote the file, so the torn line is gone.
+	raw, _ := os.ReadFile(path)
+	if strings.Contains(string(raw), `j-0000"`) || !strings.HasSuffix(string(raw), "\n") {
+		t.Errorf("torn tail survived compaction: %q", raw)
+	}
+}
+
+func TestTornMiddleLineFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	os.WriteFile(path, []byte("{\"op\":\"accept\",\"id\n{\"op\":\"state\",\"id\":\"x\",\"state\":\"done\"}\n"), 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("mid-file corruption accepted silently")
+	}
+}
+
+func TestReacceptAfterFinish(t *testing.T) {
+	// A hash can be accepted again after its first job finished (e.g.
+	// cache disabled); the second acceptance must replay.
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j := openAt(t, path)
+	req := json.RawMessage(`{}`)
+	must(t, j.Accept("j-000001", "h", req))
+	must(t, j.Finish("j-000001", "done"))
+	must(t, j.Accept("j-000002", "h", req))
+	must(t, j.Close())
+	j2 := openAt(t, path)
+	p := j2.Pending()
+	if len(p) != 1 || p[0].ID != "j-000002" {
+		t.Fatalf("pending = %+v", p)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,10 +40,22 @@ type MetricsSnapshot struct {
 	JobsDeduped int64 `json:"jobs_deduped"`
 	// JobsRejected counts submissions bounced with 429 (queue full).
 	JobsRejected int64 `json:"jobs_rejected"`
+	// JobsRecovered counts jobs replayed from the write-ahead journal
+	// at startup and re-enqueued (or completed straight from the
+	// durable store).
+	JobsRecovered int64 `json:"jobs_recovered"`
 
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+	// StoreGetErrors / StorePutErrors count result-store backend
+	// failures. Each one degraded to a recompute (Get) or an uncached
+	// result (Put) — never to a failed study.
+	StoreGetErrors int64 `json:"store_get_errors"`
+	StorePutErrors int64 `json:"store_put_errors"`
+	// JournalErrors counts write-ahead journal append failures. The
+	// affected jobs still ran; they just lost crash protection.
+	JournalErrors int64 `json:"journal_errors"`
 
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
@@ -53,15 +65,17 @@ type MetricsSnapshot struct {
 
 // metrics is the live counter set behind /metrics.
 type metrics struct {
-	mu       sync.Mutex
-	queued   int64
-	running  int64
-	done     int64
-	failed   int64
-	canceled int64
-	deduped  int64
-	rejected int64
-	studies  map[Study]*studyCounters
+	mu        sync.Mutex
+	queued    int64
+	running   int64
+	done      int64
+	failed    int64
+	canceled  int64
+	deduped   int64
+	rejected  int64
+	recovered int64
+	journal   int64
+	studies   map[Study]*studyCounters
 }
 
 type studyCounters struct {
@@ -84,9 +98,11 @@ func (m *metrics) study(s Study) *studyCounters {
 	return sc
 }
 
-func (m *metrics) jobQueued()   { m.mu.Lock(); m.queued++; m.mu.Unlock() }
-func (m *metrics) jobRejected() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) jobDeduped()  { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
+func (m *metrics) jobQueued()    { m.mu.Lock(); m.queued++; m.mu.Unlock() }
+func (m *metrics) jobRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) jobDeduped()   { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
+func (m *metrics) jobRecovered() { m.mu.Lock(); m.recovered++; m.mu.Unlock() }
+func (m *metrics) journalError() { m.mu.Lock(); m.journal++; m.mu.Unlock() }
 
 func (m *metrics) jobStarted() {
 	m.mu.Lock()
@@ -134,23 +150,27 @@ func (m *metrics) jobFinished(s Study, ok bool, elapsed time.Duration) {
 
 // snapshot renders the counters; cache and queue gauges come from the
 // caller (they live in their own structures).
-func (m *metrics) snapshot(hits, misses int64, cacheEntries, queueDepth, queueCap int) *MetricsSnapshot {
+func (m *metrics) snapshot(hits, misses, getErrs, putErrs int64, cacheEntries, queueDepth, queueCap int) *MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := &MetricsSnapshot{
-		JobsQueued:    m.queued,
-		JobsRunning:   m.running,
-		JobsDone:      m.done,
-		JobsFailed:    m.failed,
-		JobsCanceled:  m.canceled,
-		JobsDeduped:   m.deduped,
-		JobsRejected:  m.rejected,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  cacheEntries,
-		QueueDepth:    queueDepth,
-		QueueCapacity: queueCap,
-		Studies:       make(map[string]StudyStats, len(m.studies)),
+		JobsQueued:     m.queued,
+		JobsRunning:    m.running,
+		JobsDone:       m.done,
+		JobsFailed:     m.failed,
+		JobsCanceled:   m.canceled,
+		JobsDeduped:    m.deduped,
+		JobsRejected:   m.rejected,
+		JobsRecovered:  m.recovered,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   cacheEntries,
+		StoreGetErrors: getErrs,
+		StorePutErrors: putErrs,
+		JournalErrors:  m.journal,
+		QueueDepth:     queueDepth,
+		QueueCapacity:  queueCap,
+		Studies:        make(map[string]StudyStats, len(m.studies)),
 	}
 	for s, sc := range m.studies {
 		snap.Studies[string(s)] = StudyStats{

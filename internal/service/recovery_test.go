@@ -1,0 +1,379 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"voltnoise/internal/service"
+	"voltnoise/internal/service/client"
+	"voltnoise/internal/service/journal"
+	"voltnoise/internal/service/store"
+)
+
+// persistence bundles one on-disk service state (results + journal).
+type persistence struct {
+	dir string
+}
+
+func (p persistence) resultsDir() string  { return filepath.Join(p.dir, "results") }
+func (p persistence) journalPath() string { return filepath.Join(p.dir, "journal.wal") }
+
+// open builds the production persistence stack over the directory:
+// tiered memory-over-disk store plus write-ahead journal.
+func (p persistence) open(t *testing.T) (store.Store, *journal.Journal) {
+	t.Helper()
+	disk, err := store.NewDisk(p.resultsDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl, err := journal.Open(p.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jnl.Close() })
+	return store.NewTiered(store.NewMemory(64), disk), jnl
+}
+
+// snapshot copies the persistence state mid-run — the moral
+// equivalent of what a kill -9 leaves on disk.
+func (p persistence) snapshot(t *testing.T) persistence {
+	t.Helper()
+	dst := persistence{dir: t.TempDir()}
+	err := filepath.Walk(p.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(p.dir, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst.dir, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		_, err = io.Copy(out, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// gatedRunner delegates to the shared lab runner but blocks selected
+// requests until released, holding a real job "in flight" across a
+// simulated crash.
+type gatedRunner struct {
+	inner   service.Runner
+	started chan string
+	release chan struct{}
+	// blockHash, when non-empty, gates only requests whose canonical
+	// hash matches; everything else runs straight through.
+	blockHash string
+}
+
+func newGatedRunner(inner service.Runner, blockHash string) *gatedRunner {
+	return &gatedRunner{
+		inner:     inner,
+		started:   make(chan string, 16),
+		release:   make(chan struct{}),
+		blockHash: blockHash,
+	}
+}
+
+func (g *gatedRunner) Run(ctx context.Context, req *service.Request) (any, error) {
+	h, err := req.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if g.blockHash == "" || h == g.blockHash {
+		g.started <- h
+		select {
+		case <-g.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return g.inner.Run(ctx, req)
+}
+
+// TestCrashRecoveryByteIdentical is the crash-recovery suite: run one
+// study to completion and hold a second in flight on a persistent
+// server, snapshot the data directory mid-run (what kill -9 leaves
+// behind), rebuild a server from the snapshot, and assert (1) the
+// completed result is served from disk, cache-hit, byte-identical to
+// an uninterrupted run, and (2) the in-flight job is replayed under
+// its original ID and completes with byte-identical bytes.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	ctx := testCtx(t)
+
+	// Reference bytes from an uninterrupted in-memory server.
+	_, ref := startServer(t, service.Config{Runner: labRunner})
+	doneReq, inflightReq := sweepReq(2), sweepReq(3)
+	refDone, _, err := ref.Run(ctx, doneReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refInflight, _, err := ref.Run(ctx, inflightReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflightHash, err := inflightReq.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persistent server: complete job 1, hold job 2 in flight.
+	state := persistence{dir: t.TempDir()}
+	st, jnl := state.open(t)
+	gate := newGatedRunner(labRunner, inflightHash)
+	defer close(gate.release) // unblock the abandoned worker at test end
+	srvA, cA := startServer(t, service.Config{
+		Runner: gate, Store: st, Journal: jnl, PoolSize: 1,
+	})
+	freshDone, cached, err := cA.Run(ctx, doneReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first run claims a cache hit")
+	}
+	if !bytes.Equal(freshDone, refDone) {
+		t.Fatalf("persistent server bytes differ from reference:\n%s\n%s", freshDone, refDone)
+	}
+	stIn, err := cA.Submit(ctx, inflightReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.started // the job is mid-"computation" — crash now
+	_ = srvA       // abandoned: no Shutdown, like a SIGKILL
+
+	// Rebuild from the snapshot.
+	crashed := state.snapshot(t)
+	st2, jnl2 := crashed.open(t)
+	if got := len(jnl2.Pending()); got != 1 {
+		t.Fatalf("journal replay found %d pending jobs, want 1", got)
+	}
+	_, cB := startServer(t, service.Config{
+		Runner: labRunner, Store: st2, Journal: jnl2, PoolSize: 1,
+	})
+
+	// (1) The completed study answers from disk: cache hit, same bytes.
+	replay, cached, err := cB.Run(ctx, doneReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("completed result not served from the disk store after restart")
+	}
+	if !bytes.Equal(replay, refDone) {
+		t.Errorf("post-crash replay differs from reference:\n%s\n%s", replay, refDone)
+	}
+
+	// (2) The in-flight job was re-enqueued under its original ID and
+	// completes byte-identically.
+	fin, err := cB.Wait(ctx, stIn.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != service.StateDone {
+		t.Fatalf("recovered job finished %s (error %q)", fin.Status, fin.Error)
+	}
+	if !fin.Recovered {
+		t.Error("recovered job not marked Recovered")
+	}
+	body, _, err := cB.Result(ctx, stIn.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, refInflight) {
+		t.Errorf("recovered job bytes differ from uninterrupted run:\n%s\n%s", body, refInflight)
+	}
+	snap, err := cB.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsRecovered != 1 {
+		t.Errorf("jobs_recovered = %d, want 1", snap.JobsRecovered)
+	}
+
+	// A third restart finds nothing pending: the journal compacted.
+	final := persistence{dir: crashed.dir}
+	jnl3, err := journal.Open(final.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl3.Close()
+	if got := len(jnl3.Pending()); got != 0 {
+		t.Errorf("journal still holds %d pending jobs after recovery", got)
+	}
+}
+
+// TestRecoveryServesDoneFromStore: a job whose result reached the
+// store but whose "done" record never hit the journal (the crash
+// window between the two) is completed straight from the stored
+// bytes at startup — no recompute.
+func TestRecoveryServesDoneFromStore(t *testing.T) {
+	ctx := testCtx(t)
+	state := persistence{dir: t.TempDir()}
+
+	// Fabricate the crash window by hand: result in store, journal
+	// still holding the acceptance.
+	req := guardbandReq(1.0)
+	norm, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, refC := startServer(t, service.Config{Runner: labRunner})
+	refBytes, _, err := refC.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, jnl := state.open(t)
+	if err := st.Put(hash, refBytes); err != nil {
+		t.Fatal(err)
+	}
+	reqJSON, err := json.Marshal(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Accept("j-000007", hash, reqJSON); err != nil {
+		t.Fatal(err)
+	}
+	jnl.Close()
+
+	// Restart: the runner must never fire for the durable hash (the
+	// fresh submission at the end of the test still computes normally).
+	st2, jnl2 := state.open(t)
+	boom := service.RunnerFunc(func(ctx context.Context, r *service.Request) (any, error) {
+		if h, _ := r.Hash(); h == hash {
+			t.Error("recovery recomputed a result that was already durable")
+		}
+		return labRunner.Run(ctx, r)
+	})
+	_, c := startServer(t, service.Config{Runner: boom, Store: st2, Journal: jnl2})
+	fin, err := c.Wait(ctx, "j-000007", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != service.StateDone || !fin.Cached || !fin.Recovered {
+		t.Fatalf("recovered-durable job = %+v, want done+cached+recovered", fin)
+	}
+	body, cached, err := c.Result(ctx, "j-000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || !bytes.Equal(body, refBytes) {
+		t.Errorf("durable replay wrong: cached=%v\n%s\n%s", cached, body, refBytes)
+	}
+	// New submissions number past the recovered ID.
+	st8, err := c.Submit(ctx, sweepReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st8.ID <= "j-000007" {
+		t.Errorf("new job ID %s did not advance past the recovered one", st8.ID)
+	}
+}
+
+// TestShutdownParksQueuedJobs: with a journal, draining waits for the
+// running study but leaves still-queued jobs journaled for the next
+// start instead of racing the deadline to run them.
+func TestShutdownParksQueuedJobs(t *testing.T) {
+	ctx := testCtx(t)
+	state := persistence{dir: t.TempDir()}
+	st, jnl := state.open(t)
+	gate := newGateRunner()
+	srv, c := startServer(t, service.Config{
+		Runner: gate, Store: st, Journal: jnl, PoolSize: 1, QueueDepth: 8,
+	})
+
+	stA, err := c.Submit(ctx, sweepReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.started // A running
+	stB, err := c.Submit(ctx, sweepReq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stC, err := c.Submit(ctx, sweepReq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		done <- srv.Shutdown(drainCtx)
+	}()
+	// Only release the gate once draining is observable, so the worker
+	// cannot race past the drain flag and run B.
+	noRetry := client.New(c.Base)
+	noRetry.MaxAttempts = -1
+	for noRetry.Ready(ctx) == nil {
+		if ctx.Err() != nil {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(gate.release) // let A finish; B and C must be parked, not run
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := gate.calls.Load(); n != 1 {
+		t.Errorf("runner ran %d times, want 1 (queued jobs must be parked)", n)
+	}
+	gotA, err := c.Job(ctx, stA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.Status != service.StateDone {
+		t.Errorf("running job %s = %s after drain, want done", stA.ID, gotA.Status)
+	}
+	jnl.Close()
+
+	// The next incarnation recovers exactly B and C and completes them.
+	st2, jnl2 := state.open(t)
+	ids := map[string]bool{}
+	for _, p := range jnl2.Pending() {
+		ids[p.ID] = true
+	}
+	if len(ids) != 2 || !ids[stB.ID] || !ids[stC.ID] {
+		t.Fatalf("journal pending = %v, want {%s, %s}", ids, stB.ID, stC.ID)
+	}
+	instant := service.RunnerFunc(func(_ context.Context, req *service.Request) (any, error) {
+		return map[string]string{"study": string(req.Study)}, nil
+	})
+	_, c2 := startServer(t, service.Config{Runner: instant, Store: st2, Journal: jnl2})
+	for _, id := range []string{stB.ID, stC.ID} {
+		fin, err := c2.Wait(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.Status != service.StateDone || !fin.Recovered {
+			t.Errorf("parked job %s after restart = %+v, want done+recovered", id, fin)
+		}
+	}
+}

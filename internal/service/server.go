@@ -9,21 +9,38 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"voltnoise/internal/service/journal"
+	"voltnoise/internal/service/store"
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// QueueDepth bounds the number of jobs waiting for a worker
 	// (default 64). Submissions beyond it are rejected with 429 —
-	// back-pressure, not buffering.
+	// back-pressure, not buffering. Jobs recovered from the journal
+	// are exempt: the queue is grown to fit them.
 	QueueDepth int
 	// PoolSize is the number of concurrent study workers (default 2).
 	// Each study additionally fans its own measurements out per the
 	// request's Workers knob.
 	PoolSize int
 	// CacheEntries caps the LRU result cache (default 256; 0 keeps the
-	// default, negative disables caching).
+	// default, negative disables caching). Ignored when Store is set.
 	CacheEntries int
+	// Store overrides the result-store backend (default: the in-memory
+	// LRU capped at CacheEntries). Use store.NewTiered over
+	// store.NewDisk for results that survive restarts. Backend
+	// failures never fail a study — they degrade to recomputes and
+	// surface via /metrics and /readyz.
+	Store store.Store
+	// Journal, when set, is the write-ahead job journal: submissions
+	// are journaled before they are enqueued and the server re-enqueues
+	// the journal's still-pending jobs at construction, so a crash
+	// costs only the in-flight computation. The server appends to and
+	// compacts the journal but does not own it — the caller opens and
+	// closes it.
+	Journal *journal.Journal
 	// Runner executes studies (default: NewLabRunner on the calibrated
 	// platform).
 	Runner Runner
@@ -61,17 +78,19 @@ var (
 // API, with content-addressed result caching and singleflight
 // deduplication of identical in-flight requests.
 type Server struct {
-	cfg    Config
-	runner Runner
-	mux    *http.ServeMux
-	cache  *Cache
-	met    *metrics
+	cfg     Config
+	runner  Runner
+	mux     *http.ServeMux
+	cache   *Cache
+	journal *journal.Journal
+	met     *metrics
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	inflight map[string]*job // canonical hash -> queued/running job
-	seq      int64
-	draining bool
+	mu             sync.Mutex
+	jobs           map[string]*job
+	inflight       map[string]*job // canonical hash -> queued/running job
+	seq            int64
+	draining       bool
+	lastJournalErr string
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -79,18 +98,35 @@ type Server struct {
 
 // NewServer builds the service and starts its worker pool. Callers
 // serve it over HTTP (it implements http.Handler) and stop it with
-// Shutdown.
+// Shutdown. When cfg.Journal is set, the journal's still-pending jobs
+// are recovered (completed straight from the store when the result is
+// already durable, re-enqueued otherwise) before the pool starts.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cache := NewCache(cfg.CacheEntries)
+	if cfg.Store != nil {
+		cache = NewCacheOn(cfg.Store)
+	}
+	var pending []journal.Pending
+	if cfg.Journal != nil {
+		pending = cfg.Journal.Pending()
+	}
+	// Recovered jobs must all fit the queue before workers start.
+	queueCap := cfg.QueueDepth
+	if len(pending) > queueCap {
+		queueCap = len(pending)
+	}
 	s := &Server{
 		cfg:      cfg,
 		runner:   cfg.Runner,
-		cache:    NewCache(cfg.CacheEntries),
+		cache:    cache,
+		journal:  cfg.Journal,
 		met:      newMetrics(),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
-		queue:    make(chan *job, cfg.QueueDepth),
+		queue:    make(chan *job, queueCap),
 	}
+	s.recover(pending)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -113,9 +149,13 @@ func NewServer(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Shutdown drains the service gracefully: new submissions are
-// rejected with ErrDraining immediately, already-queued jobs run to
-// completion, and Shutdown returns once the pool is idle (or ctx
-// expires). Safe to call more than once.
+// rejected with ErrDraining immediately and Shutdown returns once the
+// pool is idle (or ctx expires). Without a journal, already-queued
+// jobs run to completion (dropping them would lose them forever).
+// With a journal, still-queued jobs are *parked* instead: their
+// write-ahead acceptance records stay pending, the next start
+// re-enqueues them, and only the currently-running studies are waited
+// for. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -187,23 +227,79 @@ func (s *Server) submit(req *Request) (*job, *JobStatus, error) {
 		s.met.jobRejected()
 		return nil, nil, ErrQueueFull
 	}
+	// Write-ahead: the accepted job hits the journal before the caller
+	// hears "accepted", so a crash after this point re-enqueues it on
+	// the next start. A journal failure is availability-over-
+	// durability: the job still runs, the degradation is visible in
+	// /metrics and /readyz.
+	s.journalAccept(j)
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
 	s.met.jobQueued()
 	return j, j.status(), nil
 }
 
+// journalAccept appends the job's acceptance record. Caller holds
+// s.mu (keeps journal order consistent with acceptance order).
+func (s *Server) journalAccept(j *job) {
+	if s.journal == nil {
+		return
+	}
+	raw, err := json.Marshal(j.req)
+	if err == nil {
+		err = s.journal.Accept(j.id, j.hash, raw)
+	}
+	if err != nil {
+		s.met.journalError()
+		s.lastJournalErr = err.Error()
+		return
+	}
+	s.lastJournalErr = ""
+}
+
+// journalFinish appends a terminal transition; called off the worker
+// path without s.mu held.
+func (s *Server) journalFinish(id string, state State) {
+	if s.journal == nil {
+		return
+	}
+	err := s.journal.Finish(id, string(state))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.met.journalError()
+		s.lastJournalErr = err.Error()
+		return
+	}
+	s.lastJournalErr = ""
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		if s.parkForRecovery() {
+			// Draining with a journal: leave the job's acceptance
+			// record pending so the next start re-enqueues it, instead
+			// of racing the shutdown deadline to run it now.
+			continue
+		}
 		s.runJob(j)
 	}
+}
+
+// parkForRecovery reports whether still-queued jobs should be left to
+// the journal (server draining and crash-safe) rather than run.
+func (s *Server) parkForRecovery() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining && s.journal != nil
 }
 
 func (s *Server) runJob(j *job) {
 	defer s.removeInflight(j)
 	if j.ctx.Err() != nil || !j.setRunning() {
 		j.finish(StateCanceled, nil, context.Canceled)
+		s.journalFinish(j.id, StateCanceled)
 		s.met.jobCanceled()
 		return
 	}
@@ -217,14 +313,20 @@ func (s *Server) runJob(j *job) {
 	elapsed := time.Since(start)
 	switch {
 	case err == nil:
+		// Persist before journaling "done": a crash between the two
+		// replays the job (wasted work, same bytes) instead of
+		// journaling a result that was never stored.
 		s.cache.Put(j.hash, result)
 		j.finish(StateDone, result, nil)
+		s.journalFinish(j.id, StateDone)
 		s.met.jobFinished(j.req.Study, true, elapsed)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCanceled, nil, err)
+		s.journalFinish(j.id, StateCanceled)
 		s.met.runCanceled()
 	default:
 		j.finish(StateFailed, nil, err)
+		s.journalFinish(j.id, StateFailed)
 		s.met.jobFinished(j.req.Study, false, elapsed)
 	}
 }
@@ -415,19 +517,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+// Readiness is the /readyz body. Status is "ready", "degraded" (still
+// serving — studies recompute around the sick subsystem — but
+// persistence is impaired; Reason names the failure), or "draining".
+type Readiness struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// readiness snapshots the server's readiness.
+func (s *Server) readiness() (Readiness, int) {
 	s.mu.Lock()
 	draining := s.draining
+	journalErr := s.lastJournalErr
 	s.mu.Unlock()
 	if draining {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		return Readiness{Status: "draining"}, http.StatusServiceUnavailable
+	}
+	if ok, reason := s.cache.Health(); !ok {
+		return Readiness{Status: "degraded", Reason: reason}, http.StatusOK
+	}
+	if journalErr != "" {
+		return Readiness{Status: "degraded", Reason: "journal appends failing: " + journalErr}, http.StatusOK
+	}
+	return Readiness{Status: "ready"}, http.StatusOK
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd, code := s.readiness()
+	if code != http.StatusOK {
+		writeError(w, code, "%s", rd.Status)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, code, rd)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
-	snap := s.met.snapshot(hits, misses, s.cache.Len(), len(s.queue), cap(s.queue))
+	getErrs, putErrs := s.cache.Errors()
+	snap := s.met.snapshot(hits, misses, getErrs, putErrs, s.cache.Len(), len(s.queue), cap(s.queue))
 	writeJSON(w, http.StatusOK, snap)
 }

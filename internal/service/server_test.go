@@ -264,8 +264,13 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The queue (depth 1) now holds B; the next distinct submission
-	// must bounce with 429.
-	_, err = c.Submit(ctx, sweepReq(4))
+	// must bounce with 429. Retries are disabled for this probe — the
+	// default client would re-offer the request (by design; each
+	// attempt is rejected again while the queue stays full) and the
+	// per-attempt rejection count below asserts exactly one offer.
+	noRetry := client.New(c.Base)
+	noRetry.MaxAttempts = -1
+	_, err = noRetry.Submit(ctx, sweepReq(4))
 	if err == nil {
 		t.Fatal("over-capacity submission accepted")
 	}
@@ -290,7 +295,7 @@ func TestQueueBackpressure(t *testing.T) {
 		}
 	}
 	// Draining servers refuse new work and report not-ready.
-	if _, err := c.Submit(ctx, sweepReq(5)); err == nil {
+	if _, err := noRetry.Submit(ctx, sweepReq(5)); err == nil {
 		t.Error("draining server accepted a submission")
 	}
 	if err := c.Ready(ctx); err == nil {

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// diskMagic versions the on-disk entry format: magic, then the
+// SHA-256 of the body, then the body bytes. Bumping it orphans old
+// entries (they read as corrupt and are recomputed) rather than
+// serving them wrong.
+var diskMagic = []byte("VNRS1\n")
+
+// ErrCorrupt marks an entry whose checksum (or framing) did not
+// verify. Callers treat it as a miss; the entry is quarantined out of
+// the way so the next Put can heal it.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// Disk is the durable backend: one file per canonical config hash
+// under dir, sharded by hash prefix to keep directories small. Writes
+// go to a temp file, are fsynced, and land via atomic rename, so a
+// crash mid-Put leaves either the old entry or none — never a torn
+// one. Reads verify an embedded SHA-256 before returning bytes, so a
+// flipped bit degrades to a recompute, never to a wrong result.
+type Disk struct {
+	dir string
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// entryPath maps a hash to its file, sharded by the first two hex
+// characters. Hashes are hex SHA-256 strings; anything else (path
+// separators, "..") is rejected before touching the filesystem.
+func (d *Disk) entryPath(hash string) (string, error) {
+	if len(hash) < 3 || strings.ContainsAny(hash, "/\\.") {
+		return "", fmt.Errorf("store: invalid hash %q", hash)
+	}
+	return filepath.Join(d.dir, hash[:2], hash), nil
+}
+
+// Get implements Store: a missing entry is (nil, false, nil); a
+// corrupt one is (nil, false, ErrCorrupt) and is quarantined.
+func (d *Disk) Get(hash string) ([]byte, bool, error) {
+	path, err := d.entryPath(hash)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: reading %s: %w", hash, err)
+	}
+	body, err := decodeEntry(raw)
+	if err != nil {
+		// Move the bad file aside so the next Put recreates it cleanly
+		// and repeated Gets stop re-reading garbage.
+		os.Rename(path, path+".corrupt")
+		return nil, false, fmt.Errorf("%w: %s: %v", ErrCorrupt, hash, err)
+	}
+	return body, true, nil
+}
+
+// Put implements Store with atomic-rename, fsynced writes.
+func (d *Disk) Put(hash string, value []byte) error {
+	path, err := d.entryPath(hash)
+	if err != nil {
+		return err
+	}
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: creating shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, "."+hash+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	sum := sha256.Sum256(value)
+	for _, chunk := range [][]byte{diskMagic, sum[:], value} {
+		if _, err := tmp.Write(chunk); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: writing %s: %w", hash, err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %s: %w", hash, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", hash, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publishing %s: %w", hash, err)
+	}
+	return syncDir(shard)
+}
+
+// decodeEntry validates framing and checksum, returning the body.
+func decodeEntry(raw []byte) ([]byte, error) {
+	if !bytes.HasPrefix(raw, diskMagic) {
+		return nil, errors.New("bad magic")
+	}
+	rest := raw[len(diskMagic):]
+	if len(rest) < sha256.Size {
+		return nil, errors.New("truncated header")
+	}
+	want, body := rest[:sha256.Size], rest[sha256.Size:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], want) {
+		return nil, errors.New("checksum mismatch")
+	}
+	return body, nil
+}
+
+// Len implements Store by walking the shard directories.
+func (d *Disk) Len() int {
+	n := 0
+	filepath.WalkDir(d.dir, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return nil
+		}
+		name := e.Name()
+		if !strings.HasPrefix(name, ".") && !strings.HasSuffix(name, ".corrupt") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Close implements Store (directories need no teardown).
+func (d *Disk) Close() error { return nil }
+
+// syncDir fsyncs a directory so a rename survives power loss.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort: the rename itself succeeded
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diskStore(t *testing.T) *Disk {
+	t.Helper()
+	d, err := NewDisk(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := diskStore(t)
+	body := []byte(`{"study":"freq_sweep","points":[1,2,3]}`)
+	if err := d.Put(hashN(1), body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.Get(hashN(1))
+	if !ok || err != nil {
+		t.Fatalf("get = ok %v, err %v", ok, err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("round trip changed bytes: %q -> %q", body, got)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len = %d, want 1", d.Len())
+	}
+	// Overwrite with identical content is fine (idempotent Put).
+	if err := d.Put(hashN(1), body); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len after re-put = %d, want 1", d.Len())
+	}
+}
+
+func TestDiskMiss(t *testing.T) {
+	d := diskStore(t)
+	v, ok, err := d.Get(hashN(42))
+	if ok || err != nil || v != nil {
+		t.Errorf("miss = %q, %v, %v; want nil, false, nil", v, ok, err)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	d1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("persistent bytes")
+	if err := d1.Put(hashN(7), body); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	// A brand-new store over the same directory — the restart case.
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d2.Get(hashN(7))
+	if !ok || err != nil || !bytes.Equal(got, body) {
+		t.Errorf("reopened get = %q, %v, %v", got, ok, err)
+	}
+	if d2.Len() != 1 {
+		t.Errorf("reopened len = %d, want 1", d2.Len())
+	}
+}
+
+func TestDiskChecksumRejectsCorruption(t *testing.T) {
+	d := diskStore(t)
+	h := hashN(3)
+	if err := d.Put(h, []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(d.Dir(), h[:2], h)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // flip a payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := d.Get(h)
+	if ok || v != nil {
+		t.Fatalf("corrupt entry served: %q", v)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+	// The bad file is quarantined: the next Get is a clean miss and a
+	// new Put heals the entry.
+	if _, ok, err := d.Get(h); ok || err != nil {
+		t.Errorf("post-quarantine get = %v, %v; want miss, nil", ok, err)
+	}
+	if err := d.Put(h, []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := d.Get(h); !ok || string(v) != "good bytes" {
+		t.Errorf("healed entry = %q, %v", v, ok)
+	}
+}
+
+func TestDiskTruncatedEntryIsCorrupt(t *testing.T) {
+	d := diskStore(t)
+	h := hashN(4)
+	if err := d.Put(h, []byte("some payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(d.Dir(), h[:2], h)
+	if err := os.Truncate(path, 10); err != nil { // inside the header
+		t.Fatal(err)
+	}
+	if _, ok, err := d.Get(h); ok || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated entry: ok=%v err=%v, want corrupt miss", ok, err)
+	}
+}
+
+func TestDiskRejectsHostileHashes(t *testing.T) {
+	d := diskStore(t)
+	for _, h := range []string{"", "ab", "../../etc/passwd", "a/b/c", `a\b`, "..."} {
+		if err := d.Put(h, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", h)
+		}
+		if _, ok, err := d.Get(h); ok || err == nil {
+			t.Errorf("Get(%q) = ok %v, err %v", h, ok, err)
+		}
+	}
+}
+
+func TestDiskNoTempLitter(t *testing.T) {
+	d := diskStore(t)
+	for i := 0; i < 8; i++ {
+		if err := d.Put(hashN(i+100), []byte(strings.Repeat("x", 100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filepath.WalkDir(d.Dir(), func(path string, e os.DirEntry, err error) error {
+		if err == nil && !e.IsDir() && strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", path)
+		}
+		return nil
+	})
+}

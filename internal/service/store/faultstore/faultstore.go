@@ -1,0 +1,141 @@
+// Package faultstore wraps a store.Store with programmable fault
+// injection for robustness tests: fail, delay, or corrupt the N-th
+// operation and watch the service degrade gracefully instead of
+// falling over. It is a test harness, not a production backend.
+package faultstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"voltnoise/internal/service/store"
+)
+
+// Op identifies one intercepted store operation.
+type Op string
+
+const (
+	OpGet Op = "get"
+	OpPut Op = "put"
+)
+
+// Fault decides what happens to one operation. n is the 1-based
+// sequence number of that operation kind (the first Get is n=1,
+// independent of Puts). Returning a non-nil error fails the
+// operation; corrupt=true flips bytes on a Get's result (simulating
+// media rot after a successful read) and is ignored for Puts.
+type Fault func(op Op, n int, hash string) (err error, corrupt bool)
+
+// Store wraps Inner, consulting Fault before every operation.
+// The zero Fault injects nothing. Delay, when set, is added to every
+// operation first (simulating a slow device). Safe for concurrent
+// use; the per-op counters are atomic under one mutex.
+type Store struct {
+	Inner store.Store
+	Delay time.Duration
+
+	mu    sync.Mutex
+	fault Fault
+	gets  int
+	puts  int
+}
+
+// New wraps inner with no faults armed.
+func New(inner store.Store) *Store { return &Store{Inner: inner} }
+
+// SetFault installs (or, with nil, clears) the fault plan.
+func (s *Store) SetFault(f Fault) {
+	s.mu.Lock()
+	s.fault = f
+	s.mu.Unlock()
+}
+
+// FailPuts arms a plan failing every Put (Gets untouched) — the
+// classic "disk went read-only" scenario.
+func (s *Store) FailPuts() {
+	s.SetFault(func(op Op, n int, hash string) (error, bool) {
+		if op == OpPut {
+			return fmt.Errorf("faultstore: injected put failure (#%d, %s)", n, hash), false
+		}
+		return nil, false
+	})
+}
+
+// FailNth arms a plan failing only the n-th operation of the given
+// kind, then clearing itself.
+func (s *Store) FailNth(op Op, n int) {
+	s.SetFault(func(o Op, i int, hash string) (error, bool) {
+		if o == op && i == n {
+			s.SetFault(nil)
+			return fmt.Errorf("faultstore: injected %s failure (#%d, %s)", o, i, hash), false
+		}
+		return nil, false
+	})
+}
+
+// CorruptGets arms a plan that bit-flips the payload of every Get.
+func (s *Store) CorruptGets() {
+	s.SetFault(func(op Op, n int, hash string) (error, bool) {
+		return nil, op == OpGet
+	})
+}
+
+// Counts returns how many Gets and Puts reached the wrapper.
+func (s *Store) Counts() (gets, puts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets, s.puts
+}
+
+// decide advances the op counter and evaluates the armed fault.
+func (s *Store) decide(op Op, hash string) (error, bool) {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	s.mu.Lock()
+	var n int
+	switch op {
+	case OpGet:
+		s.gets++
+		n = s.gets
+	case OpPut:
+		s.puts++
+		n = s.puts
+	}
+	f := s.fault
+	s.mu.Unlock()
+	if f == nil {
+		return nil, false
+	}
+	return f(op, n, hash)
+}
+
+// Get implements store.Store.
+func (s *Store) Get(hash string) ([]byte, bool, error) {
+	if err, corrupt := s.decide(OpGet, hash); err != nil {
+		return nil, false, err
+	} else if corrupt {
+		// A checksumming backend surfaces rot as ErrCorrupt + miss, so
+		// that is what the wrapper simulates for entries that exist.
+		if _, ok, gerr := s.Inner.Get(hash); !ok {
+			return nil, false, gerr
+		}
+		return nil, false, fmt.Errorf("faultstore: injected corruption of %s: %w", hash, store.ErrCorrupt)
+	}
+	return s.Inner.Get(hash)
+}
+
+// Put implements store.Store.
+func (s *Store) Put(hash string, value []byte) error {
+	if err, _ := s.decide(OpPut, hash); err != nil {
+		return err
+	}
+	return s.Inner.Put(hash, value)
+}
+
+// Len implements store.Store.
+func (s *Store) Len() int { return s.Inner.Len() }
+
+// Close implements store.Store.
+func (s *Store) Close() error { return s.Inner.Close() }

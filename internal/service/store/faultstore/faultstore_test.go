@@ -1,0 +1,72 @@
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"voltnoise/internal/service/store"
+)
+
+func hashN(n int) string { return fmt.Sprintf("%064x", n) }
+
+func TestPassThrough(t *testing.T) {
+	fs := New(store.NewMemory(8))
+	if err := fs.Put(hashN(1), []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := fs.Get(hashN(1)); !ok || err != nil || string(v) != "V" {
+		t.Fatalf("get = %q, %v, %v", v, ok, err)
+	}
+	if gets, puts := fs.Counts(); gets != 1 || puts != 1 {
+		t.Errorf("counts = %d/%d, want 1/1", gets, puts)
+	}
+}
+
+func TestFailPuts(t *testing.T) {
+	fs := New(store.NewMemory(8))
+	fs.FailPuts()
+	if err := fs.Put(hashN(1), []byte("V")); err == nil {
+		t.Fatal("injected put failure did not surface")
+	}
+	if _, ok, _ := fs.Get(hashN(1)); ok {
+		t.Error("failed put stored a value anyway")
+	}
+	fs.SetFault(nil)
+	if err := fs.Put(hashN(1), []byte("V")); err != nil {
+		t.Fatalf("cleared fault still failing: %v", err)
+	}
+}
+
+func TestFailNthSelfClears(t *testing.T) {
+	fs := New(store.NewMemory(8))
+	fs.Put(hashN(1), []byte("V"))
+	fs.FailNth(OpGet, 2)
+	if _, ok, err := fs.Get(hashN(1)); !ok || err != nil { // get #1: clean
+		t.Fatalf("get #1 = %v, %v", ok, err)
+	}
+	if _, _, err := fs.Get(hashN(1)); err == nil { // get #2: injected
+		t.Fatal("get #2 did not fail")
+	}
+	if _, ok, err := fs.Get(hashN(1)); !ok || err != nil { // get #3: healed
+		t.Fatalf("get #3 = %v, %v (fault did not self-clear)", ok, err)
+	}
+}
+
+func TestCorruptGets(t *testing.T) {
+	fs := New(store.NewMemory(8))
+	fs.Put(hashN(1), []byte("V"))
+	fs.CorruptGets()
+	v, ok, err := fs.Get(hashN(1))
+	if ok || v != nil {
+		t.Fatalf("corrupt get served bytes: %q", v)
+	}
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+	// A hash that does not exist stays a plain miss even under the
+	// corruption plan.
+	if _, ok, err := fs.Get(hashN(9)); ok || err != nil {
+		t.Errorf("missing entry = ok %v, err %v; want clean miss", ok, err)
+	}
+}

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is the in-process LRU backend: bounded, fast, and forgotten
+// on restart. It never returns an error.
+type Memory struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // hash -> element whose Value is *memoryEntry
+}
+
+type memoryEntry struct {
+	hash  string
+	value []byte
+}
+
+// NewMemory builds an LRU holding up to capacity results; capacity
+// < 1 disables storage (every lookup misses, Put is a no-op).
+func NewMemory(capacity int) *Memory {
+	return &Memory{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get implements Store.
+func (m *Memory) Get(hash string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[hash]
+	if !ok {
+		return nil, false, nil
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoryEntry).value, true, nil
+}
+
+// Put implements Store, evicting the least recently used entry when
+// over capacity.
+func (m *Memory) Put(hash string, value []byte) error {
+	if m.capacity < 1 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[hash]; ok {
+		el.Value.(*memoryEntry).value = value
+		m.order.MoveToFront(el)
+		return nil
+	}
+	m.entries[hash] = m.order.PushFront(&memoryEntry{hash: hash, value: value})
+	for m.order.Len() > m.capacity {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memoryEntry).hash)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// Close implements Store (a no-op for the in-memory backend).
+func (m *Memory) Close() error { return nil }

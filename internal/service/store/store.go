@@ -1,0 +1,32 @@
+// Package store provides pluggable, content-addressed result storage
+// for the voltnoised service. Values are the marshaled bytes of a
+// completed study keyed by the request's canonical configuration hash
+// (service.Request.Hash), so any backend that returns the stored
+// bytes unmodified preserves the service's byte-identical replay
+// guarantee.
+//
+// Two backends ship here: Memory, the process-local LRU that backed
+// the original cache, and Disk, a durable one-file-per-hash layout
+// with atomic writes and checksum-verified reads. Tiered stacks one
+// over the other. The contract every backend must honor is *graceful
+// degradation*: a miss, a corrupt entry, or an I/O failure is never
+// worse than recomputing the study — Get reports ok=false (with the
+// error for observability) and the caller recomputes.
+package store
+
+// Store is a content-addressed result store. Implementations must be
+// safe for concurrent use.
+//
+// Get returns the bytes stored under hash. ok reports whether a valid
+// entry was found; err carries the cause when a backend failed or an
+// entry was unreadable/corrupt (in which case ok is false and the
+// caller should treat it as a miss). Put stores value under hash; the
+// caller must not mutate value afterwards. Len is the number of
+// retrievable entries (best effort for durable backends). Close
+// releases backend resources; the store is unusable afterwards.
+type Store interface {
+	Get(hash string) (value []byte, ok bool, err error)
+	Put(hash string, value []byte) error
+	Len() int
+	Close() error
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// hashN fabricates a valid-looking content hash for tests.
+func hashN(n int) string { return fmt.Sprintf("%064x", n) }
+
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory(2)
+	m.Put(hashN(1), []byte("A"))
+	m.Put(hashN(2), []byte("B"))
+	if _, ok, _ := m.Get(hashN(1)); !ok { // refresh 1: now 2 is the LRU entry
+		t.Fatal("entry 1 missing")
+	}
+	m.Put(hashN(3), []byte("C")) // evicts 2
+	if _, ok, _ := m.Get(hashN(2)); ok {
+		t.Error("entry 2 survived eviction")
+	}
+	if v, ok, _ := m.Get(hashN(1)); !ok || string(v) != "A" {
+		t.Errorf("entry 1 = %q, %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Errorf("len = %d, want 2", m.Len())
+	}
+}
+
+func TestMemoryDisabled(t *testing.T) {
+	m := NewMemory(-1)
+	if err := m.Put(hashN(1), []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.Get(hashN(1)); ok {
+		t.Error("disabled store stored a value")
+	}
+}
+
+func TestMemoryUpdateExisting(t *testing.T) {
+	m := NewMemory(2)
+	m.Put(hashN(1), []byte("old"))
+	m.Put(hashN(1), []byte("new"))
+	if v, _, _ := m.Get(hashN(1)); string(v) != "new" {
+		t.Errorf("value = %q", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestTieredPromotesAndWritesThrough(t *testing.T) {
+	front, back := NewMemory(4), NewMemory(16)
+	tr := NewTiered(front, back)
+	if err := tr.Put(hashN(1), []byte("V")); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []Store{front, back} {
+		if v, ok, _ := st.Get(hashN(1)); !ok || string(v) != "V" {
+			t.Fatalf("tier missing write-through value: %q, %v", v, ok)
+		}
+	}
+
+	// Back-tier-only entry gets promoted on read.
+	back.Put(hashN(2), []byte("W"))
+	if v, ok, err := tr.Get(hashN(2)); !ok || err != nil || string(v) != "W" {
+		t.Fatalf("tiered get = %q, %v, %v", v, ok, err)
+	}
+	if v, ok, _ := front.Get(hashN(2)); !ok || string(v) != "W" {
+		t.Errorf("back-tier hit not promoted to front: %q, %v", v, ok)
+	}
+
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want 2", tr.Len())
+	}
+	if _, ok, _ := tr.Get(hashN(9)); ok {
+		t.Error("miss reported ok")
+	}
+}
+
+func TestTieredSurvivesBackFailure(t *testing.T) {
+	// A back tier that always fails: values still flow through the
+	// front, with the error reported for observability.
+	front := NewMemory(4)
+	tr := NewTiered(front, failingStore{})
+	if err := tr.Put(hashN(1), []byte("V")); err == nil {
+		t.Error("back-tier failure not reported")
+	}
+	v, ok, err := tr.Get(hashN(1))
+	if !ok || string(v) != "V" {
+		t.Fatalf("front tier did not serve after back failure: %q, %v, %v", v, ok, err)
+	}
+	// Front miss + back failure: miss with error.
+	if _, ok, err := tr.Get(hashN(2)); ok || err == nil {
+		t.Errorf("want miss+error, got ok=%v err=%v", ok, err)
+	}
+}
+
+type failingStore struct{}
+
+func (failingStore) Get(string) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("failing store: get")
+}
+func (failingStore) Put(string, []byte) error { return fmt.Errorf("failing store: put") }
+func (failingStore) Len() int                 { return 0 }
+func (failingStore) Close() error             { return nil }
+
+func TestMemoryValueIsolation(t *testing.T) {
+	m := NewMemory(4)
+	v := []byte("stable")
+	m.Put(hashN(1), v)
+	got, _, _ := m.Get(hashN(1))
+	if !bytes.Equal(got, v) {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,52 @@
+package store
+
+import "errors"
+
+// Tiered stacks a fast front store (typically Memory) over a durable
+// back store (typically Disk). Gets hit the front first and promote
+// back-store hits into the front; Puts write through to both. A
+// failure in one tier degrades to the other: the value is still
+// served or stored wherever possible, with the error reported for
+// observability.
+type Tiered struct {
+	Front Store
+	Back  Store
+}
+
+// NewTiered stacks front over back.
+func NewTiered(front, back Store) *Tiered { return &Tiered{Front: front, Back: back} }
+
+// Get implements Store.
+func (t *Tiered) Get(hash string) ([]byte, bool, error) {
+	v, ok, ferr := t.Front.Get(hash)
+	if ok {
+		return v, true, nil
+	}
+	v, ok, berr := t.Back.Get(hash)
+	if ok {
+		// Promote so the next lookup stays off the slow path. A front
+		// Put failure only costs that promotion.
+		t.Front.Put(hash, v)
+		return v, true, ferr
+	}
+	return nil, false, errors.Join(ferr, berr)
+}
+
+// Put implements Store, writing through to both tiers.
+func (t *Tiered) Put(hash string, value []byte) error {
+	ferr := t.Front.Put(hash, value)
+	berr := t.Back.Put(hash, value)
+	return errors.Join(ferr, berr)
+}
+
+// Len implements Store: the durable tier is authoritative, the front
+// is only a view of it (plus whatever outlived a back-tier failure).
+func (t *Tiered) Len() int {
+	if n := t.Back.Len(); n >= t.Front.Len() {
+		return n
+	}
+	return t.Front.Len()
+}
+
+// Close implements Store.
+func (t *Tiered) Close() error { return errors.Join(t.Front.Close(), t.Back.Close()) }
