@@ -3,29 +3,44 @@
 #   make             tier-1 gate: build, vet, full test suite
 #   make race        race detector over all internal packages
 #   make bench       serial-vs-parallel engine benchmarks
-#   make bench-json  benchmark snapshot -> BENCH_PR5.json
+#   make bench-json  benchmark snapshot -> BENCH_PR$(BENCH_PR).json
 #   make bench-check fresh run compared against the committed snapshot
+#                    (prints the per-benchmark delta table either way)
+#   make fuzz-smoke  short fuzzing pass over the request validator and
+#                    the journal replayer (plus their seed corpora)
 #   make run-service start the voltnoised HTTP service on :8080
 #   make fault       fault-injection suite: store failures, corruption,
 #                    crash recovery, journaled shutdown
 #   make recover-smoke kill -9 a live voltnoised and verify the cache
 #                    and journal survive the restart
 #   make ci          everything the CI gate runs (tier-1 + race +
-#                    fault injection + batch determinism + bench-check)
+#                    fault injection + fuzz smoke + batch determinism +
+#                    bench-check)
 #
-# BENCH_SELECT narrows bench/bench-json; BENCH_OUT moves the snapshot;
-# BENCH_MAX_REGRESS loosens/tightens the bench-check budget.
+# BENCH_PR pins which PR's snapshot bench-json writes and bench-check
+# diffs against; BENCH_SELECT narrows bench/bench-json; BENCH_OUT /
+# BENCH_BASELINE override the derived paths; BENCH_COUNT repeats each
+# benchmark (the snapshot keeps each one's fastest repetition — on
+# shared hosts min-of-N is the stable statistic); BENCH_MAX_REGRESS
+# loosens/tightens the bench-check budget; FUZZTIME stretches the
+# fuzz-smoke budget per target.
 
 GO ?= go
+BENCH_PR ?= 7
 BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASELINE ?= BENCH_PR5.json
-# The budget absorbs the scheduler noise of small shared CI hosts
-# (single-run swings of ~10% are routine there); real regressions from
-# losing the batched solve are several times larger.
-BENCH_MAX_REGRESS ?= 25%
+BENCH_OUT ?= BENCH_PR$(BENCH_PR).json
+BENCH_BASELINE ?= BENCH_PR$(BENCH_PR).json
+BENCH_COUNT ?= 4
+# The budget absorbs the scheduler noise of small shared CI hosts:
+# the committed snapshots record fast-window minima (min-of-N), and
+# this host's throughput swings 25-30% between windows, so a fresh
+# min-of-$(BENCH_COUNT) in a slow window can sit ~30% above the
+# baseline without any code change. Real regressions from losing the
+# batched solve or the stolen-chunk schedule are 75%+.
+BENCH_MAX_REGRESS ?= 40%
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test tier1 race batch-determinism fault recover-smoke bench bench-json bench-check run-service ci clean
+.PHONY: all build vet test tier1 race batch-determinism fuzz-smoke fault recover-smoke bench bench-json bench-check run-service ci clean
 
 all: tier1
 
@@ -52,22 +67,33 @@ race:
 
 # batch-determinism runs the lockstep-batching determinism suites
 # under the race detector: every study must produce bit-identical
-# results at batch widths {1,3,8} x workers {1,8}, and the shared
-# batch-session pool must stay race-clean while doing it.
+# results at batch widths {1,3,8} x workers {1,4,8}, and the shared
+# batch-session pool and the stolen-chunk scheduler must stay
+# race-clean while doing it.
 batch-determinism:
-	$(GO) test -race -run 'Batch' ./internal/noise/ ./internal/vmin/ ./internal/core/ ./internal/service/
+	$(GO) test -race -run 'Batch|Determinism|Invariance' ./internal/noise/ ./internal/vmin/ ./internal/epi/ ./internal/core/ ./internal/service/
 
-# bench compares the serial (Workers=1) and parallel (one worker per
-# CPU) paths of the hot studies. On a multi-core host the parallel
-# variants should show >= 2x speedup; results are bit-identical either
-# way.
+# fuzz-smoke runs each fuzz target for FUZZTIME on top of its committed
+# seed corpus: the request validator (decode -> normalize -> hash
+# pipeline) and the write-ahead journal replayer (arbitrary on-disk
+# bytes). Go allows one -fuzz pattern per package invocation, so the
+# targets run back to back.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRequestValidate -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/service/journal
+
+# bench compares the serial (Workers=1, Batch=1: the lane-per-run
+# shape every pre-batching release ran) and parallel (auto workers and
+# lane width under the stolen-chunk scheduler) paths of the hot
+# studies. Results are bit-identical either way; only ns/op moves.
 bench:
 	$(GO) test -run NONE -bench '$(BENCH_SELECT)' -benchtime 3x .
 
 # bench-json captures the same benchmarks (with allocation stats) as a
-# committed JSON snapshot, so perf baselines diff across PRs.
+# committed JSON snapshot, so perf baselines diff across PRs. Each
+# benchmark runs BENCH_COUNT times and the snapshot keeps the fastest.
 bench-json:
-	$(GO) test -run NONE -bench '$(BENCH_SELECT)' -benchtime 3x -benchmem . \
+	$(GO) test -run NONE -bench '$(BENCH_SELECT)' -benchtime 3x -count $(BENCH_COUNT) -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
@@ -100,13 +126,14 @@ recover-smoke:
 
 # ci is the full gate: tier-1 plus the race detector over the service
 # (always, it is the concurrency hot spot) and the internal packages,
-# the fault-injection and durability suites, the batch determinism
-# suites under -race, and a bench-check run that fails the gate on a
-# benchmark regression past BENCH_MAX_REGRESS.
+# the fault-injection and durability suites, the fuzz smoke pass, the
+# batch determinism suites under -race, and a bench-check run that
+# fails the gate on a benchmark regression past BENCH_MAX_REGRESS.
 ci: tier1
 	$(GO) test -race ./internal/service/...
 	$(GO) test -race ./internal/...
 	$(MAKE) fault
+	$(MAKE) fuzz-smoke
 	$(MAKE) batch-determinism
 	$(MAKE) bench-check
 

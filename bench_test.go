@@ -335,10 +335,13 @@ func BenchmarkGeneticSearch(b *testing.B) {
 
 // benchFrequencySweep is the shared body of the serial/parallel
 // frequency-sweep pair: 8 synchronized sweep points, pinned to the
-// given worker count (1 = serial path, 0 = one worker per CPU).
-func benchFrequencySweep(b *testing.B, workers int) {
+// given worker count (1 = serial path, 0 = one worker per CPU) and
+// batch width (1 = one single-lane engine per sweep point, 0 = the
+// default lockstep lane width).
+func benchFrequencySweep(b *testing.B, workers, batch int) {
 	l := *benchSetup(b)
 	l.Workers = workers
+	l.Batch = batch
 	freqs := voltnoise.LogSpace(100e3, 5e6, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -351,12 +354,14 @@ func benchFrequencySweep(b *testing.B, workers int) {
 }
 
 // BenchmarkFrequencySweepSerial and BenchmarkFrequencySweepParallel
-// measure the worker-pool speedup on the noise sweep. Results are
-// bit-identical between the two; compare ns/op (the parallel variant
-// approaches serial/NumCPU on a multi-core host and matches serial on
-// a single-CPU one).
-func BenchmarkFrequencySweepSerial(b *testing.B)   { benchFrequencySweep(b, 1) }
-func BenchmarkFrequencySweepParallel(b *testing.B) { benchFrequencySweep(b, 0) }
+// measure the scheduler speedup on the noise sweep. Serial pins one
+// worker and lane-per-run batches (eight independent single-lane
+// transients, the shape every pre-batching release ran); Parallel lets
+// the stolen-chunk scheduler pick the worker count and lane width
+// (one 8-lane lockstep batch per chunk). Results are bit-identical
+// between the two; compare ns/op.
+func BenchmarkFrequencySweepSerial(b *testing.B)   { benchFrequencySweep(b, 1, 1) }
+func BenchmarkFrequencySweepParallel(b *testing.B) { benchFrequencySweep(b, 0, 0) }
 
 // benchEPIProfile is the shared body of the serial/parallel EPI pair:
 // the full 1301-instruction profile at a reduced measurement window.

@@ -42,6 +42,23 @@ func TestParseSample(t *testing.T) {
 	}
 }
 
+// TestParseDuplicatesKeepFastest: a -count > 1 run repeats each
+// benchmark name; the snapshot must record each benchmark's fastest
+// repetition (min-of-N, the shared-host noise protocol), not the last.
+func TestParseDuplicatesKeepFastest(t *testing.T) {
+	const counted = `BenchmarkX-8   3   300 ns/op
+BenchmarkX-8   3   150 ns/op
+BenchmarkX-8   3   250 ns/op
+`
+	results, err := parse(strings.NewReader(counted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 150 {
+		t.Fatalf("parsed %+v, want the 150 ns/op run", results)
+	}
+}
+
 func TestRunWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out strings.Builder

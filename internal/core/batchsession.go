@@ -45,6 +45,11 @@ type BatchSession struct {
 	// pw is the per-lane power scratch the load closures fill each
 	// step, reused by the chip-power accumulators.
 	pw [][NumCores]float64
+	// iq is the per-lane current scratch: the quotient p/vnom each
+	// source core's closure just computed, reused verbatim by aliased
+	// cores so the (bit-identical) division runs once per distinct
+	// workload instead of once per core.
+	iq [][NumCores]float64
 	// src[l][i] is the lowest core index of lane l whose slot holds
 	// the identical (pure) workload value as core i's, or i itself —
 	// the per-lane analogue of Session.src. Within a lane the engine
@@ -73,6 +78,7 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 		macros:  make([][NumCores]*skitter.Macro, lanes),
 		wl:      make([][NumCores]Workload, lanes),
 		pw:      make([][NumCores]float64, lanes),
+		iq:      make([][NumCores]float64, lanes),
 		src:     make([][NumCores]int, lanes),
 	}
 	for l := 0; l < lanes; l++ {
@@ -98,14 +104,17 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 		s.circuit.AddLoad(fmt.Sprintf("core%d", i), s.nodes.Core[i],
 			func(t float64) float64 {
 				l := s.lane
-				var p float64
 				if j := s.src[l][i]; j != i {
-					p = s.pw[l][j]
-				} else {
-					p = s.wl[l][i].Power(t)
+					// The source core (j < i) ran first this step: reuse
+					// its power sample and its already-divided current.
+					s.pw[l][i] = s.pw[l][j]
+					return s.iq[l][j]
 				}
+				p := s.wl[l][i].Power(t)
 				s.pw[l][i] = p
-				return p / s.vnom[l]
+				q := p / s.vnom[l]
+				s.iq[l][i] = q
+				return q
 			})
 	}
 	s.circuit.AddLoad("uncore", s.nodes.L3, func(float64) float64 { return s.uncoreI[s.lane] })
@@ -206,19 +215,20 @@ func (s *BatchSession) RunBatch(specs []RunSpec) ([]*Measurement, error) {
 
 // RunBatchContext runs one spec per lane in lockstep and returns one
 // Measurement per lane, in lane order. All lanes must share the same
-// Start, Duration and Warmup — lockstep lanes advance through the same
-// instants — while workloads, Record, and the lane biases may differ.
-// A canceled context interrupts the integration mid-window and returns
-// ctx.Err(); the session remains reusable afterwards.
+// Start and Warmup — lockstep lanes advance through the same instants —
+// while Durations, workloads, Record, and the lane biases may differ:
+// the engine steps to the longest lane's end, and a lane whose window
+// is over simply stops observing and accumulating (its trajectory up
+// to its own end is unaffected by the extra steps, so every lane stays
+// bit-identical to a lane-per-run measurement). A canceled context
+// interrupts the integration mid-window and returns ctx.Err(); the
+// session remains reusable afterwards.
 func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]*Measurement, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if len(specs) != s.lanes {
 		return nil, fmt.Errorf("core: %d specs for a %d-lane batch", len(specs), s.lanes)
-	}
-	if specs[0].Duration <= 0 {
-		return nil, fmt.Errorf("core: non-positive measurement duration %g", specs[0].Duration)
 	}
 	warmup := specs[0].Warmup
 	if warmup == 0 {
@@ -227,14 +237,22 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 	if warmup < 0 {
 		return nil, fmt.Errorf("core: negative warmup %g", specs[0].Warmup)
 	}
-	for l := 1; l < s.lanes; l++ {
-		if specs[l].Start != specs[0].Start || specs[l].Duration != specs[0].Duration || specs[l].Warmup != specs[0].Warmup {
-			return nil, fmt.Errorf("core: lane %d window (%g,%g,%g) differs from lane 0 (%g,%g,%g); lockstep lanes must share the window",
-				l, specs[l].Start, specs[l].Duration, specs[l].Warmup,
-				specs[0].Start, specs[0].Duration, specs[0].Warmup)
+	laneSteps := make([]int, s.lanes)
+	maxSteps := 0
+	for l := 0; l < s.lanes; l++ {
+		if specs[l].Duration <= 0 {
+			return nil, fmt.Errorf("core: lane %d non-positive measurement duration %g", l, specs[l].Duration)
+		}
+		if specs[l].Start != specs[0].Start || specs[l].Warmup != specs[0].Warmup {
+			return nil, fmt.Errorf("core: lane %d window start/warmup (%g,%g) differs from lane 0 (%g,%g); lockstep lanes must share Start and Warmup",
+				l, specs[l].Start, specs[l].Warmup, specs[0].Start, specs[0].Warmup)
+		}
+		laneSteps[l] = int(math.Round(specs[l].Duration / s.cfg.Dt))
+		if laneSteps[l] > maxSteps {
+			maxSteps = laneSteps[l]
 		}
 	}
-	start, duration := specs[0].Start, specs[0].Duration
+	start := specs[0].Start
 	for l := 0; l < s.lanes; l++ {
 		for i := range s.wl[l] {
 			if specs[l].Workloads[i] == nil {
@@ -267,14 +285,13 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 		}
 	}
 
-	steps := int(math.Round(duration / s.cfg.Dt))
 	meas := make([]*Measurement, s.lanes)
 	energy := make([]float64, s.lanes)
 	for l := range meas {
-		m := &Measurement{Start: start, Duration: duration}
+		m := &Measurement{Start: start, Duration: specs[l].Duration}
 		if specs[l].Record {
 			for i := range m.Traces {
-				t := signal.NewTrace(s.cfg.Dt, steps+1)
+				t := signal.NewTrace(s.cfg.Dt, laneSteps[l]+1)
 				t.Start = start
 				m.Traces[i] = t
 			}
@@ -286,10 +303,19 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 		meas[l] = m
 	}
 	observe := func(step int) {
-		for l := 0; l < s.lanes; l++ {
-			m := meas[l]
-			for i := 0; i < NumCores; i++ {
-				v := s.bt.Voltage(l, s.nodes.Core[i])
+		// Core-major: each core node's lane potentials are adjacent in
+		// the engine, so one LaneVoltages view serves all lanes. Lane
+		// and core observations are independent (per-macro sample order
+		// is all that matters), so the loop nesting is free to follow
+		// the memory layout.
+		for i := 0; i < NumCores; i++ {
+			row := s.bt.LaneVoltages(s.nodes.Core[i])
+			for l := 0; l < s.lanes; l++ {
+				if step > laneSteps[l] {
+					continue // this lane's window is over
+				}
+				m := meas[l]
+				v := row[l]
 				s.macros[l][i].Sample(v)
 				if v < m.VMin[i] {
 					m.VMin[i] = v
@@ -304,7 +330,7 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 		}
 	}
 	observe(0)
-	for st := 1; st <= steps; st++ {
+	for st := 1; st <= maxSteps; st++ {
 		if ctr++; ctr >= ctxCheckSteps {
 			ctr = 0
 			if err := ctx.Err(); err != nil {
@@ -318,6 +344,9 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 		// Chip power per lane, from the samples the load closures just
 		// took for each lane.
 		for l := 0; l < s.lanes; l++ {
+			if st > laneSteps[l] {
+				continue
+			}
 			pw := s.cfg.UncorePower
 			for i := 0; i < NumCores; i++ {
 				pw += s.pw[l][i]
@@ -332,7 +361,7 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 			m.PosMin[i], m.PosMax[i] = mac.PositionRange()
 		}
 		m.NominalPos = s.macros[l][0].Config().NominalPosition()
-		m.ChipPowerMilliwatts = int64(math.Round(energy[l] / duration * 1000))
+		m.ChipPowerMilliwatts = int64(math.Round(energy[l] / specs[l].Duration * 1000))
 		// Drop workload references so pooled sessions don't pin them.
 		for i := range s.wl[l] {
 			s.wl[l][i] = s.idle

@@ -55,6 +55,43 @@ func TestBatchSessionMatchesSessions(t *testing.T) {
 	}
 }
 
+// TestBatchSessionRaggedDurations packs lanes with different Durations
+// (shared Start and Warmup) into one batch: the engine steps to the
+// longest lane's end while shorter lanes stop observing at their own,
+// and every lane must stay bit-identical to a lane-per-run Session.
+func TestBatchSessionRaggedDurations(t *testing.T) {
+	const lanes = 3
+	cfg := DefaultConfig()
+	bs, err := NewBatchSession(cfg, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durs := []float64{8e-6, 20e-6, 14e-6}
+	specs := make([]RunSpec, lanes)
+	for l := range specs {
+		var wl [NumCores]Workload
+		for i := 0; i <= l; i++ {
+			wl[i] = laneWorkload(l)
+		}
+		specs[l] = RunSpec{Workloads: wl, Start: 0, Duration: durs[l], Record: l == 2}
+	}
+	got, err := bs.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range specs {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(specs[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, "ragged lane", got[l], want)
+	}
+}
+
 // TestBatchSessionLaneBiases packs three supply biases into one batch
 // (the vmin walk pattern) and checks each lane matches a single
 // Session retuned to that bias.
@@ -150,10 +187,18 @@ func TestBatchSessionValidation(t *testing.T) {
 	}
 	specs := []RunSpec{
 		{Duration: 10e-6},
-		{Duration: 12e-6},
+		{Duration: 12e-6, Start: 1e-6},
 	}
 	if _, err := bs.RunBatch(specs); err == nil {
-		t.Error("mismatched lane durations accepted")
+		t.Error("mismatched lane starts accepted")
+	}
+	specs[1] = RunSpec{Duration: 12e-6, Warmup: 5e-6}
+	if _, err := bs.RunBatch(specs); err == nil {
+		t.Error("mismatched lane warmups accepted")
+	}
+	specs[1] = RunSpec{Duration: -1}
+	if _, err := bs.RunBatch(specs); err == nil {
+		t.Error("non-positive lane duration accepted")
 	}
 	if err := bs.SetLaneBias(5, 1.0); err == nil {
 		t.Error("lane out of range accepted")

@@ -49,6 +49,11 @@ type Session struct {
 	// re-evaluating the shared waveform — bit-identical by definition.
 	// Refreshed from wl at the start of every run.
 	src [NumCores]int
+	// iq is the current scratch: the quotient p/vnom each source
+	// core's closure just computed, reused verbatim by aliased cores
+	// so the (bit-identical) division runs once per distinct workload
+	// instead of once per core.
+	iq [NumCores]float64
 }
 
 // NewSession builds a session at nominal voltage (bias 1.0).
@@ -75,14 +80,17 @@ func NewSession(cfg Config) (*Session, error) {
 		i := i
 		s.circuit.AddLoad(fmt.Sprintf("core%d", i), s.nodes.Core[i],
 			func(t float64) float64 {
-				var p float64
 				if j := s.src[i]; j != i {
-					p = s.pw[j]
-				} else {
-					p = s.wl[i].Power(t)
+					// The source core (j < i) ran first this step: reuse
+					// its power sample and its already-divided current.
+					s.pw[i] = s.pw[j]
+					return s.iq[j]
 				}
+				p := s.wl[i].Power(t)
 				s.pw[i] = p
-				return p / s.vnom
+				q := p / s.vnom
+				s.iq[i] = q
+				return q
 			})
 	}
 	s.circuit.AddLoad("uncore", s.nodes.L3, func(float64) float64 { return s.uncoreI })

@@ -6,31 +6,37 @@ import (
 	"testing"
 )
 
-// TestGenerateDeterminism: the profile is bit-identical whether the
-// per-instruction measurements run serially (Workers=1) or across 8
-// workers, and two parallel runs agree run-to-run. The comparison is
-// exact — the parallel path stores measurements by table index and
-// normalizes in the same order as the serial path.
+// TestGenerateDeterminism: the profile is bit-identical across the
+// whole (workers, batch) scheduling grid — serial walk, stealing
+// pools of 4 and 8 workers, chunk widths from single instructions to
+// the full default — and two parallel runs agree run-to-run. The
+// comparison is exact: the stolen-chunk schedule reduces chunks in
+// table order whatever worker produced them, so scheduling knobs
+// never move a number.
 func TestGenerateDeterminism(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WarmupCycles = 128
 	cfg.MeasureCycles = 512
 
-	run := func(workers int) *Profile {
+	run := func(workers, batch int) *Profile {
 		c := cfg
 		c.Workers = workers
+		c.Batch = batch
 		p, err := Generate(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return p
 	}
-	serial := run(1)
-	parallel := run(8)
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Error("Generate Workers=1 vs 8 profiles differ")
+	want := run(1, 1)
+	for _, workers := range []int{1, 4, 8} {
+		for _, batch := range []int{1, 3, 8} {
+			if got := run(workers, batch); !reflect.DeepEqual(want, got) {
+				t.Errorf("Generate workers=%d batch=%d differs from serial", workers, batch)
+			}
+		}
 	}
-	if again := run(8); !reflect.DeepEqual(parallel, again) {
+	if again := run(8, 8); !reflect.DeepEqual(run(8, 8), again) {
 		t.Error("Generate parallel run-to-run drift")
 	}
 }

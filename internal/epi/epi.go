@@ -36,6 +36,13 @@ type Config struct {
 	// Zero selects one worker per CPU; one forces the serial path. The
 	// profile is bit-identical for every setting.
 	Workers int
+	// Batch is the chunk granularity of the stolen-chunk schedule: each
+	// worker claims Batch consecutive instructions at a time (and steals
+	// whole chunks from the fullest remaining queue when its own run
+	// dries up). Zero selects exec.DefaultBatchWidth; one hands out
+	// single instructions. The profile is bit-identical for every
+	// setting.
+	Batch int
 }
 
 // DefaultConfig returns the standard profiling setup.
@@ -94,10 +101,12 @@ func MicroBenchmark(in *isa.Instruction) *uarch.Program {
 // Generate profiles every instruction in the table and returns the
 // ranked profile. Measurement runs on the cycle-level executor — the
 // simulation stand-in for the paper's hardware power/counter readings.
-// The per-instruction runs are independent, so they fan out across
-// cfg.Workers; ordered reduction keeps the entries in table order
-// before ranking, making the profile bit-identical to a serial run.
-// Canceling ctx interrupts the profile between instruction runs.
+// The per-instruction runs are independent, so chunks of cfg.Batch
+// consecutive instructions fan out across cfg.Workers with work
+// stealing (exec.MapStolen); ordered reduction keeps the entries in
+// table order before ranking, making the profile bit-identical to a
+// serial run for every worker count and chunk width. Canceling ctx
+// interrupts the profile between chunks.
 func Generate(ctx context.Context, cfg Config) (*Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -106,8 +115,7 @@ func Generate(ctx context.Context, cfg Config) (*Profile, error) {
 		ctx = context.Background()
 	}
 	instrs := cfg.Table.Instructions()
-	entries, err := exec.Map(ctx, len(instrs), cfg.Workers, func(_ context.Context, i int) (Entry, error) {
-		in := instrs[i]
+	measure := func(in *isa.Instruction) (Entry, error) {
 		bench := MicroBenchmark(in)
 		ex, err := uarch.NewExecutor(cfg.Core, bench)
 		if err != nil {
@@ -123,7 +131,28 @@ func Generate(ctx context.Context, cfg Config) (*Profile, error) {
 			PowerWatts: power,
 			IPC:        float64(counters.MicroOps) / float64(counters.Cycles),
 		}, nil
-	})
+	}
+	entries := make([]Entry, 0, len(instrs))
+	width := exec.BatchWidth(cfg.Batch, len(instrs))
+	err := exec.MapStolen(ctx, len(instrs), width, cfg.Workers,
+		func(ctx context.Context, start, end int) ([]Entry, error) {
+			chunk := make([]Entry, 0, end-start)
+			for i := start; i < end; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				e, err := measure(instrs[i])
+				if err != nil {
+					return nil, err
+				}
+				chunk = append(chunk, e)
+			}
+			return chunk, nil
+		},
+		func(_, _, _ int, chunk []Entry) error {
+			entries = append(entries, chunk...)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -55,23 +55,20 @@ func Clamp(workers, n int) int {
 // per-step costs, narrow enough that lane state stays cache-resident.
 const DefaultBatchWidth = 8
 
-// BatchWidth resolves a batch knob against an item count and the
-// study's workers knob, following the workers convention: batch <= 0
-// selects DefaultBatchWidth, batch == 1 forces lane-per-run (the
-// single-lane engine), and the result never exceeds n. Auto selection
-// also shrinks the width so at least one batch exists per worker —
-// wide lanes must not starve the pool on small item counts.
-func BatchWidth(batch, n, workers int) int {
+// BatchWidth resolves a batch knob against an item count, following
+// the workers convention: batch <= 0 selects DefaultBatchWidth,
+// batch == 1 forces lane-per-run (the single-lane engine), and the
+// result never exceeds n. The width is deliberately independent of the
+// worker count: lanes are never split to feed idle workers, because a
+// full-width lockstep batch amortizes the per-step solve far better
+// than an extra goroutine does — workers instead contend for whole
+// chunks through MapStolen.
+func BatchWidth(batch, n int) int {
 	if n < 1 || batch == 1 {
 		return 1
 	}
 	if batch <= 0 {
 		batch = DefaultBatchWidth
-		if w := Clamp(workers, n); w > 1 {
-			if per := (n + w - 1) / w; batch > per {
-				batch = per
-			}
-		}
 	}
 	if batch > n {
 		batch = n

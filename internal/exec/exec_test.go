@@ -274,21 +274,19 @@ func TestClamp(t *testing.T) {
 
 func TestBatchWidth(t *testing.T) {
 	cases := []struct {
-		batch, n, workers, want int
+		batch, n, want int
 	}{
-		{0, 100, 1, 8},   // auto on a serial study: full default width
-		{0, 100, 4, 8},   // plenty of items: full width
-		{0, 8, 4, 2},     // auto shrinks so every worker gets a batch
-		{0, 3, 8, 1},     // fewer items than workers: lane-per-run
-		{1, 100, 4, 1},   // explicit lane-per-run
-		{3, 100, 4, 3},   // explicit width passes through
-		{16, 5, 1, 5},    // width capped at the item count
-		{-2, 100, 1, 8},  // negative behaves like auto
-		{4, 0, 4, 1},     // no items
+		{0, 100, 8},  // auto: full default width
+		{0, 3, 3},    // auto capped at the item count, never split for workers
+		{1, 100, 1},  // explicit lane-per-run
+		{3, 100, 3},  // explicit width passes through
+		{16, 5, 5},   // width capped at the item count
+		{-2, 100, 8}, // negative behaves like auto
+		{4, 0, 1},    // no items
 	}
 	for _, c := range cases {
-		if got := BatchWidth(c.batch, c.n, c.workers); got != c.want {
-			t.Errorf("BatchWidth(%d, %d, %d) = %d, want %d", c.batch, c.n, c.workers, got, c.want)
+		if got := BatchWidth(c.batch, c.n); got != c.want {
+			t.Errorf("BatchWidth(%d, %d) = %d, want %d", c.batch, c.n, got, c.want)
 		}
 	}
 }

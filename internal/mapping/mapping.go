@@ -104,21 +104,18 @@ func BestWorstBatchN(ctx context.Context, k, workers, batch int, eval BatchEvalu
 	analysis.Combinations(core.NumCores, k, func(cores []int) {
 		placements = append(placements, append([]int{}, cores...))
 	})
-	width := exec.BatchWidth(batch, len(placements), workers)
-	chunks := exec.Chunks(len(placements), width)
+	width := exec.BatchWidth(batch, len(placements))
 	first := true
-	err = exec.MapOrdered(ctx, len(chunks), workers,
-		func(_ context.Context, ci int) ([]Eval, error) {
-			r := chunks[ci]
-			return eval(placements[r[0]:r[1]])
+	err = exec.MapStolen(ctx, len(placements), width, workers,
+		func(_ context.Context, start, end int) ([]Eval, error) {
+			return eval(placements[start:end])
 		},
-		func(ci int, evals []Eval) error {
-			r := chunks[ci]
-			if len(evals) != r[1]-r[0] {
-				return fmt.Errorf("mapping: evaluator returned %d results for %d placements", len(evals), r[1]-r[0])
+		func(_, start, end int, evals []Eval) error {
+			if len(evals) != end-start {
+				return fmt.Errorf("mapping: evaluator returned %d results for %d placements", len(evals), end-start)
 			}
 			for o, e := range evals {
-				p := Placement{Cores: placements[r[0]+o], WorstP2P: e.WorstP2P, WorstCore: e.WorstCore}
+				p := Placement{Cores: placements[start+o], WorstP2P: e.WorstP2P, WorstCore: e.WorstCore}
 				if first {
 					best, worst = p, p
 					first = false

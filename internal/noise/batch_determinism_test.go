@@ -16,9 +16,13 @@ import (
 // choice — like Workers, it must never move a number.
 
 // batchGrid is the (workers, batch) matrix every batched study is
-// checked across, against the serial lane-per-run baseline.
+// checked across, against the serial lane-per-run baseline: batch
+// widths {1, 3, 8} (lane-per-run, a ragged width, the full default
+// width) crossed with worker counts {1, 4, 8} (serial, a stealing
+// pool smaller than the chunk count, one worker per chunk).
 var batchGrid = []struct{ workers, batch int }{
 	{1, 1}, {1, 3}, {1, 8},
+	{4, 1}, {4, 3}, {4, 8},
 	{8, 1}, {8, 3}, {8, 8},
 }
 

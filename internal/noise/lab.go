@@ -9,6 +9,7 @@ package noise
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"voltnoise/internal/core"
 	"voltnoise/internal/exec"
@@ -43,10 +44,11 @@ type Lab struct {
 	// pack measurement runs sharing a window into lanes of one
 	// core.BatchSession, amortizing the step-plan walk and turning the
 	// per-step solve into a multi-RHS substitution. Zero selects
-	// exec.DefaultBatchWidth (shrunk so every worker stays busy); one
-	// forces lane-per-run, the single-lane engine. Results are
-	// bit-identical for every width — each lane performs exactly the
-	// single-lane arithmetic.
+	// exec.DefaultBatchWidth; one forces lane-per-run, the single-lane
+	// engine. Lanes are never split to feed idle workers — workers
+	// contend for whole batches by work stealing (exec.MapStolen).
+	// Results are bit-identical for every width — each lane performs
+	// exactly the single-lane arithmetic.
 	Batch int
 }
 
@@ -223,12 +225,15 @@ func (l *Lab) runSpecWindow(ctx context.Context, s stressmark.Spec, offsets *[co
 }
 
 // measJob is one measurement a batched study wants taken: the
-// workloads plus the measurement window.
+// workloads plus the measurement window. freq is the stimulus
+// frequency behind the job (0 when unknown); it only steers the
+// impedance pre-screen ordering, never the measurement itself.
 type measJob struct {
 	wl     [core.NumCores]core.Workload
 	start  float64
 	dur    float64
 	record bool
+	freq   float64
 }
 
 func (j measJob) spec() core.RunSpec {
@@ -255,7 +260,59 @@ func (l *Lab) specJob(s stressmark.Spec, offsets *[core.NumCores]uint64) (measJo
 		return measJob{}, err
 	}
 	start, dur := measureWindow(s)
-	return measJob{wl: wl, start: start, dur: dur}, nil
+	return measJob{wl: wl, start: start, dur: dur, freq: s.StimulusFreq}, nil
+}
+
+// prioritizeBatches orders whole batches so the ones nearest the PDN's
+// first-droop resonance run first: a frequency-domain pre-screen ranks
+// each batch by the largest impedance magnitude |Z(f)| among its jobs'
+// stimulus frequencies (pdn.ImpedanceProfile phasor analysis), and a
+// stable sort schedules worst-case batches at the head of the queue.
+// Only the schedule changes: every job keeps its index, the reduction
+// stays ordered, and the study outputs are bit-identical with the
+// pre-screen on or off — ordering is hash-excluded exactly like the
+// workers and batch knobs.
+func (l *Lab) prioritizeBatches(jobs []measJob, batches [][]int) [][]int {
+	if len(batches) < 2 {
+		return batches
+	}
+	seen := map[float64]bool{}
+	var freqs []float64
+	for _, j := range jobs {
+		if j.freq > 0 && !seen[j.freq] {
+			seen[j.freq] = true
+			freqs = append(freqs, j.freq)
+		}
+	}
+	if len(freqs) < 2 {
+		return batches
+	}
+	prof, err := l.ImpedanceProfile(freqs)
+	if err != nil {
+		return batches
+	}
+	mag := make(map[float64]float64, len(prof))
+	for _, p := range prof {
+		mag[p.Freq] = p.Mag()
+	}
+	score := make([]float64, len(batches))
+	for bi, idxs := range batches {
+		for _, ji := range idxs {
+			if m := mag[jobs[ji].freq]; m > score[bi] {
+				score[bi] = m
+			}
+		}
+	}
+	order := make([]int, len(batches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] > score[order[b]] })
+	out := make([][]int, len(batches))
+	for i, bi := range order {
+		out[i] = batches[bi]
+	}
+	return out
 }
 
 // runMeasurements executes the jobs and returns one measurement per
@@ -267,20 +324,21 @@ func (l *Lab) specJob(s stressmark.Spec, offsets *[core.NumCores]uint64) (measJo
 // combination.
 func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Measurement, error) {
 	pool := l.Platform.Sessions()
-	width := exec.BatchWidth(l.Batch, len(jobs), l.Workers)
+	width := exec.BatchWidth(l.Batch, len(jobs))
 	if pool == nil || width <= 1 {
 		return exec.Map(ctx, len(jobs), l.Workers, func(ctx context.Context, i int) (*core.Measurement, error) {
 			return l.runMeasurement(ctx, jobs[i].spec())
 		})
 	}
-	// Group jobs by window — lockstep lanes must share the window — in
+	// Group jobs by warmup window — lockstep lanes must share Start and
+	// Warmup, while each lane observes only its own Duration — in
 	// first-appearance order, then cut each group into width-sized
 	// batches.
-	type wkey struct{ start, dur float64 }
+	type wkey struct{ start float64 }
 	groupIdx := map[wkey]int{}
 	var groups [][]int
 	for i, j := range jobs {
-		k := wkey{j.start, j.dur}
+		k := wkey{j.start}
 		gi, ok := groupIdx[k]
 		if !ok {
 			gi = len(groups)
@@ -295,36 +353,38 @@ func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Meas
 			batches = append(batches, g[r[0]:r[1]])
 		}
 	}
+	batches = l.prioritizeBatches(jobs, batches)
 	bias := l.Platform.VoltageBias()
 	out := make([]*core.Measurement, len(jobs))
-	err := exec.ForEach(ctx, len(batches), l.Workers, func(ctx context.Context, bi int) error {
-		idxs := batches[bi]
-		if len(idxs) == 1 {
-			m, err := l.runMeasurement(ctx, jobs[idxs[0]].spec())
-			if err != nil {
-				return err
+	// Each batch is one whole lockstep chunk: workers own contiguous
+	// runs of batches and steal whole batches when idle, never lanes.
+	err := exec.MapStolen(ctx, len(batches), 1, l.Workers,
+		func(ctx context.Context, bi, _ int) ([]*core.Measurement, error) {
+			idxs := batches[bi]
+			if len(idxs) == 1 {
+				m, err := l.runMeasurement(ctx, jobs[idxs[0]].spec())
+				if err != nil {
+					return nil, err
+				}
+				return []*core.Measurement{m}, nil
 			}
-			out[idxs[0]] = m
+			bs, err := pool.GetBatch(bias, len(idxs))
+			if err != nil {
+				return nil, err
+			}
+			defer pool.PutBatch(bs)
+			specs := make([]core.RunSpec, len(idxs))
+			for k, ji := range idxs {
+				specs[k] = jobs[ji].spec()
+			}
+			return bs.RunBatchContext(ctx, specs)
+		},
+		func(_, bi, _ int, ms []*core.Measurement) error {
+			for k, ji := range batches[bi] {
+				out[ji] = ms[k]
+			}
 			return nil
-		}
-		bs, err := pool.GetBatch(bias, len(idxs))
-		if err != nil {
-			return err
-		}
-		defer pool.PutBatch(bs)
-		specs := make([]core.RunSpec, len(idxs))
-		for k, ji := range idxs {
-			specs[k] = jobs[ji].spec()
-		}
-		ms, err := bs.RunBatchContext(ctx, specs)
-		if err != nil {
-			return err
-		}
-		for k, ji := range idxs {
-			out[ji] = ms[k]
-		}
-		return nil
-	})
+		})
 	if err != nil {
 		return nil, err
 	}

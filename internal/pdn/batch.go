@@ -36,9 +36,13 @@ type BatchTransient struct {
 	onLane func(lane int)
 
 	// Per-element companion state; the lane dimension is innermost.
+	// vab/ibr hold the DC operating point only: past the first step,
+	// branch state lives in hist and BranchCurrent derives currents on
+	// demand from the node potentials (see Transient).
 	geq  []float64 // companion conductance per element (shared by lanes)
-	vab  []float64 // branch voltage per element x lane
-	ibr  []float64 // branch current per element x lane (a -> b)
+	vab  []float64 // branch voltage per element x lane (DC point)
+	ibr  []float64 // branch current per element x lane (a -> b, DC point)
+	hist []float64 // companion history source per element x lane
 	pots []float64 // node potentials per node x lane
 
 	// fixedPot holds the per-lane potential of every fixed node
@@ -91,6 +95,7 @@ func NewBatchTransientAt(c *Circuit, dt, start float64, lanes int, onLane func(l
 		onLane:   onLane,
 		vab:      make([]float64, len(c.elements)*lanes),
 		ibr:      make([]float64, len(c.elements)*lanes),
+		hist:     make([]float64, len(c.elements)*lanes),
 		pots:     make([]float64, c.NumNodes()*lanes),
 		fixedPot: make([]float64, c.NumNodes()*lanes),
 		rhs:      make([]float64, n*lanes),
@@ -158,10 +163,41 @@ func (t *BatchTransient) Voltage(lane int, n NodeID) float64 {
 	return t.pots[int(n)*t.lanes+lane]
 }
 
+// LaneVoltages returns the potentials of node n for every lane, lane l
+// at index l. The returned slice is a read-only view into engine state,
+// valid until the next Step or Reset; it exists so per-step observers
+// read a node's lanes with one bounds-checked call instead of one
+// Voltage call per lane.
+func (t *BatchTransient) LaneVoltages(n NodeID) []float64 {
+	t.c.checkNode(n)
+	return t.pots[int(n)*t.lanes : (int(n)+1)*t.lanes]
+}
+
 // BranchCurrent returns the current (a -> b) through element i in
 // insertion order, for the given lane. Exported for white-box testing.
+//
+// Past the first step, currents are derived on demand from the node
+// potentials and the cached history source — the exact expressions a
+// per-step branch-state update would have stored, so readings are
+// bit-identical to an engine that materialized them (and to
+// Transient.BranchCurrent lane for lane). At the DC operating point
+// (before the first Step, or right after Reset) the stored DC values
+// are returned instead: initState computes resistor current as
+// (va-vb)/R, which can differ from v*geq in the last ULP.
 func (t *BatchTransient) BranchCurrent(lane, i int) float64 {
-	return t.ibr[i*t.lanes+lane]
+	if t.step == 0 {
+		return t.ibr[i*t.lanes+lane]
+	}
+	e := t.c.elements[i]
+	v := t.pots[int(e.a)*t.lanes+lane] - t.pots[int(e.b)*t.lanes+lane]
+	switch e.kind {
+	case kindCapacitor:
+		return t.geq[i]*v - t.hist[i*t.lanes+lane]
+	case kindInductor:
+		return t.geq[i]*v + t.hist[i*t.lanes+lane]
+	default: // resistor
+		return v * t.geq[i]
+	}
 }
 
 // Reset rewinds all lanes to the given start time and re-derives each
@@ -184,7 +220,7 @@ func (t *BatchTransient) Reset(start float64) error {
 func (t *BatchTransient) buildPlan() {
 	t.plan = t.plan[:0]
 	for ei, e := range t.c.elements {
-		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], ia: t.idx[e.a], ib: t.idx[e.b]}
+		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], na: int(e.a), nb: int(e.b), ia: t.idx[e.a], ib: t.idx[e.b]}
 		pe.hasFA = pe.ia >= 0 && pe.ib < 0
 		pe.hasFB = pe.ib >= 0 && pe.ia < 0
 		if e.kind == kindResistor && !pe.hasFA && !pe.hasFB {
@@ -269,12 +305,25 @@ func (t *BatchTransient) initState() error {
 				t.ibr[ei*B+l] = 0
 			}
 		}
+		// Seed the history sources the first Step will consume, with
+		// the exact expressions the step walk uses thereafter.
+		for ei, e := range c.elements {
+			switch e.kind {
+			case kindCapacitor:
+				t.hist[ei*B+l] = t.geq[ei]*t.vab[ei*B+l] + t.ibr[ei*B+l]
+			case kindInductor:
+				t.hist[ei*B+l] = t.ibr[ei*B+l] + t.geq[ei]*t.vab[ei*B+l]
+			}
+		}
 	}
 	return nil
 }
 
 // Step advances every lane by one timestep. It allocates nothing.
 func (t *BatchTransient) Step() error {
+	if t.lanes == DefaultBatchLanes {
+		return t.step8()
+	}
 	c := t.c
 	B := t.lanes
 	next := t.time + t.dt
@@ -284,7 +333,11 @@ func (t *BatchTransient) Step() error {
 	}
 	// History sources and fixed-node conductance contributions, from
 	// the precomputed plan. Per lane this is the same element order and
-	// the same arithmetic as the single-lane Step.
+	// the same arithmetic as the single-lane Step: past the first step
+	// the walk rolls each reactive element's companion state forward
+	// from the last solve's potentials in the same pass that feeds the
+	// RHS (see Transient.Step for the derivation).
+	first := t.step == 0
 	for pi := range t.plan {
 		pe := &t.plan[pi]
 		if pe.hasFA {
@@ -301,56 +354,68 @@ func (t *BatchTransient) Step() error {
 				rb[l] += fb[l]
 			}
 		}
+		if pe.kind == kindResistor {
+			continue
+		}
+		geq := pe.geq
+		hist := t.hist[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
+		if !first {
+			pa := t.pots[pe.na*B : pe.na*B+B : pe.na*B+B]
+			pb := t.pots[pe.nb*B : pe.nb*B+B : pe.nb*B+B]
+			if pe.kind == kindCapacitor {
+				for l := range hist {
+					gv := geq * (pa[l] - pb[l])
+					hist[l] = gv + (gv - hist[l])
+				}
+			} else {
+				for l := range hist {
+					gv := geq * (pa[l] - pb[l])
+					hist[l] = (gv + hist[l]) + gv
+				}
+			}
+		}
 		switch pe.kind {
 		case kindCapacitor:
 			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
 			// Branch current a->b contributes +hist into node a's RHS.
-			geq := pe.geq
-			vab := t.vab[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
-			ibr := t.ibr[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
 			switch {
 			case pe.ia >= 0 && pe.ib >= 0:
 				ra := rhs[pe.ia*B : pe.ia*B+B]
 				rb := rhs[pe.ib*B : pe.ib*B+B]
 				for l := range ra {
-					hist := geq*vab[l] + ibr[l]
-					ra[l] += hist
-					rb[l] -= hist
+					ra[l] += hist[l]
+					rb[l] -= hist[l]
 				}
 			case pe.ia >= 0:
 				ra := rhs[pe.ia*B : pe.ia*B+B]
 				for l := range ra {
-					ra[l] += geq*vab[l] + ibr[l]
+					ra[l] += hist[l]
 				}
 			case pe.ib >= 0:
 				rb := rhs[pe.ib*B : pe.ib*B+B]
 				for l := range rb {
-					rb[l] -= geq*vab[l] + ibr[l]
+					rb[l] -= hist[l]
 				}
 			}
 		case kindInductor:
 			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
-			geq := pe.geq
-			vab := t.vab[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
-			ibr := t.ibr[pe.ei*B : pe.ei*B+B : pe.ei*B+B]
 			switch {
 			case pe.ia >= 0 && pe.ib >= 0:
 				ra := rhs[pe.ia*B : pe.ia*B+B]
 				rb := rhs[pe.ib*B : pe.ib*B+B]
 				for l := range ra {
-					hist := ibr[l] + geq*vab[l]
-					ra[l] -= hist
-					rb[l] += hist
+					ra[l] -= hist[l]
+					rb[l] += hist[l]
 				}
 			case pe.ia >= 0:
 				ra := rhs[pe.ia*B : pe.ia*B+B]
 				for l := range ra {
-					ra[l] -= ibr[l] + geq*vab[l]
+					ra[l] -= hist[l]
 				}
 			case pe.ib >= 0:
 				rb := rhs[pe.ib*B : pe.ib*B+B]
 				for l := range rb {
-					rb[l] += ibr[l] + geq*vab[l]
+					rb[l] += hist[l]
 				}
 			}
 		}
@@ -368,51 +433,170 @@ func (t *BatchTransient) Step() error {
 		}
 	}
 	t.lu.solveBatchInto(t.sol, rhs, B)
-	for i, v := range t.sol {
-		// v-v is 0 for every finite v and NaN for NaN and ±Inf, so one
-		// subtraction replaces the IsNaN/IsInf pair on this hot path.
-		if v-v != 0 {
-			return fmt.Errorf("pdn: integration diverged at t=%g (lane %d)", next, i%B)
-		}
-	}
-	// Scatter node potentials.
+	// Scatter node potentials, checking for divergence in the same
+	// pass (every unknown is scattered exactly once). v-v is 0 for
+	// every finite v and NaN for NaN and ±Inf, so one subtraction
+	// replaces the IsNaN/IsInf pair on this hot path. On divergence the
+	// engine state is abandoned with the error.
+	bad := -1
 	for node, i := range t.idx {
 		po := t.pots[node*B : node*B+B]
 		if i >= 0 {
-			copy(po, t.sol[i*B:i*B+B])
+			so := t.sol[i*B : i*B+B : i*B+B]
+			for l := range po {
+				v := so[l]
+				if v-v != 0 {
+					bad = l
+				}
+				po[l] = v
+			}
 		} else {
 			copy(po, t.fixedPot[node*B:node*B+B])
 		}
 	}
-	// Update branch states, all lanes per element.
-	for ei, e := range c.elements {
-		pa := t.pots[int(e.a)*B : int(e.a)*B+B : int(e.a)*B+B]
-		pb := t.pots[int(e.b)*B : int(e.b)*B+B : int(e.b)*B+B]
-		vab := t.vab[ei*B : ei*B+B : ei*B+B]
-		ibr := t.ibr[ei*B : ei*B+B : ei*B+B]
-		geq := t.geq[ei]
-		switch e.kind {
-		case kindResistor:
-			for l := range vab {
-				v := pa[l] - pb[l]
-				ibr[l] = v * geq
-				vab[l] = v
-			}
-		case kindCapacitor:
-			for l := range vab {
-				v := pa[l] - pb[l]
-				hist := geq*vab[l] + ibr[l]
-				ibr[l] = geq*v - hist
-				vab[l] = v
-			}
-		case kindInductor:
-			for l := range vab {
-				v := pa[l] - pb[l]
-				hist := ibr[l] + geq*vab[l]
-				ibr[l] = geq*v + hist
-				vab[l] = v
+	if bad >= 0 {
+		return fmt.Errorf("pdn: integration diverged at t=%g (lane %d)", next, bad)
+	}
+	t.time = next
+	t.step++
+	return nil
+}
+
+// step8 is Step specialized to the default 8-lane batch: every inner
+// loop runs over fixed-size array pointers, so the compiler drops the
+// slice-header bookkeeping and bounds checks of the generic path and
+// unrolls the 8-wide lane updates. Per lane the arithmetic — order and
+// operations — is exactly the generic Step's, so lanes stay
+// bit-identical to single-lane engines at any width.
+func (t *BatchTransient) step8() error {
+	const B = DefaultBatchLanes
+	c := t.c
+	next := t.time + t.dt
+	rhs := t.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	first := t.step == 0
+	for pi := range t.plan {
+		pe := &t.plan[pi]
+		if pe.hasFA {
+			fa := (*[B]float64)(t.planFA[pi*B : pi*B+B])
+			ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+			for l := 0; l < B; l++ {
+				ra[l] += fa[l]
 			}
 		}
+		if pe.hasFB {
+			fb := (*[B]float64)(t.planFB[pi*B : pi*B+B])
+			rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+			for l := 0; l < B; l++ {
+				rb[l] += fb[l]
+			}
+		}
+		if pe.kind == kindResistor {
+			continue
+		}
+		geq := pe.geq
+		hist := (*[B]float64)(t.hist[pe.ei*B : pe.ei*B+B])
+		if !first {
+			pa := (*[B]float64)(t.pots[pe.na*B : pe.na*B+B])
+			pb := (*[B]float64)(t.pots[pe.nb*B : pe.nb*B+B])
+			if pe.kind == kindCapacitor {
+				for l := 0; l < B; l++ {
+					gv := geq * (pa[l] - pb[l])
+					hist[l] = gv + (gv - hist[l])
+				}
+			} else {
+				for l := 0; l < B; l++ {
+					gv := geq * (pa[l] - pb[l])
+					hist[l] = (gv + hist[l]) + gv
+				}
+			}
+		}
+		switch pe.kind {
+		case kindCapacitor:
+			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
+			switch {
+			case pe.ia >= 0 && pe.ib >= 0:
+				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] += hist[l]
+					rb[l] -= hist[l]
+				}
+			case pe.ia >= 0:
+				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] += hist[l]
+				}
+			case pe.ib >= 0:
+				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+				for l := 0; l < B; l++ {
+					rb[l] -= hist[l]
+				}
+			}
+		case kindInductor:
+			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
+			switch {
+			case pe.ia >= 0 && pe.ib >= 0:
+				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] -= hist[l]
+					rb[l] += hist[l]
+				}
+			case pe.ia >= 0:
+				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] -= hist[l]
+				}
+			case pe.ib >= 0:
+				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+				for l := 0; l < B; l++ {
+					rb[l] += hist[l]
+				}
+			}
+		}
+	}
+	// Loads evaluated at the new time, lane by lane (backward-looking
+	// sources keep the trapezoidal solve linear).
+	for l := 0; l < B; l++ {
+		if t.onLane != nil {
+			t.onLane(l)
+		}
+		for _, ld := range c.loads {
+			if i := t.idx[ld.Node]; i >= 0 {
+				rhs[i*B+l] -= ld.Current(next)
+			}
+		}
+	}
+	t.lu.solveBatchInto(t.sol, rhs, B)
+	// Scatter node potentials (element-wise: a 64-byte array
+	// assignment lowers to a runtime.memmove call), checking for
+	// divergence in the same pass — every unknown is scattered exactly
+	// once, and v-v is 0 for every finite v and NaN for NaN and ±Inf.
+	// On divergence the engine state is abandoned with the error.
+	bad := -1
+	for node, i := range t.idx {
+		po := (*[B]float64)(t.pots[node*B : node*B+B])
+		if i >= 0 {
+			so := (*[B]float64)(t.sol[i*B : i*B+B])
+			for l := 0; l < B; l++ {
+				v := so[l]
+				if v-v != 0 {
+					bad = l
+				}
+				po[l] = v
+			}
+		} else {
+			fp := (*[B]float64)(t.fixedPot[node*B : node*B+B])
+			for l := 0; l < B; l++ {
+				po[l] = fp[l]
+			}
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("pdn: integration diverged at t=%g (lane %d)", next, bad)
 	}
 	t.time = next
 	t.step++

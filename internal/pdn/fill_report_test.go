@@ -1,0 +1,24 @@
+package pdn
+
+import "testing"
+
+// TestMinDegreeOrderingFill guards the fill-reducing unknown ordering:
+// the zEC12 conductance matrix is nearly tree-structured, and under the
+// minimum-degree elimination order its LU factors must stay close to
+// fill-free. The per-step substitution cost of every transient engine
+// scales directly with this count (the natural node order factors to
+// 152 off-diagonal nonzeros; minimum degree reaches 84).
+func TestMinDegreeOrderingFill(t *testing.T) {
+	cfg := DefaultZEC12Config()
+	ckt, _ := ZEC12(cfg)
+	idx, n := ckt.unknowns()
+	_, lu, err := stampCompanion(ckt, 2e-9, idx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(lu.lVal) + len(lu.uVal)
+	t.Logf("n=%d  L nnz=%d  U nnz=%d  total=%d", n, len(lu.lVal), len(lu.uVal), total)
+	if total > 100 {
+		t.Errorf("LU off-diagonal fill %d exceeds 100: fill-reducing ordering regressed", total)
+	}
+}

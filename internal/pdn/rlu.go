@@ -31,6 +31,28 @@ type realLU struct {
 	lCol, uCol []int32
 	lPtr, uPtr []int32
 	diag       []float64
+	// invDiag is 1/diag, computed once at factorization time: the
+	// substitutions scale each row by multiplying with the reciprocal
+	// instead of dividing, trading one division per row per solve for
+	// one per row per factorization. Every solve path (blocked,
+	// element-wise, single- and multi-RHS) uses the same reciprocal, so
+	// they all remain byte-identical to one another.
+	invDiag []float64
+
+	// Blocked (supernodal-style) substitution plan: each row's nonzeros
+	// are grouped into maximal runs of consecutive columns, recorded in
+	// elimination order. Row r's L runs sit at lRunPtr[r]:lRunPtr[r+1];
+	// run q starts at column lRunCol[q] and spans lRunLen[q] columns
+	// whose values are the next lRunLen[q] entries of lVal. Walking runs
+	// instead of single entries turns the inner substitution loops into
+	// contiguous streams (no per-element column indirection) while
+	// performing exactly the same multiplies and subtractions in the
+	// same order, so the blocked walk is bit-identical to the
+	// element-wise one. The tree-structured PDN matrices factor into
+	// long consecutive bands, which is what makes the runs worthwhile.
+	lRunCol, uRunCol []int32
+	lRunLen, uRunLen []int32
+	lRunPtr, uRunPtr []int32
 }
 
 // factorReal factors the n x n row-major matrix a. a is not modified.
@@ -86,8 +108,10 @@ func (f *realLU) indexNonzeros() {
 	f.lPtr = make([]int32, n+1)
 	f.uPtr = make([]int32, n+1)
 	f.diag = make([]float64, n)
+	f.invDiag = make([]float64, n)
 	for i := 0; i < n; i++ {
 		f.diag[i] = f.lu[i*n+i]
+		f.invDiag[i] = 1 / f.diag[i]
 		for j := 0; j < i; j++ {
 			if v := f.lu[i*n+j]; v != 0 {
 				f.lVal = append(f.lVal, v)
@@ -103,6 +127,30 @@ func (f *realLU) indexNonzeros() {
 		}
 		f.uPtr[i+1] = int32(len(f.uVal))
 	}
+	f.lRunCol, f.lRunLen, f.lRunPtr = indexRuns(f.lCol, f.lPtr, n)
+	f.uRunCol, f.uRunLen, f.uRunPtr = indexRuns(f.uCol, f.uPtr, n)
+}
+
+// indexRuns groups each row's ascending nonzero columns into maximal
+// runs of consecutive columns, preserving order — the blocked
+// substitution plan.
+func indexRuns(cols []int32, ptr []int32, n int) (runCol, runLen, runPtr []int32) {
+	runPtr = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		k := ptr[i]
+		for k < ptr[i+1] {
+			c0 := cols[k]
+			ln := int32(1)
+			for k+ln < ptr[i+1] && cols[k+ln] == c0+ln {
+				ln++
+			}
+			runCol = append(runCol, c0)
+			runLen = append(runLen, ln)
+			k += ln
+		}
+		runPtr[i+1] = int32(len(runCol))
+	}
+	return runCol, runLen, runPtr
 }
 
 // solveBatchInto solves A*X = B for `lanes` independent right-hand
@@ -114,10 +162,143 @@ func (f *realLU) indexNonzeros() {
 //
 // Lane l of the solution is bit-identical to solveInto run on lane l
 // of b alone: per column the elimination performs exactly the same
-// multiplies, subtractions, and the same final division in the same
+// multiplies, subtractions, and the same final reciprocal scaling in the same
 // order — only the loop nesting interleaves work across independent
 // columns, never within one.
+//
+// Both substitutions walk the blocked run plan (see indexRuns): the
+// per-row nonzeros are consumed as contiguous column bands, which
+// drops the per-element column indirection of the element-wise walk
+// while keeping the arithmetic order — and therefore every bit of the
+// result — unchanged (solveBatchIntoElementwise pins the equivalence
+// in the tests).
 func (f *realLU) solveBatchInto(x, b []float64, lanes int) {
+	n := f.n
+	if lanes < 1 || len(b) != n*lanes || len(x) != n*lanes {
+		panic(fmt.Sprintf("pdn: solveBatchInto with len(x)=%d len(b)=%d n=%d lanes=%d", len(x), len(b), n, lanes))
+	}
+	if lanes == DefaultBatchLanes {
+		f.solveBatch8(x, b)
+		return
+	}
+	for i := 0; i < n; i++ {
+		copy(x[i*lanes:i*lanes+lanes], b[f.perm[i]*lanes:f.perm[i]*lanes+lanes])
+	}
+	for i := 1; i < n; i++ {
+		xi := x[i*lanes : i*lanes+lanes : i*lanes+lanes]
+		kv := int(f.lPtr[i])
+		for r := f.lRunPtr[i]; r < f.lRunPtr[i+1]; r++ {
+			ln := int(f.lRunLen[r])
+			base := int(f.lRunCol[r]) * lanes
+			// One contiguous band: values kv..kv+ln stream against the
+			// x block at base..base+ln*lanes with no column lookups.
+			for k := 0; k < ln; k++ {
+				v := f.lVal[kv+k]
+				xj := x[base+k*lanes : base+(k+1)*lanes : base+(k+1)*lanes]
+				for l := range xi {
+					xi[l] -= v * xj[l]
+				}
+			}
+			kv += ln
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := x[i*lanes : i*lanes+lanes : i*lanes+lanes]
+		kv := int(f.uPtr[i])
+		for r := f.uRunPtr[i]; r < f.uRunPtr[i+1]; r++ {
+			ln := int(f.uRunLen[r])
+			base := int(f.uRunCol[r]) * lanes
+			for k := 0; k < ln; k++ {
+				v := f.uVal[kv+k]
+				xj := x[base+k*lanes : base+(k+1)*lanes : base+(k+1)*lanes]
+				for l := range xi {
+					xi[l] -= v * xj[l]
+				}
+			}
+			kv += ln
+		}
+		d := f.invDiag[i]
+		for l := range xi {
+			xi[l] *= d
+		}
+	}
+}
+
+// DefaultBatchLanes is the lane width the 8-wide substitution kernel
+// is specialized for — exec.DefaultBatchWidth, restated here to keep
+// pdn free of an exec import.
+const DefaultBatchLanes = 8
+
+// solveBatch8 is solveBatchInto's substitution specialized to 8 lanes:
+// fixed-size array pointers let the compiler drop every inner bounds
+// check, and each row's eight lane accumulators are hoisted into
+// locals, so they live in registers across the row's entire nonzero
+// walk (x rows never self-alias — L touches only columns < i, U only
+// columns > i — which the hoisting encodes and the compiler cannot
+// know). Unlike the generic path this kernel walks the element-wise
+// pattern directly: under the fill-reducing unknown ordering the
+// factors are nearly tree-sparse and almost every run has length one,
+// so the run bookkeeping costs more than the per-element column loads
+// it was built to avoid (the run plan still wins for generic lane
+// widths, where it eliminates per-element slice-header setup). The
+// arithmetic per lane is unchanged — same multiplies, subtractions and
+// reciprocal scalings in the same order as any other lane width or
+// walk order, as the equivalence tests pin.
+func (f *realLU) solveBatch8(x, b []float64) {
+	const B = DefaultBatchLanes
+	n := f.n
+	for i := 0; i < n; i++ {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		bp := (*[B]float64)(b[f.perm[i]*B : f.perm[i]*B+B])
+		// Element-wise, not *xi = *bp: a 64-byte array assignment
+		// lowers to a runtime.memmove call, which costs more than the
+		// eight moves it performs.
+		for l := 0; l < B; l++ {
+			xi[l] = bp[l]
+		}
+	}
+	for i := 1; i < n; i++ {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		x0, x1, x2, x3, x4, x5, x6, x7 := xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7]
+		for k := int(f.lPtr[i]); k < int(f.lPtr[i+1]); k++ {
+			v := f.lVal[k]
+			base := int(f.lCol[k]) * B
+			xj := (*[B]float64)(x[base : base+B])
+			x0 -= v * xj[0]
+			x1 -= v * xj[1]
+			x2 -= v * xj[2]
+			x3 -= v * xj[3]
+			x4 -= v * xj[4]
+			x5 -= v * xj[5]
+			x6 -= v * xj[6]
+			x7 -= v * xj[7]
+		}
+		xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7] = x0, x1, x2, x3, x4, x5, x6, x7
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		x0, x1, x2, x3, x4, x5, x6, x7 := xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7]
+		for k := int(f.uPtr[i]); k < int(f.uPtr[i+1]); k++ {
+			v := f.uVal[k]
+			base := int(f.uCol[k]) * B
+			xj := (*[B]float64)(x[base : base+B])
+			x0 -= v * xj[0]
+			x1 -= v * xj[1]
+			x2 -= v * xj[2]
+			x3 -= v * xj[3]
+			x4 -= v * xj[4]
+			x5 -= v * xj[5]
+			x6 -= v * xj[6]
+			x7 -= v * xj[7]
+		}
+		d := f.invDiag[i]
+		xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7] = x0*d, x1*d, x2*d, x3*d, x4*d, x5*d, x6*d, x7*d
+	}
+}
+
+// solveBatchIntoElementwise is the element-wise reference walk the
+// blocked plan replaced, kept for the bit-identity tests.
+func (f *realLU) solveBatchIntoElementwise(x, b []float64, lanes int) {
 	n := f.n
 	if lanes < 1 || len(b) != n*lanes || len(x) != n*lanes {
 		panic(fmt.Sprintf("pdn: solveBatchInto with len(x)=%d len(b)=%d n=%d lanes=%d", len(x), len(b), n, lanes))
@@ -146,16 +327,70 @@ func (f *realLU) solveBatchInto(x, b []float64, lanes int) {
 				xi[l] -= v * xj[l]
 			}
 		}
-		d := f.diag[i]
+		d := f.invDiag[i]
 		for l := range xi {
-			xi[l] /= d
+			xi[l] *= d
 		}
 	}
 }
 
 // solveInto solves A*x = b, writing the solution into x. b is not
-// modified; x and b must both have length n and may not alias.
+// modified; x and b must both have length n and may not alias. Like
+// solveBatchInto it walks the blocked run plan; the result is
+// bit-identical to the element-wise walk.
 func (f *realLU) solveInto(x, b []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("pdn: solveInto with len(x)=%d len(b)=%d n=%d", len(x), len(b), n))
+	}
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	for i := 1; i < n; i++ {
+		sum := x[i]
+		kv := int(f.lPtr[i])
+		for r := f.lRunPtr[i]; r < f.lRunPtr[i+1]; r++ {
+			ln := int(f.lRunLen[r])
+			j0 := int(f.lRunCol[r])
+			if ln == 1 {
+				sum -= f.lVal[kv] * x[j0]
+				kv++
+				continue
+			}
+			vals := f.lVal[kv : kv+ln : kv+ln]
+			xs := x[j0 : j0+ln : j0+ln]
+			for k, v := range vals {
+				sum -= v * xs[k]
+			}
+			kv += ln
+		}
+		x[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		kv := int(f.uPtr[i])
+		for r := f.uRunPtr[i]; r < f.uRunPtr[i+1]; r++ {
+			ln := int(f.uRunLen[r])
+			j0 := int(f.uRunCol[r])
+			if ln == 1 {
+				sum -= f.uVal[kv] * x[j0]
+				kv++
+				continue
+			}
+			vals := f.uVal[kv : kv+ln : kv+ln]
+			xs := x[j0 : j0+ln : j0+ln]
+			for k, v := range vals {
+				sum -= v * xs[k]
+			}
+			kv += ln
+		}
+		x[i] = sum * f.invDiag[i]
+	}
+}
+
+// solveIntoElementwise is the element-wise reference walk, kept for
+// the bit-identity tests.
+func (f *realLU) solveIntoElementwise(x, b []float64) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("pdn: solveInto with len(x)=%d len(b)=%d n=%d", len(x), len(b), n))
@@ -175,6 +410,6 @@ func (f *realLU) solveInto(x, b []float64) {
 		for k := f.uPtr[i]; k < f.uPtr[i+1]; k++ {
 			sum -= f.uVal[k] * x[f.uCol[k]]
 		}
-		x[i] = sum / f.diag[i]
+		x[i] = sum * f.invDiag[i]
 	}
 }

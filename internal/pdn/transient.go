@@ -22,10 +22,14 @@ type Transient struct {
 	idx  []int   // NodeID -> unknown index or -1
 	n    int     // number of unknowns
 
-	// Per-element companion state.
+	// Per-element companion state. vab/ibr hold the DC operating point
+	// only: past the first step, branch state lives in hist (the
+	// trapezoidal history source) and BranchCurrent derives currents on
+	// demand from the node potentials.
 	geq  []float64 // companion conductance per element (0 for resistors)
-	vab  []float64 // branch voltage at current time
-	ibr  []float64 // branch current at current time (a -> b)
+	vab  []float64 // branch voltage at the DC operating point
+	ibr  []float64 // branch current at the DC operating point (a -> b)
+	hist []float64 // companion history source for the NEXT step
 	pots []float64 // node potentials at current time (all nodes)
 
 	plan []stepElem // per-step RHS contributors, in element order
@@ -47,6 +51,7 @@ type stepElem struct {
 	kind         elementKind
 	ei           int     // element index (companion state slot)
 	geq          float64 // companion conductance
+	na, nb       int     // node indices (for potential lookups)
 	ia, ib       int     // unknown indices (-1: grounded or fixed)
 	fa, fb       float64 // fixed-node RHS contributions (geq * fixed potential)
 	hasFA, hasFB bool
@@ -76,6 +81,7 @@ func NewTransientAt(c *Circuit, dt, start float64) (*Transient, error) {
 		c: c, dt: dt, idx: idx, n: n, time: start,
 		vab:  make([]float64, len(c.elements)),
 		ibr:  make([]float64, len(c.elements)),
+		hist: make([]float64, len(c.elements)),
 		pots: make([]float64, c.NumNodes()),
 		rhs:  make([]float64, n),
 		sol:  make([]float64, n),
@@ -116,7 +122,7 @@ func (t *Transient) Reset(start float64) error {
 func (t *Transient) buildPlan() {
 	t.plan = t.plan[:0]
 	for ei, e := range t.c.elements {
-		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], ia: t.idx[e.a], ib: t.idx[e.b]}
+		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], na: int(e.a), nb: int(e.b), ia: t.idx[e.a], ib: t.idx[e.b]}
 		if pe.ia >= 0 && pe.ib < 0 {
 			pe.fa = pe.geq * t.c.potentialOfFixed(e.b)
 			pe.hasFA = true
@@ -249,6 +255,16 @@ func (t *Transient) initState() error {
 			t.ibr[ei] = 0
 		}
 	}
+	// Seed the history sources the first Step will consume, with the
+	// exact expressions the step walk uses thereafter.
+	for ei, e := range c.elements {
+		switch e.kind {
+		case kindCapacitor:
+			t.hist[ei] = t.geq[ei]*t.vab[ei] + t.ibr[ei]
+		case kindInductor:
+			t.hist[ei] = t.ibr[ei] + t.geq[ei]*t.vab[ei]
+		}
+	}
 	return nil
 }
 
@@ -291,7 +307,29 @@ func (t *Transient) Voltage(n NodeID) float64 {
 // BranchCurrent returns the current (a -> b) through element i in
 // insertion order. It is exported for white-box testing and
 // element-level probing.
-func (t *Transient) BranchCurrent(i int) float64 { return t.ibr[i] }
+//
+// Past the first step, currents are derived on demand from the node
+// potentials and the cached history source — the exact expressions a
+// per-step branch-state update would have stored, so readings are
+// bit-identical to an engine that materialized them. At the DC
+// operating point (before the first Step, or right after Reset) the
+// stored DC values are returned instead: initState computes resistor
+// current as (va-vb)/R, which can differ from v*geq in the last ULP.
+func (t *Transient) BranchCurrent(i int) float64 {
+	if t.step == 0 {
+		return t.ibr[i]
+	}
+	e := t.c.elements[i]
+	v := t.pots[e.a] - t.pots[e.b]
+	switch e.kind {
+	case kindCapacitor:
+		return t.geq[i]*v - t.hist[i]
+	case kindInductor:
+		return t.geq[i]*v + t.hist[i]
+	default: // resistor
+		return v * t.geq[i]
+	}
+}
 
 // Step advances the simulation by one timestep.
 func (t *Transient) Step() error {
@@ -301,7 +339,13 @@ func (t *Transient) Step() error {
 		t.rhs[i] = 0
 	}
 	// History sources and fixed-node conductance contributions, from
-	// the precomputed plan (same element order, same arithmetic).
+	// the precomputed plan (same element order, same arithmetic). On
+	// every step after the first, the walk also rolls each reactive
+	// element's companion state forward from the potentials the last
+	// solve produced — the same multiplies, subtractions, and additions
+	// a separate end-of-step update pass would perform, fused here so
+	// each element's state streams through the cache once per step.
+	first := t.step == 0
 	for i := range t.plan {
 		pe := &t.plan[i]
 		if pe.hasFA {
@@ -314,21 +358,31 @@ func (t *Transient) Step() error {
 		case kindCapacitor:
 			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
 			// Branch current a->b contributes +hist into node a's RHS.
-			hist := pe.geq*t.vab[pe.ei] + t.ibr[pe.ei]
+			h := t.hist[pe.ei]
+			if !first {
+				gv := pe.geq * (t.pots[pe.na] - t.pots[pe.nb])
+				h = gv + (gv - h)
+				t.hist[pe.ei] = h
+			}
 			if pe.ia >= 0 {
-				t.rhs[pe.ia] += hist
+				t.rhs[pe.ia] += h
 			}
 			if pe.ib >= 0 {
-				t.rhs[pe.ib] -= hist
+				t.rhs[pe.ib] -= h
 			}
 		case kindInductor:
 			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
-			hist := t.ibr[pe.ei] + pe.geq*t.vab[pe.ei]
+			h := t.hist[pe.ei]
+			if !first {
+				gv := pe.geq * (t.pots[pe.na] - t.pots[pe.nb])
+				h = (gv + h) + gv
+				t.hist[pe.ei] = h
+			}
 			if pe.ia >= 0 {
-				t.rhs[pe.ia] -= hist
+				t.rhs[pe.ia] -= h
 			}
 			if pe.ib >= 0 {
-				t.rhs[pe.ib] += hist
+				t.rhs[pe.ib] += h
 			}
 		}
 	}
@@ -348,21 +402,6 @@ func (t *Transient) Step() error {
 		}
 	}
 	t.scatterPotentials(t.sol)
-	// Update branch states.
-	for ei, e := range c.elements {
-		v := t.pots[e.a] - t.pots[e.b]
-		switch e.kind {
-		case kindResistor:
-			t.ibr[ei] = v * t.geq[ei]
-		case kindCapacitor:
-			hist := t.geq[ei]*t.vab[ei] + t.ibr[ei]
-			t.ibr[ei] = t.geq[ei]*v - hist
-		case kindInductor:
-			hist := t.ibr[ei] + t.geq[ei]*t.vab[ei]
-			t.ibr[ei] = t.geq[ei]*v + hist
-		}
-		t.vab[ei] = v
-	}
 	t.time = next
 	t.step++
 	return nil

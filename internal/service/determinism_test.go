@@ -112,13 +112,14 @@ func TestWorkerCountInvariance(t *testing.T) {
 
 // TestBatchWidthInvariance: the Batch knob is scheduling-only — like
 // Workers it neither changes the canonical hash nor the result bytes,
-// whether the study runs lane-per-run or packed into lockstep lanes.
+// whether the study runs lane-per-run or packed into lockstep lanes,
+// at every worker count of the stolen-chunk schedule.
 func TestBatchWidthInvariance(t *testing.T) {
 	ctx := testCtx(t)
 	_, c := startServer(t, service.Config{Runner: labRunner, CacheEntries: -1})
 
 	ref := sweepReq(3)
-	ref.Batch = 1
+	ref.Workers, ref.Batch = 1, 1
 	hr, err := ref.Hash()
 	if err != nil {
 		t.Fatal(err)
@@ -127,22 +128,24 @@ func TestBatchWidthInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, batch := range []int{3, 8} {
-		req := sweepReq(3)
-		req.Batch = batch
-		h, err := req.Hash()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if h != hr {
-			t.Fatalf("batch=%d changed the canonical hash: %s vs %s", batch, h, hr)
-		}
-		b, _, err := c.Run(ctx, req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(b1, b) {
-			t.Errorf("batch=1 and batch=%d bodies differ:\n%s\n%s", batch, b1, b)
+	for _, workers := range []int{1, 4, 8} {
+		for _, batch := range []int{1, 3, 8} {
+			req := sweepReq(3)
+			req.Workers, req.Batch = workers, batch
+			h, err := req.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != hr {
+				t.Fatalf("workers=%d batch=%d changed the canonical hash: %s vs %s", workers, batch, h, hr)
+			}
+			b, _, err := c.Run(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b) {
+				t.Errorf("workers=%d batch=%d body differs from serial:\n%s\n%s", workers, batch, b1, b)
+			}
 		}
 	}
 }

@@ -1,0 +1,129 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzJournalReplay feeds arbitrary bytes to the journal as an
+// on-disk file — the state a crash can leave behind — and checks the
+// recovery invariants:
+//
+//   - Open never panics: any byte soup either replays or errors.
+//   - When Open succeeds, the compaction it performs is canonical:
+//     every line of the rewritten file decodes as an accept record,
+//     and a second Open recovers exactly the same pending set (replay
+//     ∘ compact is a fixed point).
+//   - A journal that survived one Open keeps accepting: an Accept
+//     after recovery is itself recovered by the next Open.
+func FuzzJournalReplay(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n",
+		`{"op":"accept","id":"a","hash":"h1","req":{"study":"epi_profile"}}` + "\n",
+		`{"op":"accept","id":"a","hash":"h1","req":{}}` + "\n" + `{"op":"state","id":"a","state":"done"}` + "\n",
+		`{"op":"accept","id":"a","hash":"h1","req":{}}` + "\n" + `{"op":"accept","id":"b","hash":"h2","req":{}}` + "\n" + `{"op":"state","id":"a","state":"failed"}` + "\n",
+		`{"op":"accept","id":"a","hash":"h1","req":{}}` + "\n" + `{"op":"accept","id":"a","hash":"h3","req":{}}` + "\n",
+		`{"op":"state","id":"ghost","state":"done"}` + "\n",
+		`{"op":"accept","id":"a","hash":"h1","req":{}}` + "\n" + `{"op":"acc`, // torn tail
+		`{"op":"weird","id":"a"}` + "\n",
+		`{"op":"`, // torn only line
+		`not json at all`,
+		`{"op":"accept","id":"","hash":"","req":null}` + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "jobs.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(path)
+		if err != nil {
+			return // rejected byte soup; no invariants to hold
+		}
+		pending := append([]Pending(nil), j.Pending()...)
+		if err := j.Close(); err != nil {
+			t.Fatalf("closing recovered journal: %v", err)
+		}
+
+		// The compacted file must be canonical: all lines decode, all
+		// are accepts.
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := 0
+		for sc := bufio.NewScanner(bytes.NewReader(raw)); sc.Scan(); {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var r record
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("compacted journal has undecodable line %d: %v", lines+1, err)
+			}
+			if r.Op != opAccept {
+				t.Fatalf("compacted journal has non-accept op %q", r.Op)
+			}
+			lines++
+		}
+		if lines != len(pending) {
+			t.Fatalf("compacted journal has %d accepts, recovery found %d pending", lines, len(pending))
+		}
+
+		// Replay ∘ compact is a fixed point.
+		j2, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopening compacted journal: %v", err)
+		}
+		if !samePending(pending, j2.Pending()) {
+			t.Fatalf("pending drifted across reopen:\n%v\n%v", pending, j2.Pending())
+		}
+
+		// The recovered journal still accepts and recovers new work.
+		if err := j2.Accept("fuzz-new", "hash-new", json.RawMessage(`{"k":1}`)); err != nil {
+			t.Fatalf("accept after recovery: %v", err)
+		}
+		j2.Close()
+		j3, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopening after accept: %v", err)
+		}
+		defer j3.Close()
+		got := j3.Pending()
+		if len(got) != len(pending)+1 || got[len(got)-1].ID != "fuzz-new" {
+			t.Fatalf("post-recovery accept lost: %v", got)
+		}
+	})
+}
+
+// samePending compares pending sets by value, treating nil and empty
+// raw requests alike.
+func samePending(a, b []Pending) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Hash != b[i].Hash {
+			return false
+		}
+		if !reflect.DeepEqual(normRaw(a[i].Req), normRaw(b[i].Req)) {
+			return false
+		}
+	}
+	return true
+}
+
+func normRaw(r json.RawMessage) []byte {
+	if len(r) == 0 {
+		return nil
+	}
+	return r
+}

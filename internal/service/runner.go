@@ -158,6 +158,7 @@ func runEPIProfile(ctx context.Context, req *Request) (any, error) {
 	cfg.MeasureCycles = p.MeasureCycles
 	cfg.WarmupCycles = p.WarmupCycles
 	cfg.Workers = req.Workers
+	cfg.Batch = req.Batch
 	prof, err := epi.Generate(ctx, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,69 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastModMatchesMathMod pins fastMod to math.Mod bit for bit over
+// the input shapes waveform evaluation produces: non-negative and
+// negative times, quotients from fractions of a period to hundreds of
+// thousands of periods, and values landing arbitrarily close to period
+// boundaries (where the truncated quotient mis-rounds and the
+// correction path must fire).
+func TestFastModMatchesMathMod(t *testing.T) {
+	eq := func(a, b float64) bool {
+		return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	check := func(x, p float64) {
+		t.Helper()
+		if got, want := fastMod(x, p), math.Mod(x, p); !eq(got, want) {
+			t.Fatalf("fastMod(%v, %v) = %v, math.Mod = %v", x, p, got, want)
+		}
+	}
+
+	// The hot path's exact shape: simulation time marching in fixed
+	// steps against a stimulus period.
+	for _, period := range []float64{2.0e-7, 1 / 5.5e9, 1.0e-5, 3.7e-4} {
+		x := -1.0e-5
+		for i := 0; i < 200000; i++ {
+			check(x, period)
+			x += 2e-9
+		}
+	}
+
+	// Randomized magnitudes, both signs, quotients up to ~1e9.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500000; i++ {
+		p := math.Ldexp(1+rng.Float64(), rng.Intn(40)-20)
+		x := math.Ldexp(rng.Float64()-0.5, rng.Intn(60)-20)
+		check(x, p)
+	}
+
+	// Quotient-boundary stress: x built as k*p plus a few ULPs either
+	// side, the exact case where Trunc(x/p) can land on the wrong side.
+	for i := 0; i < 200000; i++ {
+		p := math.Ldexp(1+rng.Float64(), rng.Intn(20)-10)
+		k := float64(rng.Intn(1 << 20))
+		x := k * p
+		for j := 0; j < 4; j++ {
+			check(x, p)
+			x = math.Nextafter(x, math.Inf(1))
+		}
+		x = k * p
+		for j := 0; j < 4; j++ {
+			check(x, p)
+			x = math.Nextafter(x, math.Inf(-1))
+		}
+	}
+
+	// Edge cases math.Mod defines: NaN propagation, infinite x, zero
+	// period, x smaller than a ULP of p, and signed zeros.
+	for _, c := range [][2]float64{
+		{math.NaN(), 1}, {math.Inf(1), 1}, {math.Inf(-1), 1}, {1, 0},
+		{0, 1}, {math.Copysign(0, -1), 1}, {5e-324, 1}, {-5e-324, 1},
+	} {
+		check(c[0], c[1])
+	}
+}

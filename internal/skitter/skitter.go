@@ -162,6 +162,25 @@ type Macro struct {
 	// normalization denominator and the continuous nominal position.
 	den  float64
 	nomF float64
+
+	// rngStride advances the jitter stream on the fast path: the
+	// SplitMix64 increment when jitter is enabled, zero (no branch, no
+	// advance) when disabled — exactly what jitter() would have done.
+	rngStride uint64
+
+	// Sticky fast path. [vLo, vHi] is the verified-safe supply
+	// interval: every v inside it is known to quantize within the
+	// current sticky [minPos, maxPos] for EVERY possible jitter value,
+	// so sampling it cannot move the sticky range — Sample then only
+	// advances the jitter stream and the sample counter, skipping the
+	// alpha-power math.Pow entirely. The interval is sound because the
+	// edge position is monotone in v (for Alpha >= 1; mono gates the
+	// path) and the safe set in edge space is an interval, so its
+	// preimage in v space is too: any v between two verified-safe
+	// points is itself safe. minPos/maxPos only ever widen, which only
+	// widens the safe set, so the ratchet never needs to shrink.
+	vLo, vHi float64
+	mono     bool
 }
 
 // NewMacro builds a macro; the configuration must validate.
@@ -173,6 +192,10 @@ func NewMacro(cfg Config) (*Macro, error) {
 		cfg:  cfg,
 		den:  cfg.Vnom / math.Pow(cfg.Vnom-cfg.VThreshold, cfg.Alpha),
 		nomF: cfg.positionF(cfg.Vnom),
+		mono: cfg.Alpha >= 1,
+	}
+	if cfg.Jitter != 0 {
+		m.rngStride = 0x9E3779B97F4A7C15
 	}
 	m.Reset()
 	return m, nil
@@ -189,11 +212,35 @@ func (m *Macro) Reset() {
 	m.maxPos = -1
 	m.samples = 0
 	m.rng = 0x9E3779B97F4A7C15
+	m.vLo = math.Inf(1)
+	m.vHi = math.Inf(-1)
 }
 
 // Sample captures one cycle at supply voltage v.
+//
+// Readings are bit-identical with the fast path on or off: inside the
+// safe interval the reading provably cannot move the sticky range
+// whatever the jitter draw, and the jitter stream and sample counter
+// advance exactly as the full evaluation would have advanced them.
+// Sample is split so the safe-interval fast path — a two-compare body
+// small enough for the compiler to inline into per-step observer loops
+// — never pays a function call, while the full evaluation lives in
+// sampleSlow.
 func (m *Macro) Sample(v float64) {
-	pos := m.cfg.quantize(m.edgePositionF(v) + m.jitter())
+	if v >= m.vLo && v <= m.vHi {
+		// Safe interval: the sticky range cannot move. Keep the jitter
+		// stream aligned (rngStride is zero when jitter is disabled,
+		// matching what jitter() would have advanced).
+		m.rng += m.rngStride
+		m.samples++
+		return
+	}
+	m.sampleSlow(v)
+}
+
+func (m *Macro) sampleSlow(v float64) {
+	edge := m.edgePositionF(v)
+	pos := m.cfg.quantize(edge + m.jitter())
 	if pos < m.minPos {
 		m.minPos = pos
 	}
@@ -201,6 +248,23 @@ func (m *Macro) Sample(v float64) {
 		m.maxPos = pos
 	}
 	m.samples++
+	if !m.mono {
+		return
+	}
+	// Ratchet the safe interval: v is safe when even the extreme jitter
+	// draws keep the rounded position inside the sticky range —
+	// edge ± Jitter strictly within (minPos-0.5, maxPos+0.5), with an
+	// epsilon guarding the rounding boundaries. Clamping never matters
+	// here: [minPos, maxPos] already lies within the physical line.
+	const eps = 1e-9
+	if edge-m.cfg.Jitter >= float64(m.minPos)-0.5+eps && edge+m.cfg.Jitter <= float64(m.maxPos)+0.5-eps {
+		if v < m.vLo {
+			m.vLo = v
+		}
+		if v > m.vHi {
+			m.vHi = v
+		}
+	}
 }
 
 // edgePositionF is Config.edgePositionF with the macro's cached model

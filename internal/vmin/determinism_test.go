@@ -112,7 +112,7 @@ func TestRunBatchDeterminism(t *testing.T) {
 				return res
 			}
 			want := run(1, 1)
-			for _, workers := range []int{1, 8} {
+			for _, workers := range []int{1, 4, 8} {
 				for _, batch := range []int{1, 3, 8} {
 					if got := run(workers, batch); !reflect.DeepEqual(want, got) {
 						t.Errorf("Run workers=%d batch=%d differs from serial:\n%+v\n%+v",

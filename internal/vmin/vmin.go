@@ -49,10 +49,12 @@ type Config struct {
 	// Batch is the lockstep lane width: consecutive bias steps pack
 	// into the lanes of one batch session — per-lane fixed supplies
 	// let one factored circuit probe several biases per step walk.
-	// Zero selects exec.DefaultBatchWidth (shrunk to keep every worker
-	// busy); one forces step-per-run. Like Workers, every setting is
-	// bit-identical: lanes perform exactly the single-session
-	// arithmetic and the reduction stays in descending-bias order.
+	// Zero selects exec.DefaultBatchWidth; one forces step-per-run.
+	// Lanes are never split to feed idle workers — workers contend
+	// for whole chunks by work stealing (exec.MapStolen). Like
+	// Workers, every setting is bit-identical: lanes perform exactly
+	// the single-session arithmetic and the reduction stays in
+	// descending-bias order.
 	Batch int
 }
 
@@ -153,22 +155,22 @@ func Run(ctx context.Context, p *core.Platform, workloads [core.NumCores]core.Wo
 		return nil
 	}
 	var err error
-	if width := exec.BatchWidth(cfg.Batch, len(biases), cfg.Workers); width > 1 {
+	if width := exec.BatchWidth(cfg.Batch, len(biases)); width > 1 {
 		// Pack consecutive bias steps into lockstep lanes: per-lane
 		// fixed supplies probe several biases through one factored
-		// circuit, one window walk per chunk.
-		chunks := exec.Chunks(len(biases), width)
-		err = exec.MapOrdered(ctx, len(chunks), cfg.Workers,
-			func(ctx context.Context, ci int) ([]step, error) {
-				r := chunks[ci]
-				lanes := r[1] - r[0]
-				bs, err := sessions.GetBatch(biases[r[0]], lanes)
+		// circuit, one window walk per chunk. Workers contend for
+		// whole chunks by work stealing; the reduction stays in
+		// descending-bias order.
+		err = exec.MapStolen(ctx, len(biases), width, cfg.Workers,
+			func(ctx context.Context, start, end int) ([]step, error) {
+				lanes := end - start
+				bs, err := sessions.GetBatch(biases[start], lanes)
 				if err != nil {
 					return nil, err
 				}
 				defer sessions.PutBatch(bs)
 				for l := 0; l < lanes; l++ {
-					if err := bs.SetLaneBias(l, biases[r[0]+l]); err != nil {
+					if err := bs.SetLaneBias(l, biases[start+l]); err != nil {
 						return nil, err
 					}
 				}
@@ -196,7 +198,7 @@ func Run(ctx context.Context, p *core.Platform, workloads [core.NumCores]core.Wo
 				}
 				return out, nil
 			},
-			func(_ int, steps []step) error {
+			func(_, _, _ int, steps []step) error {
 				for _, s := range steps {
 					if err := reduce(s); err != nil {
 						return err

@@ -136,6 +136,10 @@ func WithSearch(scfg SearchConfig) LabOption { return noise.WithSearch(scfg) }
 // studies (zero: one worker per CPU, one: serial).
 func WithWorkers(n int) LabOption { return noise.WithWorkers(n) }
 
+// WithBatch sets the lockstep lane width of the batched studies (zero:
+// the default width, one: a single-lane engine per run).
+func WithBatch(n int) LabOption { return noise.WithBatch(n) }
+
 // NewLab runs the maximum-power sequence search on the given platform
 // and returns the experiment harness. Options select the search size
 // and worker cap:
@@ -210,6 +214,10 @@ type EPIOption func(*EPIConfig)
 // EPIWorkers caps the concurrent per-instruction measurement workers
 // (zero: one worker per CPU, one: serial).
 func EPIWorkers(n int) EPIOption { return func(c *EPIConfig) { c.Workers = n } }
+
+// EPIBatch sets the chunk granularity of the stolen-chunk EPI schedule
+// (zero: the default width, one: single instructions).
+func EPIBatch(n int) EPIOption { return func(c *EPIConfig) { c.Batch = n } }
 
 // EPIMeasureCycles sets the measured cycles per micro-benchmark.
 func EPIMeasureCycles(n int) EPIOption { return func(c *EPIConfig) { c.MeasureCycles = n } }
