@@ -26,8 +26,8 @@
 # fuzz-smoke budget per target.
 
 GO ?= go
-BENCH_PR ?= 7
-BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)
+BENCH_PR ?= 8
+BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)|PopulationStudy(Serial|Parallel)
 BENCH_OUT ?= BENCH_PR$(BENCH_PR).json
 BENCH_BASELINE ?= BENCH_PR$(BENCH_PR).json
 BENCH_COUNT ?= 4
@@ -71,7 +71,7 @@ race:
 # batch-session pool and the stolen-chunk scheduler must stay
 # race-clean while doing it.
 batch-determinism:
-	$(GO) test -race -run 'Batch|Determinism|Invariance' ./internal/noise/ ./internal/vmin/ ./internal/epi/ ./internal/core/ ./internal/service/
+	$(GO) test -race -run 'Batch|Determinism|Invariance' ./internal/noise/ ./internal/vmin/ ./internal/epi/ ./internal/core/ ./internal/population/ ./internal/service/
 
 # fuzz-smoke runs each fuzz target for FUZZTIME on top of its committed
 # seed corpus: the request validator (decode -> normalize -> hash

@@ -384,6 +384,38 @@ func benchEPIProfile(b *testing.B, workers int) {
 func BenchmarkEPIProfileSerial(b *testing.B)   { benchEPIProfile(b, 1) }
 func BenchmarkEPIProfileParallel(b *testing.B) { benchEPIProfile(b, 0) }
 
+// benchPopulationStudy is the shared body of the serial/parallel
+// population pair: a heterogeneous aged fleet measured through short
+// C-state-exit windows. Serial forces one worker and chip-per-run
+// sessions; parallel lets the runner pick workers and pack chips into
+// lockstep batch lanes.
+func benchPopulationStudy(b *testing.B, workers, batch int) {
+	cfg := voltnoise.DefaultPopulationConfig()
+	cfg.Chips = 96
+	cfg.AgeYears = 5
+	cfg.Mix = [6]string{"o3", "io", "o3", "io", "o3", "io"}
+	cfg.TechNode = 22
+	cfg.ExitHz = 2e6
+	cfg.WarmupS = 4e-6
+	cfg.RLCBins = 3
+	cfg.Seed = 42
+	cfg.Workers = workers
+	cfg.Batch = batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := voltnoise.RunPopulationStudy(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Guardband.P99, "p99-guardband-%")
+	}
+}
+
+// BenchmarkPopulationStudySerial and BenchmarkPopulationStudyParallel
+// measure the workers×batch speedup on fleet-scale population studies.
+func BenchmarkPopulationStudySerial(b *testing.B)   { benchPopulationStudy(b, 1, 1) }
+func BenchmarkPopulationStudyParallel(b *testing.B) { benchPopulationStudy(b, 0, 0) }
+
 // BenchmarkResonanceDiscovery measures the automated resonance search.
 func BenchmarkResonanceDiscovery(b *testing.B) {
 	lab := benchSetup(b)

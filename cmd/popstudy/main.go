@@ -1,0 +1,124 @@
+// Command popstudy runs a fleet-scale population study: N
+// deterministic chip variants — heterogeneous core classes, aged
+// silicon, binned electrical process variation — each measured
+// through an aligned C-state-exit window, reduced into worst-case
+// droop, Vmin and guard-band distributions.
+//
+// Usage:
+//
+//	popstudy [-chips 1000] [-age 0] [-mix o3,io,o3,io,o3,io] [-tech 45]
+//	         [-decap 1.0] [-exit-hz 250e3] [-seed 0] [-bins 8]
+//	         [-workers N] [-batch B] [-json]
+//
+// -workers and -batch are scheduling knobs only: the printed tables
+// (and the -json document) are byte-identical at every setting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"voltnoise"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "popstudy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("popstudy", flag.ContinueOnError)
+	chips := fs.Int("chips", 1000, "population size")
+	age := fs.Float64("age", 0, "fleet age in years (0 = fresh silicon)")
+	mix := fs.String("mix", "", "comma-separated core class per slot (e.g. o3,io,o3,io,o3,io); empty = all o3")
+	tech := fs.Int("tech", 45, "technology node in nm (45, 32, 22, 16)")
+	decap := fs.Float64("decap", 1.0, "on-die decap budget multiplier")
+	exitHz := fs.Float64("exit-hz", 250e3, "aligned C-state exit rate in Hz")
+	warmup := fs.Float64("warmup", 0, "PDN settling time in seconds (0 = engine default)")
+	seed := fs.Uint64("seed", 0, "fleet derivation seed")
+	bins := fs.Int("bins", 8, "electrical process-variation bins (chips per bin share a factored circuit)")
+	safety := fs.Float64("safety", 1.0, "guard-band safety margin in percent")
+	workers := fs.Int("workers", 0, "parallel measurement workers (0 = one per CPU, 1 = serial)")
+	batch := fs.Int("batch", 0, "lockstep batch lane width (0 = auto, 1 = chip-per-run)")
+	asJSON := fs.Bool("json", false, "emit the full result as JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := voltnoise.DefaultPopulationConfig()
+	cfg.Chips = *chips
+	cfg.AgeYears = *age
+	cfg.TechNode = *tech
+	cfg.DecapScale = *decap
+	cfg.ExitHz = *exitHz
+	cfg.WarmupS = *warmup
+	cfg.Seed = *seed
+	cfg.RLCBins = *bins
+	cfg.SafetyPercent = *safety
+	cfg.Workers = *workers
+	cfg.Batch = *batch
+	if *mix != "" {
+		parts := strings.Split(*mix, ",")
+		if len(parts) != len(cfg.Mix) {
+			return fmt.Errorf("-mix needs %d classes, got %d", len(cfg.Mix), len(parts))
+		}
+		for i, p := range parts {
+			cfg.Mix[i] = strings.TrimSpace(p)
+		}
+	}
+
+	res, err := voltnoise.RunPopulationStudy(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Fprintf(out, "population: %d chips, mix %s, %d nm, age %.1fy, seed %d\n",
+		res.Chips, strings.Join(res.Mix[:], ","), res.TechNode, res.AgeYears, res.Seed)
+	fmt.Fprintf(out, "stimulus: aligned C-state exits at %g Hz; %d electrical bins\n\n", res.ExitHz, res.RLCBins)
+
+	row := func(name, unit string, d voltnoise.PopulationDistribution) {
+		fmt.Fprintf(out, "%-14s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f  %s\n",
+			name, d.Min, d.Mean, d.P50, d.P90, d.P99, d.P999, d.Max, unit)
+	}
+	fmt.Fprintf(out, "%-14s %8s %8s %8s %8s %8s %8s %8s\n", "metric", "min", "mean", "p50", "p90", "p99", "p99.9", "max")
+	row("worst droop", "%p2p", res.Droop)
+	row("vmin", "V", res.Vmin)
+	row("guard-band", "%", res.Guardband)
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "per-class core droop (%%p2p):\n")
+	for _, c := range voltnoise.CoreClasses() {
+		if d, ok := res.PerClass[c.Name]; ok {
+			row("  "+c.Name, "", d)
+		}
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "guard-band distribution (%d chips):\n", res.Chips)
+	for _, b := range res.GuardbandHist {
+		fmt.Fprintf(out, "  %5.1f – %5.1f %%  %6d chips\n", b.From, b.To, b.Count)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "worst chips:\n")
+	for _, c := range res.WorstChips {
+		fmt.Fprintf(out, "  chip %5d  droop %6.2f %%p2p (core %d)  vmin %.4f V  guard-band %5.2f %%\n",
+			c.Chip, c.WorstDroopPct, c.WorstCore, c.VminV, c.GuardbandPct)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// quickArgs keeps the test population small and the measurement
+// window short (2 µs exit period + 4 µs warmup) so the smoke and
+// determinism runs stay fast.
+var quickArgs = []string{
+	"-chips", "12", "-age", "5", "-mix", "o3,io,o3,io,o3,io",
+	"-tech", "22", "-exit-hz", "2e6", "-warmup", "4e-6",
+	"-bins", "3", "-seed", "42",
+}
+
+// TestPopstudySmoke runs a small heterogeneous aged fleet through the
+// real CLI entry point and checks the report shape.
+func TestPopstudySmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), append([]string{"-workers", "2"}, quickArgs...), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"population: 12 chips", "age 5.0y",
+		"worst droop", "vmin", "guard-band",
+		"per-class core droop", "o3", "io",
+		"guard-band distribution", "worst chips:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestPopstudySchedulingDeterminism: -workers and -batch are
+// scheduling knobs only — every grid point emits the byte-identical
+// report.
+func TestPopstudySchedulingDeterminism(t *testing.T) {
+	var ref strings.Builder
+	if err := run(context.Background(), append([]string{"-workers", "1", "-batch", "1"}, quickArgs...), &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, grid := range [][]string{
+		{"-workers", "4", "-batch", "1"},
+		{"-workers", "1", "-batch", "3"},
+		{"-workers", "8", "-batch", "0"},
+	} {
+		var got strings.Builder
+		if err := run(context.Background(), append(append([]string{}, grid...), quickArgs...), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != ref.String() {
+			t.Errorf("%v changed the report:\nref:\n%s\ngot:\n%s", grid, ref.String(), got.String())
+		}
+	}
+}
+
+// TestPopstudyBadMix: a malformed -mix is rejected before any
+// simulation work starts.
+func TestPopstudyBadMix(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-mix", "o3,io"}, &out); err == nil {
+		t.Fatal("short -mix accepted")
+	}
+	if err := run(context.Background(), append([]string{}, "-chips", "4", "-exit-hz", "2e6", "-mix", "o3,npu,o3,io,o3,io"), &out); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

@@ -37,6 +37,12 @@ type BatchSession struct {
 	nodes   pdn.ZEC12Nodes
 	bt      *pdn.BatchTransient
 	macros  [][NumCores]*skitter.Macro
+	// gains holds each lane's effective per-core skitter gain
+	// multipliers (default cfg.CoreGain). They live entirely in the
+	// sensor macros, which is what lets chips that share an electrical
+	// configuration but differ in sensitivity (aging drift, core-class
+	// bases) ride separate lanes of one factored circuit.
+	gains [][NumCores]float64
 
 	idle Workload
 	// wl holds each lane's current workloads; the shared load closures
@@ -76,6 +82,7 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 		vnom:    make([]float64, lanes),
 		uncoreI: make([]float64, lanes),
 		macros:  make([][NumCores]*skitter.Macro, lanes),
+		gains:   make([][NumCores]float64, lanes),
 		wl:      make([][NumCores]Workload, lanes),
 		pw:      make([][NumCores]float64, lanes),
 		iq:      make([][NumCores]float64, lanes),
@@ -85,6 +92,7 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 		s.bias[l] = 1.0
 		s.vnom[l] = cfg.PDN.Vnom
 		s.uncoreI[l] = cfg.UncorePower / s.vnom[l]
+		s.gains[l] = cfg.CoreGain
 		for i := range s.wl[l] {
 			s.wl[l][i] = s.idle
 			s.src[l][i] = i
@@ -191,13 +199,41 @@ func (s *BatchSession) refreshAliases(lane int) {
 	}
 }
 
+// LaneGains returns one lane's effective per-core skitter gain
+// multipliers.
+func (s *BatchSession) LaneGains(lane int) [NumCores]float64 { return s.gains[lane] }
+
+// SetLaneGains overrides one lane's per-core skitter gain multipliers,
+// mirroring Session.SetCoreGains: the override lives entirely in the
+// lane's sensor macros and never touches the shared circuit, so lanes
+// carrying different chips (aging drift, heterogeneous core classes)
+// still ride one factored matrix set. Per lane the macro construction
+// performs the same floating-point operations as a single Session with
+// the same gains, so lane results stay bit-identical to lane-per-run
+// measurements. Setting the identical gains is free.
+func (s *BatchSession) SetLaneGains(lane int, gains [NumCores]float64) error {
+	if lane < 0 || lane >= s.lanes {
+		return fmt.Errorf("core: lane %d out of range [0,%d)", lane, s.lanes)
+	}
+	if gains == s.gains[lane] {
+		return nil
+	}
+	for i, g := range gains {
+		if g <= 0 {
+			return fmt.Errorf("core: non-positive gain %g for core %d", g, i)
+		}
+	}
+	s.gains[lane] = gains
+	return s.rebuildMacros(lane)
+}
+
 // rebuildMacros constructs one lane's per-core skitter macros with
 // process-variation gains, calibrated at the lane's effective supply.
 func (s *BatchSession) rebuildMacros(lane int) error {
 	for i := range s.macros[lane] {
 		sc := s.cfg.Skitter
 		sc.Vnom = s.vnom[lane]
-		sc.Gain *= s.cfg.CoreGain[i]
+		sc.Gain *= s.gains[lane][i]
 		m, err := skitter.NewMacro(sc)
 		if err != nil {
 			return err

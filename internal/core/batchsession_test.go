@@ -133,6 +133,107 @@ func TestBatchSessionLaneBiases(t *testing.T) {
 	}
 }
 
+// TestBatchSessionLaneGains packs per-lane sensor-gain overrides (the
+// population engine's aging/core-class mechanism) into one batch and
+// checks each lane is bit-identical to a single Session carrying the
+// same gains: the override lives in the macros only, so lanes sharing
+// one factored circuit still read chip-specific sensitivities.
+func TestBatchSessionLaneGains(t *testing.T) {
+	cfg := DefaultConfig()
+	const lanes = 3
+	bs, err := NewBatchSession(cfg, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainSets := make([][NumCores]float64, lanes)
+	specs := make([]RunSpec, lanes)
+	for l := range gainSets {
+		g := cfg.CoreGain
+		for i := range g {
+			g[i] *= 1 + 0.04*float64(l) - 0.01*float64(i)
+		}
+		gainSets[l] = g
+		if err := bs.SetLaneGains(l, g); err != nil {
+			t.Fatal(err)
+		}
+		var wl [NumCores]Workload
+		wl[0], wl[3] = oscWorkload(), oscWorkload()
+		specs[l] = RunSpec{Workloads: wl, Start: 0, Duration: 12e-6}
+	}
+	got, err := bs.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range specs {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetCoreGains(gainSets[l]); err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(specs[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, "gain lane", got[l], want)
+	}
+	// Validation: bad lane index and non-positive gains are rejected,
+	// and a rejected set leaves the lane's gains untouched.
+	if err := bs.SetLaneGains(lanes, cfg.CoreGain); err == nil {
+		t.Error("lane out of range accepted")
+	}
+	var bad [NumCores]float64
+	if err := bs.SetLaneGains(0, bad); err == nil {
+		t.Error("zero gains accepted")
+	}
+	if bs.LaneGains(0) != gainSets[0] {
+		t.Error("rejected gain set clobbered the lane")
+	}
+}
+
+// TestSessionPoolGainReset: a pooled session returned with overridden
+// gains comes back from Get/GetBatch restored to the configuration's
+// gains, so a borrower never inherits another chip's sensitivities.
+func TestSessionPoolGainReset(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := NewSessionPool(cfg)
+	s, err := pool.Get(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged := cfg.CoreGain
+	for i := range aged {
+		aged[i] *= 1.07
+	}
+	if err := s.SetCoreGains(aged); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(s)
+	s2, err := pool.Get(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CoreGains() != cfg.CoreGain {
+		t.Errorf("pooled session gains %v, want config gains %v", s2.CoreGains(), cfg.CoreGain)
+	}
+	bs, err := pool.GetBatch(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.SetLaneGains(1, aged); err != nil {
+		t.Fatal(err)
+	}
+	pool.PutBatch(bs)
+	bs2, err := pool.GetBatch(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs2.LaneGains(1) != cfg.CoreGain {
+		t.Errorf("pooled batch lane gains %v, want config gains %v", bs2.LaneGains(1), cfg.CoreGain)
+	}
+}
+
 // TestBatchSessionReuse runs two back-to-back heterogeneous batches on
 // one session; the second must match fresh single-lane sessions, the
 // reuse guarantee lifted to the batch engine.

@@ -28,6 +28,7 @@ type Session struct {
 	bias    float64 // quantized, as Platform.SetVoltageBias
 	vnom    float64 // effective supply setpoint (PDN.Vnom * bias)
 	uncoreI float64 // constant uncore current (UncorePower / vnom)
+	gains   [NumCores]float64 // effective per-core skitter gains (default cfg.CoreGain)
 
 	circuit *pdn.Circuit
 	nodes   pdn.ZEC12Nodes
@@ -61,7 +62,7 @@ func NewSession(cfg Config) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Session{cfg: cfg, bias: 1.0, idle: Idle(cfg.Core)}
+	s := &Session{cfg: cfg, bias: 1.0, idle: Idle(cfg.Core), gains: cfg.CoreGain}
 	s.vnom = cfg.PDN.Vnom
 	s.uncoreI = cfg.UncorePower / s.vnom
 
@@ -132,6 +133,30 @@ func (s *Session) SetVoltageBias(bias float64) error {
 	return s.rebuildMacros()
 }
 
+// CoreGains returns the effective per-core skitter gain multipliers.
+func (s *Session) CoreGains() [NumCores]float64 { return s.gains }
+
+// SetCoreGains overrides the per-core skitter gain multipliers —
+// the chip-individual process-variation-and-aging state a population
+// study retunes per chip — and recalibrates the macros. The circuit
+// and its factored matrices are untouched: gains live entirely in the
+// sensors, which is what lets chips sharing an electrical configuration
+// reuse one pooled session (or one lockstep batch lane) while each
+// keeps its own sensitivity. A session built from cfg starts at
+// cfg.CoreGain; setting the identical gains is free.
+func (s *Session) SetCoreGains(gains [NumCores]float64) error {
+	if gains == s.gains {
+		return nil
+	}
+	for i, g := range gains {
+		if g <= 0 {
+			return fmt.Errorf("core: non-positive gain %g for core %d", g, i)
+		}
+	}
+	s.gains = gains
+	return s.rebuildMacros()
+}
+
 // refreshAliases recomputes src from the current workload slots. A
 // core aliases the lowest earlier core holding the identical workload
 // value, unless that core's node is fixed (the engine then skips its
@@ -158,7 +183,7 @@ func (s *Session) rebuildMacros() error {
 	for i := range s.macros {
 		sc := s.cfg.Skitter
 		sc.Vnom = s.vnom
-		sc.Gain *= s.cfg.CoreGain[i]
+		sc.Gain *= s.gains[i]
 		m, err := skitter.NewMacro(sc)
 		if err != nil {
 			return err
@@ -312,6 +337,12 @@ func (sp *SessionPool) Get(bias float64) (*Session, error) {
 			return nil, err
 		}
 	}
+	// A previous borrower may have overridden the sensor gains; restore
+	// the configuration's gains so pooled reuse starts from a known
+	// state (free when unchanged).
+	if err := s.SetCoreGains(sp.cfg.CoreGain); err != nil {
+		return nil, err
+	}
 	if err := s.SetVoltageBias(bias); err != nil {
 		return nil, err
 	}
@@ -341,6 +372,13 @@ func (sp *SessionPool) GetBatch(bias float64, lanes int) (*BatchSession, error) 
 	if s == nil {
 		var err error
 		if s, err = NewBatchSession(sp.cfg, lanes); err != nil {
+			return nil, err
+		}
+	}
+	// Restore configuration gains on every lane a previous borrower may
+	// have overridden (free for untouched lanes).
+	for l := 0; l < lanes; l++ {
+		if err := s.SetLaneGains(l, sp.cfg.CoreGain); err != nil {
 			return nil, err
 		}
 	}

@@ -56,16 +56,25 @@ func ChipVariant(cfg Config, id uint64) Config {
 // deterministic variants. Construction runs across the default worker
 // pool; chip id i always lands at index i.
 func ChipPopulation(cfg Config, n int) ([]*Platform, error) {
-	return ChipPopulationN(cfg, n, 0)
+	return ChipPopulationCtx(context.Background(), cfg, n, 0)
 }
 
 // ChipPopulationN is ChipPopulation with an explicit worker count
 // (<= 0 selects one worker per CPU).
 func ChipPopulationN(cfg Config, n, workers int) ([]*Platform, error) {
+	return ChipPopulationCtx(context.Background(), cfg, n, workers)
+}
+
+// ChipPopulationCtx is ChipPopulationN with cancellation: a canceled
+// context aborts the remaining platform constructions and returns
+// ctx.Err(). Building a large population stamps and validates one
+// platform per chip, so fleet-scale callers thread their request
+// context through here instead of letting a dead job finish the build.
+func ChipPopulationCtx(ctx context.Context, cfg Config, n, workers int) ([]*Platform, error) {
 	if n < 0 {
 		n = 0
 	}
-	return exec.Map(context.Background(), n, workers, func(_ context.Context, i int) (*Platform, error) {
+	return exec.Map(ctx, n, workers, func(_ context.Context, i int) (*Platform, error) {
 		return New(ChipVariant(cfg, uint64(i)))
 	})
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -70,5 +72,31 @@ func TestChipPopulation(t *testing.T) {
 	// The reference chip is first.
 	if plats[0].Config() != DefaultConfig() {
 		t.Error("first chip is not the reference")
+	}
+}
+
+func TestChipPopulationCtxCancellation(t *testing.T) {
+	// A context canceled mid-population aborts the remaining platform
+	// constructions: building a chip stamps and factors a circuit, so a
+	// dead fleet request must not finish thousands of them.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ChipPopulationCtx(ctx, DefaultConfig(), 64, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled build: err = %v, want context.Canceled", err)
+	}
+
+	// Cancel concurrently with the build: the call must return promptly
+	// with ctx.Err() (or nil if the population won the race) rather than
+	// hanging or returning a truncated slice as success.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ChipPopulationCtx(ctx, DefaultConfig(), 512, 2)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build cancel: err = %v, want nil or context.Canceled", err)
 	}
 }

@@ -1,0 +1,46 @@
+package population
+
+import "math"
+
+// The aging model: NBTI/PBTI-style wear shifts device thresholds
+// along a sublinear power law of age. A shifted Vth slows the core's
+// critical paths — the effective noise sensitivity the skitter macros
+// read grows, because the same droop costs an aged core more timing
+// margin — and wear-induced leakage grows static power, raising the
+// sleep-exit current step. Both effects are deterministic functions
+// of (age, per-core spread draw), so an aged fleet is exactly
+// reproducible; this is the per-core wear tracking of datacenter
+// simulators (splitwise-style) reduced to the two couplings the
+// voltage-noise model consumes.
+
+const (
+	// agingVthA is the Vth shift in millivolts after one year.
+	agingVthA = 18.0
+	// agingVthExp is the power-law exponent: wear decelerates.
+	agingVthExp = 0.35
+	// agingSpread is the ±30% per-core spread around the nominal
+	// trajectory (cores age unevenly with their activity and local
+	// temperature).
+	agingSpread = 0.30
+	// agingGainPerMilliV converts Vth shift to sensitivity drift.
+	agingGainPerMilliV = 0.0015
+	// agingStaticPerMilliV converts Vth shift to static power growth.
+	agingStaticPerMilliV = 0.003
+)
+
+// vthShiftMilliV returns the threshold shift of one core at the given
+// age, with u in [-1, 1) the core's spread draw.
+func vthShiftMilliV(ageYears, u float64) float64 {
+	if ageYears <= 0 {
+		return 0
+	}
+	return agingVthA * math.Pow(ageYears, agingVthExp) * (1 + agingSpread*u)
+}
+
+// agingFactors returns the multiplicative sensitivity drift and
+// static power growth of one core at the given age. Fresh silicon
+// (age 0) returns exactly (1, 1).
+func agingFactors(ageYears, u float64) (gainDrift, staticGrowth float64) {
+	dv := vthShiftMilliV(ageYears, u)
+	return 1 + agingGainPerMilliV*dv, 1 + agingStaticPerMilliV*dv
+}

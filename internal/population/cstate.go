@@ -1,0 +1,39 @@
+package population
+
+import "math"
+
+// CState is a sleep-state workload: the core idles in deep sleep at
+// the retention-rail residual, then exits into an active instruction
+// stream, periodically. The exit edge — residual to full power in one
+// integration step — is exactly the paper's ΔI event, and because
+// every core of a chip shares the same Period and SleepFrac the exits
+// are aligned: the multi-core worst case the guard-band must absorb.
+//
+// CState is a comparable struct on purpose: cores of one chip whose
+// class and aging draws coincide hold equal CState values, and the
+// session engines then evaluate the shared waveform once per step
+// (the sameWorkload dedup in internal/core).
+type CState struct {
+	// PSleep is the deep-sleep (C6) residual power in watts.
+	PSleep float64
+	// PActive is the post-exit active (C0) power in watts.
+	PActive float64
+	// Period is the sleep/wake cycle length in seconds.
+	Period float64
+	// SleepFrac is the fraction of each period spent asleep; the exit
+	// edge sits at SleepFrac*Period into the period.
+	SleepFrac float64
+}
+
+// Power implements core.Workload: asleep for the first SleepFrac of
+// every period, active for the rest.
+func (w CState) Power(t float64) float64 {
+	phase := t - w.Period*math.Floor(t/w.Period)
+	if phase < w.SleepFrac*w.Period {
+		return w.PSleep
+	}
+	return w.PActive
+}
+
+// Name implements core.Workload.
+func (w CState) Name() string { return "c6-exit" }

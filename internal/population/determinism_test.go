@@ -1,0 +1,80 @@
+package population
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestPopulationDeterminismMatrix is the study's scheduling contract:
+// the full result — distributions, quantile sketches, histogram,
+// per-class breakdown, worst-chip list — is bit-identical at batch
+// {1,3,8} x workers {1,4,8}. Runs under -race via make
+// batch-determinism, so the matrix doubles as a race probe on the
+// shared session pools.
+func TestPopulationDeterminismMatrix(t *testing.T) {
+	cfg := testConfig(13) // odd count: ragged final batches per bin
+	ref, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 4, 8} {
+			c := cfg
+			c.Batch, c.Workers = batch, workers
+			got, err := Run(context.Background(), c)
+			if err != nil {
+				t.Fatalf("batch %d workers %d: %v", batch, workers, err)
+			}
+			// BatchedChunks is the one legitimately schedule-dependent
+			// field; everything else must match exactly.
+			if batch == 1 && got.BatchedChunks != 0 {
+				t.Errorf("batch 1 used %d lockstep chunks", got.BatchedChunks)
+			}
+			g, r := *got, *ref
+			g.BatchedChunks, r.BatchedChunks = 0, 0
+			if !reflect.DeepEqual(g, r) {
+				t.Errorf("batch %d workers %d diverged from reference", batch, workers)
+			}
+			j, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j, refJSON) {
+				t.Errorf("batch %d workers %d JSON differs (BatchedChunks must stay out of the encoding)", batch, workers)
+			}
+		}
+	}
+}
+
+// TestPopulationSeedInvariance: the seed is a real axis — different
+// seeds give different fleets, equal seeds reproduce the fleet.
+func TestPopulationSeedInvariance(t *testing.T) {
+	cfg := testConfig(6)
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.BatchedChunks, b.BatchedChunks = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Error("equal seeds diverged")
+	}
+	cfg.Seed++
+	c, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Droop, c.Droop) {
+		t.Error("different seeds produced an identical droop distribution")
+	}
+}

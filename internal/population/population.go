@@ -1,0 +1,354 @@
+// Package population turns the single-chip measurement engine into a
+// fleet-scale study: "across N aged, heterogeneous chips, what is the
+// worst-case droop and how are the guard-bands distributed?"
+//
+// The paper validates its characterization across "different
+// processors multiple times"; this package models the population that
+// sentence implies. A population is described by a handful of knobs
+// layered onto the calibrated platform configuration:
+//
+//   - named core classes — an O3-style server core ("o3") and an
+//     in-order efficiency core ("io") with per-class dynamic/static
+//     power bases and noise-sensitivity bases, in the style of
+//     analytic heterogeneous-multicore models (lumos);
+//   - a tech-node scaling table (45/32/22/16 nm) moving dynamic power,
+//     leakage, and the on-die decap budget together;
+//   - a decap budget multiplier on top of the node's;
+//   - an aging model — deterministic per-chip, per-core Vth-shift
+//     trajectories that drift the sensor gains and grow static power
+//     with fleet age;
+//   - C-state sleep/exit load steps as the workload: a core returning
+//     from deep sleep is the paper's ΔI event, and aligned exits
+//     across cores are the worst case.
+//
+// Per-chip electrical (RLC) process variation is quantized into a
+// small number of bins so that chips within a bin share one stamped
+// and LU-factored circuit: the batched lockstep engine advances many
+// chips per step through that shared factorization, with everything
+// chip-specific — sensor gains, aged power levels, sleep traces —
+// riding in the per-lane state. That quantization is what makes a
+// 10,000-chip study affordable; the per-chip sensitivity and power
+// variation stays continuous.
+package population
+
+import (
+	"fmt"
+	"sort"
+
+	"voltnoise/internal/core"
+)
+
+// CoreClass is a named per-core parameter base. Scales are relative
+// to the calibrated zEC12-like core ("o3" is the reference).
+type CoreClass struct {
+	// Name identifies the class in configs and results.
+	Name string `json:"name"`
+	// DynScale scales the active (C0) dynamic power.
+	DynScale float64 `json:"dyn_scale"`
+	// StaticScale scales the leakage/clock-grid static power.
+	StaticScale float64 `json:"static_scale"`
+	// GainScale scales the per-core noise sensitivity: smaller cores
+	// draw smaller ΔI and read proportionally less droop.
+	GainScale float64 `json:"gain_scale"`
+}
+
+// classTable holds the supported classes. The ratios follow the
+// lumos-style analytic bases: at 45 nm an in-order core burns roughly
+// 0.31x the dynamic and 0.20x the static power of the O3 core.
+var classTable = map[string]CoreClass{
+	"o3": {Name: "o3", DynScale: 1.00, StaticScale: 1.00, GainScale: 1.00},
+	"io": {Name: "io", DynScale: 0.31, StaticScale: 0.20, GainScale: 0.85},
+}
+
+// Classes returns the supported core classes sorted by name.
+func Classes() []CoreClass {
+	names := make([]string, 0, len(classTable))
+	for n := range classTable {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]CoreClass, len(names))
+	for i, n := range names {
+		out[i] = classTable[n]
+	}
+	return out
+}
+
+// ClassByName resolves a core-class name.
+func ClassByName(name string) (CoreClass, error) {
+	c, ok := classTable[name]
+	if !ok {
+		return CoreClass{}, fmt.Errorf("population: unknown core class %q", name)
+	}
+	return c, nil
+}
+
+// TechNode is one technology node's scaling row: shrinking moves
+// dynamic power down, leakage up, and the achievable on-die decap
+// budget down — the classic voltage-noise-gets-worse-with-scaling
+// trajectory the paper's guard-band discussion assumes.
+type TechNode struct {
+	Node   int     `json:"node_nm"`
+	Dyn    float64 `json:"dyn"`
+	Static float64 `json:"static"`
+	Decap  float64 `json:"decap"`
+}
+
+// techTable is keyed by node size in nm; 45 nm is the calibrated
+// reference.
+var techTable = map[int]TechNode{
+	45: {Node: 45, Dyn: 1.00, Static: 1.00, Decap: 1.00},
+	32: {Node: 32, Dyn: 0.75, Static: 1.25, Decap: 0.90},
+	22: {Node: 22, Dyn: 0.56, Static: 1.60, Decap: 0.80},
+	16: {Node: 16, Dyn: 0.42, Static: 2.00, Decap: 0.70},
+}
+
+// TechNodes returns the supported nodes, largest (oldest) first.
+func TechNodes() []TechNode {
+	nodes := make([]int, 0, len(techTable))
+	for n := range techTable {
+		nodes = append(nodes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nodes)))
+	out := make([]TechNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = techTable[n]
+	}
+	return out
+}
+
+const (
+	// gainTolerance is the ±5% per-core manufacturing spread of noise
+	// sensitivity, matching core.ChipVariant.
+	gainTolerance = 0.05
+	// rlcTolerance is the ±3% spread of the on-die electrical
+	// severity axis, matching core.ChipVariant's per-parameter
+	// tolerance; the population quantizes this one axis into bins.
+	rlcTolerance = 0.03
+	// c6Residual is the fraction of static power a core still burns
+	// in deep sleep (retention rails, always-on wake logic).
+	c6Residual = 0.05
+	// c0Activity is the active (C0) dynamic power on sleep exit,
+	// relative to the baseline single-instruction loop: an exit ramps
+	// into a moderately active instruction stream, not the minimum
+	// loop.
+	c0Activity = 2.0
+	// MaxChips bounds a single study: per-chip summaries are retained
+	// (a few dozen bytes each) for the deterministic chip-order fold,
+	// so the cap keeps that table in tens of megabytes.
+	MaxChips = 200000
+)
+
+// Config describes one population study.
+type Config struct {
+	// Base is the reference platform configuration (the calibrated
+	// chip); class, node, decap, aging and per-chip variation are
+	// layered on top of it.
+	Base core.Config `json:"-"`
+	// Chips is the population size.
+	Chips int `json:"chips"`
+	// AgeYears is the fleet age fed to the aging model; 0 is fresh
+	// silicon.
+	AgeYears float64 `json:"age_years"`
+	// Mix assigns a core class to each of the six core slots; every
+	// chip in the fleet shares the floorplan.
+	Mix [core.NumCores]string `json:"mix"`
+	// TechNode selects the technology node scaling row (45, 32, 22,
+	// 16 nm).
+	TechNode int `json:"tech_node"`
+	// DecapScale multiplies the node's on-die decap budget.
+	DecapScale float64 `json:"decap_scale"`
+	// ExitHz is the C-state exit rate; every core exits sleep at this
+	// rate, aligned — the worst-case ΔI event. The measured window
+	// covers two exit events.
+	ExitHz float64 `json:"exit_hz"`
+	// WarmupS is the pre-window PDN settling time; 0 selects the
+	// engine default.
+	WarmupS float64 `json:"warmup_s"`
+	// Seed decorrelates populations; equal seeds reproduce the fleet
+	// bit for bit.
+	Seed uint64 `json:"seed"`
+	// RLCBins is the number of electrical-severity bins the on-die
+	// RLC variation is quantized into. Chips in one bin share a
+	// factored circuit; more bins trade setup cost for variation
+	// fidelity.
+	RLCBins int `json:"rlc_bins"`
+	// SafetyPercent is the margin added on top of the observed
+	// worst-case droop when a chip's guard-band is computed.
+	SafetyPercent float64 `json:"safety_percent"`
+	// Workers and Batch are the scheduling knobs (0 = auto); they
+	// never change results.
+	Workers int `json:"workers"`
+	Batch   int `json:"batch"`
+}
+
+// DefaultConfig returns a 1,000-chip homogeneous O3 fleet on the
+// calibrated 45 nm platform, fresh silicon.
+func DefaultConfig() Config {
+	cfg := Config{
+		Base:          core.DefaultConfig(),
+		Chips:         1000,
+		TechNode:      45,
+		DecapScale:    1.0,
+		ExitHz:        250e3,
+		RLCBins:       8,
+		SafetyPercent: 1.0,
+	}
+	for i := range cfg.Mix {
+		cfg.Mix[i] = "o3"
+	}
+	return cfg
+}
+
+// Validate reports whether the study configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return fmt.Errorf("population: base config: %w", err)
+	}
+	if c.Chips < 1 || c.Chips > MaxChips {
+		return fmt.Errorf("population: %d chips outside [1, %d]", c.Chips, MaxChips)
+	}
+	if c.AgeYears < 0 || c.AgeYears > 30 {
+		return fmt.Errorf("population: age %g years outside [0, 30]", c.AgeYears)
+	}
+	for i, name := range c.Mix {
+		if _, err := ClassByName(name); err != nil {
+			return fmt.Errorf("population: core %d: %w", i, err)
+		}
+	}
+	if _, ok := techTable[c.TechNode]; !ok {
+		return fmt.Errorf("population: unknown tech node %d nm", c.TechNode)
+	}
+	if c.DecapScale < 0.25 || c.DecapScale > 4 {
+		return fmt.Errorf("population: decap scale %g outside [0.25, 4]", c.DecapScale)
+	}
+	// The sleep period must resolve to a handful of integration steps
+	// and the two-event window must stay affordable.
+	if c.ExitHz < 1e3 || c.ExitHz > 0.125/c.Base.Dt {
+		return fmt.Errorf("population: exit rate %g Hz outside [1e3, %g]", c.ExitHz, 0.125/c.Base.Dt)
+	}
+	if c.WarmupS < 0 {
+		return fmt.Errorf("population: negative warmup %g", c.WarmupS)
+	}
+	if c.RLCBins < 1 || c.RLCBins > 64 {
+		return fmt.Errorf("population: %d RLC bins outside [1, 64]", c.RLCBins)
+	}
+	if c.SafetyPercent < 0 || c.SafetyPercent > 10 {
+		return fmt.Errorf("population: safety margin %g%% outside [0, 10]", c.SafetyPercent)
+	}
+	return nil
+}
+
+// stream is the splitmix64-style deterministic draw sequence behind
+// one chip, following core.ChipVariant's generator so populations are
+// bit-reproducible across runs, hosts, and scheduling knobs.
+type stream struct{ state uint64 }
+
+// chipStream seeds chip `id`'s stream; the seed and the chip id are
+// folded through one mixing round so nearby (seed, id) pairs
+// decorrelate.
+func chipStream(seed, id uint64) stream {
+	z := (seed + 0x9E3779B97F4A7C15) ^ (id * 0xBF58476D1CE4E5B9)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return stream{state: z ^ (z >> 31)}
+}
+
+// next returns the next draw in [-1, 1).
+func (s *stream) next() float64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53)*2 - 1
+}
+
+// chipState is everything lane-local about one chip in the study:
+// its sensor gains (class base x manufacturing spread x aging drift),
+// its per-core sleep workloads (class and node power bases x aging
+// leakage growth), and the electrical bin whose shared circuit it
+// rides.
+type chipState struct {
+	bin   int
+	gains [core.NumCores]float64
+	sleep [core.NumCores]core.Workload
+}
+
+// deriveChip draws chip `id` of the fleet. Draw order is fixed — one
+// RLC severity, then per-core gain spreads, then per-core aging
+// spreads — so adding knobs later must append draws, never reorder
+// them.
+func deriveChip(cfg Config, tech TechNode, id uint64) chipState {
+	rng := chipStream(cfg.Seed, id)
+	var st chipState
+	st.bin = binOf(rng.next(), cfg.RLCBins)
+	var gainU, ageU [core.NumCores]float64
+	for i := range gainU {
+		gainU[i] = rng.next()
+	}
+	for i := range ageU {
+		ageU[i] = rng.next()
+	}
+	for i := range st.gains {
+		class := classTable[cfg.Mix[i]]
+		drift, growth := agingFactors(cfg.AgeYears, ageU[i])
+		st.gains[i] = cfg.Base.CoreGain[i] * class.GainScale *
+			(1 + gainTolerance*gainU[i]) * drift
+		static := cfg.Base.Core.StaticPower * class.StaticScale * tech.Static * growth
+		dyn := cfg.Base.Core.BaselinePower * c0Activity * class.DynScale * tech.Dyn
+		st.sleep[i] = CState{
+			PSleep:    c6Residual * static,
+			PActive:   static + dyn,
+			Period:    1 / cfg.ExitHz,
+			SleepFrac: 0.5,
+		}
+	}
+	return st
+}
+
+// binOf quantizes a severity draw u in [-1, 1) to a bin index.
+func binOf(u float64, bins int) int {
+	b := int((u + 1) / 2 * float64(bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// binCenter is the severity value a bin's shared circuit is built at.
+func binCenter(bin, bins int) float64 {
+	return -1 + float64(2*bin+1)/float64(bins)
+}
+
+// binConfig builds the platform configuration shared by every chip in
+// one electrical bin: the base platform with the node and decap
+// budgets applied and the nine on-die RLC parameters scaled together
+// by the bin's severity. Unlike core.ChipVariant, which perturbs each
+// RLC parameter independently, the population collapses electrical
+// variation onto one severity axis — the price of letting a bin's
+// chips share a single factored circuit.
+func binConfig(base core.Config, tech TechNode, decapScale float64, bin, bins int) core.Config {
+	cfg := base
+	p := &cfg.PDN
+	rlc := 1 + rlcTolerance*binCenter(bin, bins)
+	for _, v := range []*float64{
+		&p.RDomain, &p.LDomain, &p.CDomain,
+		&p.RCoreFeed, &p.LCoreFeed, &p.CCore,
+		&p.RCoreLink, &p.RCoreL3, &p.CL3,
+	} {
+		*v *= rlc
+	}
+	// The decap budget rides the node scaling plus the study knob.
+	decap := tech.Decap * decapScale
+	p.CCore *= decap
+	p.CDomain *= decap
+	p.CL3 *= decap
+	// The nest is dominated by clocked SRAM and interconnect, so its
+	// power follows the dynamic scaling.
+	cfg.UncorePower *= tech.Dyn
+	return cfg
+}

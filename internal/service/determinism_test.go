@@ -149,3 +149,43 @@ func TestBatchWidthInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestPopulationBatchWidthInvariance runs the same scheduling grid
+// over the population study end-to-end: the fleet's distribution
+// summaries — quantile sketches included — must be byte-identical at
+// batch {1,3,8} x workers {1,4,8} through the HTTP service.
+func TestPopulationBatchWidthInvariance(t *testing.T) {
+	ctx := testCtx(t)
+	_, c := startServer(t, service.Config{Runner: labRunner, CacheEntries: -1})
+
+	ref := populationReq(13)
+	ref.Workers, ref.Batch = 1, 1
+	hr, err := ref.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _, err := c.Run(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, batch := range []int{1, 3, 8} {
+			req := populationReq(13)
+			req.Workers, req.Batch = workers, batch
+			h, err := req.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != hr {
+				t.Fatalf("workers=%d batch=%d changed the canonical hash: %s vs %s", workers, batch, h, hr)
+			}
+			b, _, err := c.Run(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b) {
+				t.Errorf("workers=%d batch=%d population body differs from serial:\n%s\n%s", workers, batch, b1, b)
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"voltnoise/internal/core"
 	"voltnoise/internal/epi"
+	"voltnoise/internal/population"
 	"voltnoise/internal/vmin"
 )
 
@@ -52,11 +53,15 @@ const (
 	// StudyGuardband evaluates utilization-based dynamic guard-banding
 	// over a utilization trace (Section VII-B).
 	StudyGuardband Study = "guardband"
+	// StudyPopulation measures worst-case droop, Vmin and guard-band
+	// distributions across a heterogeneous, aged chip fleet (the
+	// paper's cross-processor validation scaled to a population).
+	StudyPopulation Study = "population"
 )
 
 // Studies lists every supported study kind, in a fixed order.
 func Studies() []Study {
-	return []Study{StudyFreqSweep, StudyVminWalk, StudyEPIProfile, StudyGuardband}
+	return []Study{StudyFreqSweep, StudyVminWalk, StudyEPIProfile, StudyGuardband, StudyPopulation}
 }
 
 // SchemaVersion is folded into the canonical hash so that future
@@ -92,6 +97,7 @@ type Request struct {
 	VminWalk   *VminWalkParams   `json:"vmin_walk,omitempty"`
 	EPIProfile *EPIProfileParams `json:"epi_profile,omitempty"`
 	Guardband  *GuardbandParams  `json:"guardband,omitempty"`
+	Population *PopulationParams `json:"population,omitempty"`
 }
 
 // FreqSweepParams parameterizes a stimulus-frequency sweep:
@@ -267,6 +273,94 @@ func (p *GuardbandParams) normalize() error {
 	return nil
 }
 
+// PopulationParams parameterizes a fleet-scale population study:
+// distributions of worst-case droop, Vmin and required guard-band
+// across Chips deterministic chip variants of the given age, core mix
+// and tech node.
+type PopulationParams struct {
+	// Chips is the population size (required, [1, population.MaxChips]).
+	Chips int `json:"chips"`
+	// AgeYears ages the fleet (default 0: fresh silicon).
+	AgeYears float64 `json:"age_years,omitempty"`
+	// Mix assigns a core class ("o3", "io") to each of the six core
+	// slots; empty selects all-"o3". Normalization always spells out
+	// all six entries, so an explicit all-"o3" mix hashes identically
+	// to an omitted one.
+	Mix []string `json:"mix,omitempty"`
+	// TechNode is the technology node in nm (default 45).
+	TechNode int `json:"tech_node,omitempty"`
+	// DecapScale multiplies the node's on-die decap budget (default 1).
+	DecapScale float64 `json:"decap_scale,omitempty"`
+	// ExitHz is the aligned C-state exit rate (default 250e3).
+	ExitHz float64 `json:"exit_hz,omitempty"`
+	// WarmupS is the pre-window settling time (default: engine default).
+	WarmupS float64 `json:"warmup_s,omitempty"`
+	// Seed decorrelates fleets (default 0).
+	Seed uint64 `json:"seed,omitempty"`
+	// RLCBins quantizes electrical process variation (default 8).
+	RLCBins int `json:"rlc_bins,omitempty"`
+	// SafetyPercent is the guard-band margin on top of the observed
+	// droop (default 1.0).
+	SafetyPercent float64 `json:"safety_percent,omitempty"`
+}
+
+func (p *PopulationParams) normalize() error {
+	if len(p.Mix) == 0 {
+		p.Mix = make([]string, core.NumCores)
+		for i := range p.Mix {
+			p.Mix[i] = "o3"
+		}
+	}
+	if len(p.Mix) != core.NumCores {
+		return fmt.Errorf("population: mix must have %d entries, got %d", core.NumCores, len(p.Mix))
+	}
+	if p.TechNode == 0 {
+		p.TechNode = 45
+	}
+	if p.DecapScale == 0 {
+		p.DecapScale = 1.0
+	}
+	if p.ExitHz == 0 {
+		p.ExitHz = 250e3
+	}
+	if p.RLCBins == 0 {
+		p.RLCBins = 8
+	}
+	if p.SafetyPercent == 0 {
+		p.SafetyPercent = 1.0
+	}
+	// The population package owns the semantic checks (chip count,
+	// classes, node table, rates); validate through it so the service
+	// never accepts a config the runner would reject.
+	if err := p.config(0, 0).Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// config assembles the study configuration on the calibrated base
+// platform with the request's scheduling knobs.
+func (p *PopulationParams) config(workers, batch int) population.Config {
+	cfg := population.Config{
+		Base:          core.DefaultConfig(),
+		Chips:         p.Chips,
+		AgeYears:      p.AgeYears,
+		TechNode:      p.TechNode,
+		DecapScale:    p.DecapScale,
+		ExitHz:        p.ExitHz,
+		WarmupS:       p.WarmupS,
+		Seed:          p.Seed,
+		RLCBins:       p.RLCBins,
+		SafetyPercent: p.SafetyPercent,
+		Workers:       workers,
+		Batch:         batch,
+	}
+	for i := 0; i < core.NumCores && i < len(p.Mix); i++ {
+		cfg.Mix[i] = p.Mix[i]
+	}
+	return cfg
+}
+
 // Normalize validates the request and returns a canonical copy:
 // defaults applied, unused fields zeroed, parameter blocks deep-
 // copied. Two requests describing the same study configuration
@@ -297,6 +391,12 @@ func (r *Request) Normalize() (*Request, error) {
 		cp.Trace = append([]UtilizationPhase(nil), n.Guardband.Trace...)
 		n.Guardband = &cp
 	}
+	if n.Population != nil {
+		blocks++
+		cp := *n.Population
+		cp.Mix = append([]string(nil), n.Population.Mix...)
+		n.Population = &cp
+	}
 	if blocks > 1 {
 		return nil, fmt.Errorf("service: request has %d parameter blocks, want exactly one", blocks)
 	}
@@ -322,6 +422,11 @@ func (r *Request) Normalize() (*Request, error) {
 			return nil, fmt.Errorf("service: study %q needs a guardband block", n.Study)
 		}
 		err = n.Guardband.normalize()
+	case StudyPopulation:
+		if n.Population == nil {
+			return nil, fmt.Errorf("service: study %q needs a population block", n.Study)
+		}
+		err = n.Population.normalize()
 	case "":
 		return nil, fmt.Errorf("service: missing study kind (known: %v)", Studies())
 	default:
@@ -351,6 +456,7 @@ type canonicalRequest struct {
 	VminWalk   *VminWalkParams   `json:"vmin_walk,omitempty"`
 	EPIProfile *EPIProfileParams `json:"epi_profile,omitempty"`
 	Guardband  *GuardbandParams  `json:"guardband,omitempty"`
+	Population *PopulationParams `json:"population,omitempty"`
 }
 
 // Hash returns the canonical configuration hash of the request: the
@@ -371,6 +477,7 @@ func (r *Request) Hash() (string, error) {
 		VminWalk:   n.VminWalk,
 		EPIProfile: n.EPIProfile,
 		Guardband:  n.Guardband,
+		Population: n.Population,
 	}
 	b, err := json.Marshal(c)
 	if err != nil {

@@ -70,6 +70,71 @@ func TestHashNormalizesDefaults(t *testing.T) {
 	}
 }
 
+// TestPopulationHashAndDefaults: the population block follows the
+// same canonical-hash rules as the older studies — defaults spelled
+// out hash like defaults omitted, scheduling knobs are excluded, and
+// every fleet-shaping field moves the hash.
+func TestPopulationHashAndDefaults(t *testing.T) {
+	implicit := &Request{Study: StudyPopulation, Population: &PopulationParams{Chips: 100}}
+	explicit := &Request{Study: StudyPopulation, Population: &PopulationParams{
+		Chips:         100,
+		Mix:           []string{"o3", "o3", "o3", "o3", "o3", "o3"},
+		TechNode:      45,
+		DecapScale:    1.0,
+		ExitHz:        250e3,
+		RLCBins:       8,
+		SafetyPercent: 1.0,
+	}}
+	hi, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != he {
+		t.Errorf("default-spelled-out population hashes differently: %s vs %s", hi, he)
+	}
+	sched := &Request{Study: StudyPopulation, Workers: 8, Batch: 3,
+		Population: &PopulationParams{Chips: 100}}
+	if h, _ := sched.Hash(); h != hi {
+		t.Errorf("scheduling knobs changed the population hash")
+	}
+	variants := map[string]*PopulationParams{
+		"chips":  {Chips: 101},
+		"age":    {Chips: 100, AgeYears: 5},
+		"mix":    {Chips: 100, Mix: []string{"io", "o3", "o3", "o3", "o3", "o3"}},
+		"node":   {Chips: 100, TechNode: 22},
+		"decap":  {Chips: 100, DecapScale: 0.8},
+		"exits":  {Chips: 100, ExitHz: 1e6},
+		"warmup": {Chips: 100, WarmupS: 5e-6},
+		"seed":   {Chips: 100, Seed: 1},
+		"bins":   {Chips: 100, RLCBins: 4},
+		"safety": {Chips: 100, SafetyPercent: 2},
+	}
+	for name, p := range variants {
+		v := &Request{Study: StudyPopulation, Population: p}
+		if h, err := v.Hash(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		} else if h == hi {
+			t.Errorf("%s variant did not change the population hash", name)
+		}
+	}
+	// Normalize copies the mix; the caller's slice stays untouched.
+	r := &Request{Study: StudyPopulation, Population: &PopulationParams{Chips: 10}}
+	n, err := r.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Population.Mix) != 6 || n.Population.Mix[0] != "o3" {
+		t.Errorf("normalized mix %v", n.Population.Mix)
+	}
+	if len(r.Population.Mix) != 0 {
+		t.Error("Normalize mutated the caller's population block")
+	}
+}
+
 // TestNormalizeDoesNotMutate: Normalize returns a copy; the caller's
 // request is untouched.
 func TestNormalizeDoesNotMutate(t *testing.T) {
@@ -109,6 +174,17 @@ func TestValidation(t *testing.T) {
 			Guardband: &GuardbandParams{Droops: []float64{1, 2}, Trace: []UtilizationPhase{{ActiveCores: 1, DurationS: 1}}}}, "droops"},
 		{"empty trace", &Request{Study: StudyGuardband,
 			Guardband: &GuardbandParams{}}, "trace"},
+		{"missing population block", &Request{Study: StudyPopulation}, "needs a population block"},
+		{"zero chips", &Request{Study: StudyPopulation,
+			Population: &PopulationParams{}}, "chips"},
+		{"short mix", &Request{Study: StudyPopulation,
+			Population: &PopulationParams{Chips: 10, Mix: []string{"o3"}}}, "mix"},
+		{"unknown class", &Request{Study: StudyPopulation,
+			Population: &PopulationParams{Chips: 10, Mix: []string{"o3", "o3", "o3", "o3", "o3", "npu"}}}, "core class"},
+		{"unknown node", &Request{Study: StudyPopulation,
+			Population: &PopulationParams{Chips: 10, TechNode: 28}}, "tech node"},
+		{"bad exit rate", &Request{Study: StudyPopulation,
+			Population: &PopulationParams{Chips: 10, ExitHz: 1}}, "exit rate"},
 	}
 	for _, c := range cases {
 		if _, err := c.req.Normalize(); err == nil {

@@ -1,6 +1,9 @@
 package service
 
-import "voltnoise/internal/core"
+import (
+	"voltnoise/internal/core"
+	"voltnoise/internal/population"
+)
 
 // FreqSweepPoint is one stimulus frequency of a sweep result.
 type FreqSweepPoint struct {
@@ -41,6 +44,12 @@ type EPIProfileResult struct {
 	Top    []EPIEntry `json:"top"`
 	Bottom []EPIEntry `json:"bottom"`
 }
+
+// PopulationResult is the population study payload: fleet-wide droop,
+// Vmin and guard-band distributions with a per-core-class breakdown.
+// Its BatchedChunks field carries a json:"-" tag, so payload bytes
+// stay independent of the workers/batch schedule.
+type PopulationResult = population.Result
 
 // GuardbandResult is the guardband study payload.
 type GuardbandResult struct {

@@ -10,6 +10,7 @@ import (
 	"voltnoise/internal/guardband"
 	"voltnoise/internal/noise"
 	"voltnoise/internal/pdn"
+	"voltnoise/internal/population"
 	"voltnoise/internal/stressmark"
 	"voltnoise/internal/vmin"
 )
@@ -101,6 +102,8 @@ func (r *LabRunner) Run(ctx context.Context, req *Request) (any, error) {
 		return runEPIProfile(ctx, req)
 	case StudyGuardband:
 		return r.runGuardband(ctx, req)
+	case StudyPopulation:
+		return runPopulation(ctx, req)
 	default:
 		return nil, fmt.Errorf("service: unknown study %q", req.Study)
 	}
@@ -180,6 +183,19 @@ func runEPIProfile(ctx context.Context, req *Request) (any, error) {
 	bottom := prof.Bottom(p.TopN)
 	for i, e := range bottom {
 		res.Bottom = append(res.Bottom, entry(len(prof.Entries)-len(bottom)+i+1, e))
+	}
+	return res, nil
+}
+
+// runPopulation needs no lab (there is no stressmark search — the ΔI
+// stimulus is the C-state exit itself), so it runs straight against
+// the population engine. Every platform it builds is per-request and
+// dropped afterwards: fleets are parameterized too widely to share
+// lab-style state across jobs.
+func runPopulation(ctx context.Context, req *Request) (any, error) {
+	res, err := population.Run(ctx, req.Population.config(req.Workers, req.Batch))
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -70,7 +70,25 @@ func guardbandReq(safety float64) *service.Request {
 	}
 }
 
-// e2eRequests covers all four study kinds at test-friendly sizes.
+// populationReq is a small heterogeneous aged fleet: fast exits and a
+// short warmup keep each chip's window to a few thousand steps.
+func populationReq(chips int) *service.Request {
+	return &service.Request{
+		Study: service.StudyPopulation,
+		Population: &service.PopulationParams{
+			Chips:    chips,
+			AgeYears: 5,
+			Mix:      []string{"o3", "io", "o3", "io", "o3", "io"},
+			TechNode: 22,
+			ExitHz:   2e6,
+			WarmupS:  4e-6,
+			RLCBins:  2,
+			Seed:     42,
+		},
+	}
+}
+
+// e2eRequests covers all five study kinds at test-friendly sizes.
 func e2eRequests() []*service.Request {
 	return []*service.Request{
 		sweepReq(2),
@@ -88,6 +106,7 @@ func e2eRequests() []*service.Request {
 			EPIProfile: &service.EPIProfileParams{TopN: 3, MeasureCycles: 1024},
 		},
 		guardbandReq(1.0),
+		populationReq(6),
 	}
 }
 
@@ -108,8 +127,8 @@ func TestEndToEndAllStudies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(studies) != 4 {
-		t.Fatalf("server lists %d studies, want 4: %v", len(studies), studies)
+	if len(studies) != 5 {
+		t.Fatalf("server lists %d studies, want 5: %v", len(studies), studies)
 	}
 
 	for _, req := range e2eRequests() {
@@ -178,11 +197,11 @@ func TestEndToEndAllStudies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.JobsDone != 4 || snap.JobsFailed != 0 {
-		t.Errorf("jobs done/failed = %d/%d, want 4/0", snap.JobsDone, snap.JobsFailed)
+	if snap.JobsDone != 5 || snap.JobsFailed != 0 {
+		t.Errorf("jobs done/failed = %d/%d, want 5/0", snap.JobsDone, snap.JobsFailed)
 	}
-	if snap.CacheMisses != 4 || snap.CacheHits != 4 {
-		t.Errorf("cache hits/misses = %d/%d, want 4/4", snap.CacheHits, snap.CacheMisses)
+	if snap.CacheMisses != 5 || snap.CacheHits != 5 {
+		t.Errorf("cache hits/misses = %d/%d, want 5/5", snap.CacheHits, snap.CacheMisses)
 	}
 	for s, stats := range snap.Studies {
 		if stats.Latency.Count != stats.Done+stats.Failed {

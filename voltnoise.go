@@ -42,6 +42,7 @@ import (
 	"voltnoise/internal/mapping"
 	"voltnoise/internal/noise"
 	"voltnoise/internal/pdn"
+	"voltnoise/internal/population"
 	"voltnoise/internal/scheduler"
 	"voltnoise/internal/signal"
 	"voltnoise/internal/stressmark"
@@ -533,4 +534,43 @@ func ChipPopulation(cfg PlatformConfig, n int) ([]*Platform, error) {
 // ChipPopulationN is ChipPopulation with an explicit worker count.
 func ChipPopulationN(cfg PlatformConfig, n, workers int) ([]*Platform, error) {
 	return core.ChipPopulationN(cfg, n, workers)
+}
+
+// ChipPopulationCtx is ChipPopulationN with cancellation: a canceled
+// context aborts the remaining platform constructions.
+func ChipPopulationCtx(ctx context.Context, cfg PlatformConfig, n, workers int) ([]*Platform, error) {
+	return core.ChipPopulationCtx(ctx, cfg, n, workers)
+}
+
+// PopulationConfig describes a fleet-scale population study: chip
+// count, fleet age, core-class mix, tech node, decap budget, C-state
+// exit rate, and the scheduling knobs.
+type PopulationConfig = population.Config
+
+// PopulationResult is a population study's summary: droop, Vmin and
+// guard-band distributions across the fleet, a per-core-class
+// breakdown, and the worst chips.
+type PopulationResult = population.Result
+
+// PopulationDistribution summarizes one fleet metric (count, exact
+// extremes and mean, sketch quantiles).
+type PopulationDistribution = population.Distribution
+
+// DefaultPopulationConfig returns a 1,000-chip homogeneous O3 fleet
+// on the calibrated 45 nm platform, fresh silicon.
+func DefaultPopulationConfig() PopulationConfig { return population.DefaultConfig() }
+
+// CoreClasses lists the supported population core classes.
+func CoreClasses() []population.CoreClass { return population.Classes() }
+
+// TechNodes lists the supported population tech-node scaling rows.
+func TechNodes() []population.TechNode { return population.TechNodes() }
+
+// RunPopulationStudy measures the aligned C-state-exit noise of every
+// chip in the configured fleet — heterogeneous classes, aged, with
+// binned electrical variation packed into lockstep batch lanes — and
+// reduces the per-chip results into distribution summaries. Results
+// are bit-identical for every Workers and Batch setting.
+func RunPopulationStudy(ctx context.Context, cfg PopulationConfig) (*PopulationResult, error) {
+	return population.Run(ctx, cfg)
 }
