@@ -6,16 +6,20 @@
 #   make bench-json  benchmark snapshot -> BENCH_PR$(BENCH_PR).json
 #   make bench-check fresh run compared against the committed snapshot
 #                    (prints the per-benchmark delta table either way)
-#   make fuzz-smoke  short fuzzing pass over the request validator and
-#                    the journal replayer (plus their seed corpora)
+#   make fuzz-smoke  short fuzzing pass over the request validator,
+#                    the journal replayer and the client's SSE frame
+#                    parser (plus their seed corpora)
 #   make run-service start the voltnoised HTTP service on :8080
 #   make fault       fault-injection suite: store failures, corruption,
 #                    crash recovery, journaled shutdown
 #   make recover-smoke kill -9 a live voltnoised and verify the cache
 #                    and journal survive the restart
+#   make stream-smoke kill a watching client mid-sweep and verify the
+#                    SSE stream resumes by Last-Event-ID with a
+#                    byte-identical assembled result
 #   make ci          everything the CI gate runs (tier-1 + race +
 #                    fault injection + fuzz smoke + batch determinism +
-#                    bench-check)
+#                    stream smoke + bench-check)
 #
 # BENCH_PR pins which PR's snapshot bench-json writes and bench-check
 # diffs against; BENCH_SELECT narrows bench/bench-json; BENCH_OUT /
@@ -40,7 +44,7 @@ BENCH_COUNT ?= 4
 BENCH_MAX_REGRESS ?= 40%
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test tier1 race batch-determinism fuzz-smoke fault recover-smoke bench bench-json bench-check run-service ci clean
+.PHONY: all build vet test tier1 race batch-determinism fuzz-smoke fault recover-smoke stream-smoke bench bench-json bench-check run-service ci clean
 
 all: tier1
 
@@ -75,12 +79,14 @@ batch-determinism:
 
 # fuzz-smoke runs each fuzz target for FUZZTIME on top of its committed
 # seed corpus: the request validator (decode -> normalize -> hash
-# pipeline) and the write-ahead journal replayer (arbitrary on-disk
-# bytes). Go allows one -fuzz pattern per package invocation, so the
-# targets run back to back.
+# pipeline), the write-ahead journal replayer (arbitrary on-disk
+# bytes) and the client's SSE frame parser (arbitrary stream bytes).
+# Go allows one -fuzz pattern per package invocation, so the targets
+# run back to back.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRequestValidate -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/service/journal
+	$(GO) test -run '^$$' -fuzz FuzzSSEParse -fuzztime $(FUZZTIME) ./internal/service/client
 
 # bench compares the serial (Workers=1, Batch=1: the lane-per-run
 # shape every pre-batching release ran) and parallel (auto workers and
@@ -124,17 +130,26 @@ fault:
 recover-smoke:
 	./scripts/recover_smoke.sh
 
+# stream-smoke watches a live 1000-chip population job through injected
+# connection drops and a kill -9'd watcher, and verifies the SSE stream
+# resumes by Last-Event-ID with client-assembled results byte-identical
+# to the server blob.
+stream-smoke:
+	./scripts/stream_smoke.sh
+
 # ci is the full gate: tier-1 plus the race detector over the service
 # (always, it is the concurrency hot spot) and the internal packages,
 # the fault-injection and durability suites, the fuzz smoke pass, the
-# batch determinism suites under -race, and a bench-check run that
-# fails the gate on a benchmark regression past BENCH_MAX_REGRESS.
+# batch determinism suites under -race, the streaming smoke script,
+# and a bench-check run that fails the gate on a benchmark regression
+# past BENCH_MAX_REGRESS.
 ci: tier1
 	$(GO) test -race ./internal/service/...
 	$(GO) test -race ./internal/...
 	$(MAKE) fault
 	$(MAKE) fuzz-smoke
 	$(MAKE) batch-determinism
+	$(MAKE) stream-smoke
 	$(MAKE) bench-check
 
 clean:

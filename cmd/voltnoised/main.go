@@ -10,6 +10,7 @@
 //	                 [-data-dir dir] [-journal file] [-pprof addr]
 //	voltnoised ctl [-addr http://127.0.0.1:8080] submit <req.json|->
 //	voltnoised ctl [...] status|result|wait|cancel <job-id>
+//	voltnoised ctl [...] [-from seq] [-drop-every n] watch <job-id>
 //	voltnoised ctl [...] run <req.json|->
 //	voltnoised ctl [...] studies|metrics|health
 //
@@ -22,6 +23,16 @@
 // "{" is parsed as inline JSON. Identical configurations are served
 // from the cache (byte-identical to a fresh computation); a full job
 // queue answers 429 — submit again after the Retry-After interval.
+//
+// `watch` streams a job's event feed (GET /v1/jobs/{id}/events) live:
+// progress lines go to stdout prefixed "# " and the final result JSON
+// is printed last, so scripts can strip the commentary with
+// `grep -v '^#'`. When the whole stream was seen, the result is
+// assembled client-side from the partial events and verified against
+// the result hash the done event carries; otherwise (resume with
+// -from, or a trimmed window) it is fetched from the server. The
+// -drop-every n flag severs the connection after every n events and
+// resumes with Last-Event-ID — a fault hook for exercising resume.
 //
 // -data-dir makes the service crash-safe: completed results persist
 // under <dir>/results (one checksummed file per canonical config
@@ -43,7 +54,10 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -188,12 +202,14 @@ func runCtl(args []string, out io.Writer) error {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
 	poll := fs.Duration("poll", 100*time.Millisecond, "poll interval for wait")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	from := fs.Int64("from", 0, "watch: resume after this event seq (0 = full stream)")
+	dropEvery := fs.Int("drop-every", 0, "watch: sever the stream after every n events and resume (fault hook; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("ctl: missing verb (submit|status|result|wait|cancel|run|studies|metrics|health)")
+		return fmt.Errorf("ctl: missing verb (submit|status|result|wait|watch|cancel|run|studies|metrics|health)")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -251,6 +267,13 @@ func runCtl(args []string, out io.Writer) error {
 			return err
 		}
 		return printJSON(out, st)
+	case "watch":
+		id, err := need("job-id")
+		if err != nil {
+			return err
+		}
+		c.StreamDropEvery = *dropEvery
+		return runWatch(ctx, c, out, id, *from, *poll)
 	case "cancel":
 		id, err := need("job-id")
 		if err != nil {
@@ -304,6 +327,68 @@ func runCtl(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("ctl: unknown verb %q", verb)
 	}
+}
+
+// runWatch streams the job's event feed, narrating progress as "# "
+// lines, and prints the final result JSON last. When the full stream
+// was seen and the study supports it, the result is assembled
+// client-side from the partial events and verified against the hash
+// the done event carries; any gap (resume with -from, trimmed window,
+// lifecycle-only study) falls back to fetching the server's blob —
+// byte-identical either way.
+func runWatch(ctx context.Context, c *client.Client, out io.Writer, id string, from int64, poll time.Duration) error {
+	events, errc := c.WatchFrom(ctx, id, from)
+	var all []*service.Event
+	for e := range events {
+		all = append(all, e)
+		switch e.Type {
+		case service.EventHello:
+			fmt.Fprintf(out, "# seq=%d hello job=%s study=%s state=%s\n", e.Seq, e.Job, e.Study, e.State)
+		case service.EventPartial:
+			fmt.Fprintf(out, "# seq=%d partial chunks %d/%d\n", e.Seq, e.ChunksDone, e.ChunksTotal)
+		case service.EventDone:
+			fmt.Fprintf(out, "# seq=%d done result %d bytes sha256=%s\n", e.Seq, e.ResultBytes, e.ResultHash)
+		default:
+			fmt.Fprintf(out, "# seq=%d %s state=%s\n", e.Seq, e.Type, e.State)
+		}
+	}
+	fetch := func() error {
+		body, _, err := c.Result(ctx, id)
+		if err != nil {
+			return err
+		}
+		return printRaw(out, body)
+	}
+	if err := <-errc; err != nil {
+		if !errors.Is(err, client.ErrEventsGone) {
+			return err
+		}
+		// The retained window moved past the resume point; the full
+		// result is still one GET away (the documented fallback).
+		fmt.Fprintf(out, "# stream gone (%v); fetching full result\n", err)
+		if _, err := c.Wait(ctx, id, poll); err != nil {
+			return err
+		}
+		return fetch()
+	}
+	last := all[len(all)-1]
+	switch last.Type {
+	case service.EventFailed:
+		return fmt.Errorf("job %s failed: %s", id, last.Error)
+	case service.EventCanceled:
+		return fmt.Errorf("job %s canceled", id)
+	}
+	assembled, err := service.AssembleResult(all)
+	if err != nil {
+		fmt.Fprintf(out, "# stream assembly unavailable (%v); fetching result\n", err)
+		return fetch()
+	}
+	sum := sha256.Sum256(assembled)
+	if got := hex.EncodeToString(sum[:]); got != last.ResultHash {
+		return fmt.Errorf("assembled result hash %s does not match the done event's %s", got, last.ResultHash)
+	}
+	fmt.Fprintln(out, "# assembled from stream; hash verified against done event")
+	return printRaw(out, assembled)
 }
 
 // readRequest loads a study request from a file path, "-" (stdin), or

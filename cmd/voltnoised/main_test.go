@@ -130,6 +130,44 @@ func TestCtlJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestCtlWatch: watch streams "# " progress lines and prints the
+// result JSON last — the fake runner streams no partials, so watch
+// reports the assembly fallback and fetches the blob, which must
+// match ctl result byte for byte.
+func TestCtlWatch(t *testing.T) {
+	addr := startTestServer(t)
+	out, err := ctl(t, addr, "submit", inlineSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("submit output: %v\n%s", err, out)
+	}
+	out, err = ctl(t, addr, "watch", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress, payload []string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			progress = append(progress, line)
+		} else {
+			payload = append(payload, line)
+		}
+	}
+	if len(progress) == 0 || !strings.Contains(progress[0], "hello") {
+		t.Fatalf("watch did not narrate the stream:\n%s", out)
+	}
+	res, err := ctl(t, addr, "result", st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(payload, "\n") + "\n"; got != res {
+		t.Fatalf("watch payload %q differs from result %q", got, res)
+	}
+}
+
 func TestCtlRunFromFileAndCache(t *testing.T) {
 	addr := startTestServer(t)
 	path := filepath.Join(t.TempDir(), "req.json")

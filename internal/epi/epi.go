@@ -15,6 +15,7 @@ import (
 
 	"voltnoise/internal/exec"
 	"voltnoise/internal/isa"
+	"voltnoise/internal/progress"
 	"voltnoise/internal/uarch"
 )
 
@@ -43,6 +44,19 @@ type Config struct {
 	// single instructions. The profile is bit-identical for every
 	// setting.
 	Batch int
+	// Progress, when set, receives one ChunkEntries per reduced
+	// instruction chunk, in table order (the ranking happens after the
+	// whole profile reduces, so partial entries carry measured power
+	// and IPC but no RelPower yet). Deterministic at every (Workers,
+	// Batch) setting.
+	Progress progress.Sink
+}
+
+// ChunkEntries is the Progress payload emitted per profiled chunk: the
+// chunk's instruction range in table order and its measured entries.
+type ChunkEntries struct {
+	Start, End int
+	Entries    []Entry
 }
 
 // DefaultConfig returns the standard profiling setup.
@@ -134,6 +148,8 @@ func Generate(ctx context.Context, cfg Config) (*Profile, error) {
 	}
 	entries := make([]Entry, 0, len(instrs))
 	width := exec.BatchWidth(cfg.Batch, len(instrs))
+	total := exec.NumChunks(len(instrs), width)
+	done := 0
 	err := exec.MapStolen(ctx, len(instrs), width, cfg.Workers,
 		func(ctx context.Context, start, end int) ([]Entry, error) {
 			chunk := make([]Entry, 0, end-start)
@@ -149,8 +165,13 @@ func Generate(ctx context.Context, cfg Config) (*Profile, error) {
 			}
 			return chunk, nil
 		},
-		func(_, _, _ int, chunk []Entry) error {
+		func(ci, start, end int, chunk []Entry) error {
 			entries = append(entries, chunk...)
+			done++
+			cfg.Progress.Emit(progress.Event{
+				Chunk: ci, Done: done, Total: total,
+				Payload: ChunkEntries{Start: start, End: end, Entries: chunk},
+			})
 			return nil
 		})
 	if err != nil {

@@ -96,6 +96,19 @@ func Chunks(n, width int) [][2]int {
 	return out
 }
 
+// NumChunks reports how many ranges Chunks(n, width) yields without
+// materializing them — the Total a streaming study advertises before
+// its first chunk reduces.
+func NumChunks(n, width int) int {
+	if n <= 0 {
+		return 0
+	}
+	if width < 1 {
+		width = 1
+	}
+	return (n + width - 1) / width
+}
+
 // ErrStop is returned by a MapOrdered reduction callback to stop
 // consuming items: outstanding work is cancelled and MapOrdered
 // returns nil.

@@ -302,3 +302,19 @@ func TestChunks(t *testing.T) {
 		t.Errorf("Chunks(0,3) = %v, want nil", got)
 	}
 }
+
+// TestNumChunks: NumChunks must agree with len(Chunks) everywhere,
+// including the degenerate widths Chunks rejects.
+func TestNumChunks(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		for width := -1; width <= 10; width++ {
+			want := len(Chunks(n, width))
+			if width < 1 {
+				want = len(Chunks(n, 1))
+			}
+			if got := NumChunks(n, width); got != want {
+				t.Errorf("NumChunks(%d,%d) = %d, want %d", n, width, got, want)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"voltnoise/internal/exec"
 	"voltnoise/internal/isa"
 	"voltnoise/internal/pdn"
+	"voltnoise/internal/progress"
 	"voltnoise/internal/stressmark"
 	"voltnoise/internal/tod"
 	"voltnoise/internal/uarch"
@@ -50,15 +51,23 @@ type Lab struct {
 	// Results are bit-identical for every width — each lane performs
 	// exactly the single-lane arithmetic.
 	Batch int
+	// Progress, when set, receives one ChunkResult per reduced
+	// measurement chunk of the batched studies. Events fire from the
+	// ordered-reduction side of the scheduler, so their order and
+	// payloads are deterministic at every (Workers, Batch) setting —
+	// the chunking (and hence the event count) changes with Batch, the
+	// assembled results never do.
+	Progress progress.Sink
 }
 
 // Option configures New.
 type Option func(*labOptions)
 
 type labOptions struct {
-	search  stressmark.SearchConfig
-	workers int
-	batch   int
+	search   stressmark.SearchConfig
+	workers  int
+	batch    int
+	progress progress.Sink
 }
 
 // WithSearch selects the stressmark sequence-search configuration
@@ -79,6 +88,12 @@ func WithBatch(n int) Option {
 	return func(o *labOptions) { o.batch = n }
 }
 
+// WithProgress taps the lab's measurement reduction: the sink receives
+// one ChunkResult per reduced chunk (see Lab.Progress).
+func WithProgress(s progress.Sink) Option {
+	return func(o *labOptions) { o.progress = s }
+}
+
 // New builds a lab on the given platform: runs the maximum-power
 // sequence search and derives the medium and minimum sequences. It is
 // the option-taking constructor behind the facade's NewLab.
@@ -93,6 +108,7 @@ func New(plat *core.Platform, opts ...Option) (*Lab, error) {
 	}
 	l.Workers = o.workers
 	l.Batch = o.batch
+	l.Progress = o.progress
 	return l, nil
 }
 
@@ -315,20 +331,48 @@ func (l *Lab) prioritizeBatches(jobs []measJob, batches [][]int) [][]int {
 	return out
 }
 
+// ChunkResult is the Progress payload runMeasurements emits per
+// reduced chunk: the job indices the chunk covered and their
+// measurements, aligned one to one. Chunks arrive in reduction order;
+// Jobs carries the original job indices so consumers can place partial
+// results regardless of how the impedance pre-screen reordered the
+// schedule.
+type ChunkResult struct {
+	Jobs         []int
+	Measurements []*core.Measurement
+}
+
 // runMeasurements executes the jobs and returns one measurement per
 // job, in job order. Jobs sharing a measurement window are packed into
 // the lanes of lockstep batch sessions (width exec.BatchWidth of
 // l.Batch), and the batches fan out across l.Workers. Every lane
 // performs exactly the arithmetic of a single-lane run, so the results
 // are bit-identical to the lane-per-run path at every (workers, batch)
-// combination.
+// combination. When l.Progress is set, each reduced chunk additionally
+// emits a ChunkResult from the ordered-reduction side.
 func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Measurement, error) {
 	pool := l.Platform.Sessions()
 	width := exec.BatchWidth(l.Batch, len(jobs))
 	if pool == nil || width <= 1 {
-		return exec.Map(ctx, len(jobs), l.Workers, func(ctx context.Context, i int) (*core.Measurement, error) {
-			return l.runMeasurement(ctx, jobs[i].spec())
-		})
+		out := make([]*core.Measurement, len(jobs))
+		done := 0
+		err := exec.MapOrdered(ctx, len(jobs), l.Workers,
+			func(ctx context.Context, i int) (*core.Measurement, error) {
+				return l.runMeasurement(ctx, jobs[i].spec())
+			},
+			func(i int, m *core.Measurement) error {
+				out[i] = m
+				done++
+				l.Progress.Emit(progress.Event{
+					Chunk: i, Done: done, Total: len(jobs),
+					Payload: ChunkResult{Jobs: []int{i}, Measurements: []*core.Measurement{m}},
+				})
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	// Group jobs by warmup window — lockstep lanes must share Start and
 	// Warmup, while each lane observes only its own Duration — in
@@ -356,6 +400,7 @@ func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Meas
 	batches = l.prioritizeBatches(jobs, batches)
 	bias := l.Platform.VoltageBias()
 	out := make([]*core.Measurement, len(jobs))
+	done := 0
 	// Each batch is one whole lockstep chunk: workers own contiguous
 	// runs of batches and steal whole batches when idle, never lanes.
 	err := exec.MapStolen(ctx, len(batches), 1, l.Workers,
@@ -379,10 +424,15 @@ func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Meas
 			}
 			return bs.RunBatchContext(ctx, specs)
 		},
-		func(_, bi, _ int, ms []*core.Measurement) error {
+		func(ci, bi, _ int, ms []*core.Measurement) error {
 			for k, ji := range batches[bi] {
 				out[ji] = ms[k]
 			}
+			done++
+			l.Progress.Emit(progress.Event{
+				Chunk: ci, Done: done, Total: len(batches),
+				Payload: ChunkResult{Jobs: batches[bi], Measurements: ms},
+			})
 			return nil
 		})
 	if err != nil {

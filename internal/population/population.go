@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"voltnoise/internal/core"
+	"voltnoise/internal/progress"
 )
 
 // CoreClass is a named per-core parameter base. Scales are relative
@@ -180,6 +181,12 @@ type Config struct {
 	// never change results.
 	Workers int `json:"workers"`
 	Batch   int `json:"batch"`
+	// Progress, when set, receives one []ChipSummary per reduced chip
+	// batch (lane order within the batch). Emitted from the ordered
+	// reduction, so the stream is deterministic at every (Workers,
+	// Batch) setting; collecting every summary and folding them with
+	// Fold reproduces the final Result bit for bit.
+	Progress progress.Sink `json:"-"`
 }
 
 // DefaultConfig returns a 1,000-chip homogeneous O3 fleet on the

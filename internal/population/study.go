@@ -6,6 +6,7 @@ import (
 
 	"voltnoise/internal/core"
 	"voltnoise/internal/exec"
+	"voltnoise/internal/progress"
 )
 
 // ChipSummary is the per-chip reduction the runner keeps: a few
@@ -34,15 +35,15 @@ type ChipSummary struct {
 // fleet, never per-chip traces.
 type Result struct {
 	// Echo of the study parameters the distributions answer for.
-	Chips         int                    `json:"chips"`
-	AgeYears      float64                `json:"age_years"`
-	Mix           [core.NumCores]string  `json:"mix"`
-	TechNode      int                    `json:"tech_node"`
-	DecapScale    float64                `json:"decap_scale"`
-	ExitHz        float64                `json:"exit_hz"`
-	Seed          uint64                 `json:"seed"`
-	RLCBins       int                    `json:"rlc_bins"`
-	SafetyPercent float64                `json:"safety_percent"`
+	Chips         int                   `json:"chips"`
+	AgeYears      float64               `json:"age_years"`
+	Mix           [core.NumCores]string `json:"mix"`
+	TechNode      int                   `json:"tech_node"`
+	DecapScale    float64               `json:"decap_scale"`
+	ExitHz        float64               `json:"exit_hz"`
+	Seed          uint64                `json:"seed"`
+	RLCBins       int                   `json:"rlc_bins"`
+	SafetyPercent float64               `json:"safety_percent"`
 
 	// Droop, Vmin and Guardband summarize the per-chip worst droop
 	// (%p2p), deepest supply excursion (V), and required guard-band
@@ -144,6 +145,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	vnom := cfg.Base.PDN.Vnom
 	summaries := make([]ChipSummary, cfg.Chips)
 	batched := 0
+	done := 0
 	err := exec.MapStolen(ctx, len(batches), 1, cfg.Workers,
 		func(ctx context.Context, bi, _ int) ([]*core.Measurement, error) {
 			bat := batches[bi]
@@ -178,16 +180,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			return bs.RunBatchContext(ctx, specs)
 		},
-		func(_, bi, _ int, ms []*core.Measurement) error {
+		func(ci, bi, _ int, ms []*core.Measurement) error {
 			bat := batches[bi]
 			if len(bat.ids) > 1 {
 				batched++
 			}
+			chunk := make([]ChipSummary, len(bat.ids))
 			for l, id := range bat.ids {
 				m := ms[l]
 				droop, wc := m.WorstP2P()
 				vmin := m.MinVoltage()
-				summaries[id] = ChipSummary{
+				chunk[l] = ChipSummary{
 					Chip:          id,
 					Bin:           bat.bin,
 					WorstDroopPct: droop,
@@ -196,16 +199,32 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					VminV:         vmin,
 					GuardbandPct:  (vnom-vmin)/vnom*100 + cfg.SafetyPercent,
 				}
+				summaries[id] = chunk[l]
 			}
+			done++
+			cfg.Progress.Emit(progress.Event{
+				Chunk: ci, Done: done, Total: len(batches), Payload: chunk,
+			})
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	res := Fold(cfg, summaries)
+	res.BatchedChunks = batched
+	return res, nil
+}
 
-	// Fold in chip order: integer sketch counts are order-free, the
-	// running sums behind the means are not, so the order is pinned
-	// here rather than left to the scheduler.
+// Fold reduces the per-chip summaries (indexed by chip id) into the
+// study's distribution Result, walking the table in chip order:
+// integer sketch counts are order-free, the running sums behind the
+// means are not, so the order is pinned here rather than left to the
+// scheduler. It is exported so a consumer that collected every
+// ChipSummary from the Progress stream can reproduce the final Result
+// bit for bit (BatchedChunks excepted — that counts scheduling, and is
+// excluded from the canonical JSON anyway).
+func Fold(cfg Config, summaries []ChipSummary) *Result {
+	vnom := cfg.Base.PDN.Vnom
 	droopSk := NewSketch(0, 30, sketchBins)
 	vminSk := NewSketch(0.7*vnom, vnom, sketchBins)
 	gbSk := NewSketch(0, 30, sketchBins)
@@ -240,7 +259,6 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Vmin:          vminSk.Distribution(),
 		Guardband:     gbSk.Distribution(),
 		GuardbandHist: gbSk.Histogram(),
-		BatchedChunks: batched,
 	}
 	res.PerClass = make(map[string]Distribution, len(classSk))
 	for name, sk := range classSk {
@@ -261,5 +279,5 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		worst = worst[:worstChipsKept]
 	}
 	res.WorstChips = worst
-	return res, nil
+	return res
 }

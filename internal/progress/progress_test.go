@@ -1,0 +1,28 @@
+package progress
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNilSinkEmit(t *testing.T) {
+	var s Sink
+	s.Emit(Event{Chunk: 1, Done: 1, Total: 2}) // must not panic
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	var got []Event
+	s := Sink(func(e Event) { got = append(got, e) })
+	ctx := NewContext(context.Background(), s)
+	FromContext(ctx).Emit(Event{Chunk: 3, Done: 4, Total: 10, Payload: "p"})
+	if len(got) != 1 || got[0].Chunk != 3 || got[0].Done != 4 || got[0].Total != 10 || got[0].Payload != "p" {
+		t.Fatalf("event did not round-trip through the context: %+v", got)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("bare context should yield a nil sink")
+	}
+	FromContext(context.Background()).Emit(Event{}) // nil sink discards
+	if FromContext(nil) != nil {
+		t.Fatal("nil context should yield a nil sink")
+	}
+}

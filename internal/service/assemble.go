@@ -1,0 +1,231 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"voltnoise/internal/population"
+	"voltnoise/internal/vmin"
+)
+
+// ErrNoAssembly marks a study whose stream carries no assemblable
+// partials (guardband: the result is one indivisible table). Callers
+// fall back to GET /v1/jobs/{id}/result.
+var ErrNoAssembly = errors.New("service: study does not stream assemblable partials")
+
+// AssembleResult rebuilds the final result blob from a complete event
+// stream: the hello event supplies the normalized request, the partial
+// events supply the data, and the assembly performs exactly the
+// arithmetic the runner's final reduction does — so the returned bytes
+// are identical to the GET /v1/jobs/{id}/result body (and to the
+// ResultHash fingerprint of the done event) at every (workers, batch)
+// setting. Streams missing the hello or any partial return an error;
+// studies without partials return ErrNoAssembly.
+func AssembleResult(events []*Event) ([]byte, error) {
+	var req *Request
+	for _, e := range events {
+		if e.Type == EventHello && e.Request != nil {
+			req = e.Request
+			break
+		}
+	}
+	if req == nil {
+		return nil, fmt.Errorf("service: assembling result: no hello event (replay the stream from seq 0)")
+	}
+	switch req.Study {
+	case StudyFreqSweep:
+		return assembleFreqSweep(req, events)
+	case StudyVminWalk:
+		return assembleVminWalk(req, events)
+	case StudyEPIProfile:
+		return assembleEPIProfile(req, events)
+	case StudyPopulation:
+		return assemblePopulation(req, events)
+	default:
+		return nil, ErrNoAssembly
+	}
+}
+
+// partials decodes every partial event's payload into fresh values of
+// type P, paired with the carrying event.
+func partials[P any](events []*Event) ([]P, []*Event, error) {
+	var out []P
+	var evs []*Event
+	for _, e := range events {
+		if e.Type != EventPartial {
+			continue
+		}
+		var p P
+		if err := json.Unmarshal(e.Partial, &p); err != nil {
+			return nil, nil, fmt.Errorf("service: decoding partial seq %d: %w", e.Seq, err)
+		}
+		out = append(out, p)
+		evs = append(evs, e)
+	}
+	return out, evs, nil
+}
+
+func assembleFreqSweep(req *Request, events []*Event) ([]byte, error) {
+	p := req.FreqSweep
+	parts, _, err := partials[FreqSweepPartial](events)
+	if err != nil {
+		return nil, err
+	}
+	res := &FreqSweepResult{Sync: p.Sync, Events: p.Events, Points: make([]FreqSweepPoint, p.Points)}
+	seen := make([]bool, p.Points)
+	n := 0
+	for _, part := range parts {
+		for _, ip := range part.Points {
+			if ip.Index < 0 || ip.Index >= p.Points {
+				return nil, fmt.Errorf("service: assembling freq_sweep: point index %d outside [0, %d)", ip.Index, p.Points)
+			}
+			if !seen[ip.Index] {
+				seen[ip.Index] = true
+				n++
+			}
+			res.Points[ip.Index] = ip.Point
+		}
+	}
+	if n != p.Points {
+		return nil, fmt.Errorf("service: assembling freq_sweep: stream carries %d of %d points", n, p.Points)
+	}
+	return json.Marshal(res)
+}
+
+func assembleVminWalk(req *Request, events []*Event) ([]byte, error) {
+	p := req.VminWalk
+	steps, evs, err := partials[VminStepPartial](events)
+	if err != nil {
+		return nil, err
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("service: assembling vmin_walk: no steps streamed")
+	}
+	// Replay the walk's reduction: steps arrive in descending-bias
+	// order, the failing step (if any) last. lastSafe starts at the
+	// walk's StartBias exactly as vmin.Run's does.
+	res := &VminWalkResult{FreqHz: p.FreqHz, Events: p.Events}
+	lastSafe := vmin.DefaultConfig().StartBias
+	for _, s := range steps {
+		if s.MinV < p.FailVoltage {
+			res.Failed = true
+			res.MarginPercent = (1 - lastSafe) * 100
+			break
+		}
+		lastSafe = s.Bias
+	}
+	last := evs[len(evs)-1]
+	if !res.Failed {
+		if last.ChunksDone != last.ChunksTotal {
+			return nil, fmt.Errorf("service: assembling vmin_walk: stream carries %d of %d steps", last.ChunksDone, last.ChunksTotal)
+		}
+		res.MarginPercent = (1 - p.MinBias) * 100
+	}
+	return json.Marshal(res)
+}
+
+func assembleEPIProfile(req *Request, events []*Event) ([]byte, error) {
+	p := req.EPIProfile
+	parts, evs, err := partials[EPIProfilePartial](events)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("service: assembling epi_profile: no entries streamed")
+	}
+	last := evs[len(evs)-1]
+	if last.ChunksDone != last.ChunksTotal {
+		return nil, fmt.Errorf("service: assembling epi_profile: stream carries %d of %d chunks", last.ChunksDone, last.ChunksTotal)
+	}
+	// Place the entries back in table order, then rank exactly as the
+	// profiler does: stable sort by descending power (ties keep table
+	// order), relative power normalized to the profile minimum.
+	total := 0
+	for _, part := range parts {
+		if part.End > total {
+			total = part.End
+		}
+	}
+	entries := make([]EPIPartialEntry, total)
+	seen := make([]bool, total)
+	n := 0
+	for _, part := range parts {
+		if part.Start < 0 || part.End > total || part.Start+len(part.Entries) != part.End {
+			return nil, fmt.Errorf("service: assembling epi_profile: malformed chunk [%d, %d) with %d entries", part.Start, part.End, len(part.Entries))
+		}
+		for i, e := range part.Entries {
+			idx := part.Start + i
+			if !seen[idx] {
+				seen[idx] = true
+				n++
+			}
+			entries[idx] = e
+		}
+	}
+	if n != total {
+		return nil, fmt.Errorf("service: assembling epi_profile: stream carries %d of %d entries", n, total)
+	}
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return entries[order[a]].PowerWatts > entries[order[b]].PowerWatts
+	})
+	min := entries[order[total-1]].PowerWatts
+	entry := func(rank, idx int) EPIEntry {
+		e := entries[idx]
+		return EPIEntry{
+			Rank:       rank,
+			Mnemonic:   e.Mnemonic,
+			Unit:       e.Unit,
+			PowerWatts: e.PowerWatts,
+			RelPower:   e.PowerWatts / min,
+			IPC:        e.IPC,
+		}
+	}
+	topN := p.TopN
+	if topN > total {
+		topN = total
+	}
+	res := &EPIProfileResult{Total: total}
+	for i := 0; i < topN; i++ {
+		res.Top = append(res.Top, entry(i+1, order[i]))
+	}
+	for i := 0; i < topN; i++ {
+		res.Bottom = append(res.Bottom, entry(total-topN+i+1, order[total-topN+i]))
+	}
+	return json.Marshal(res)
+}
+
+func assemblePopulation(req *Request, events []*Event) ([]byte, error) {
+	p := req.Population
+	parts, _, err := partials[PopulationPartial](events)
+	if err != nil {
+		return nil, err
+	}
+	summaries := make([]population.ChipSummary, p.Chips)
+	seen := make([]bool, p.Chips)
+	n := 0
+	for _, part := range parts {
+		for _, cs := range part.Chips {
+			if cs.Chip < 0 || cs.Chip >= p.Chips {
+				return nil, fmt.Errorf("service: assembling population: chip %d outside [0, %d)", cs.Chip, p.Chips)
+			}
+			if !seen[cs.Chip] {
+				seen[cs.Chip] = true
+				n++
+			}
+			summaries[cs.Chip] = cs
+		}
+	}
+	if n != p.Chips {
+		return nil, fmt.Errorf("service: assembling population: stream carries %d of %d chips", n, p.Chips)
+	}
+	// The fold is the exported library fold on the same config the
+	// runner builds; BatchedChunks is schedule-dependent but excluded
+	// from the canonical JSON, so the bytes match.
+	return json.Marshal(population.Fold(p.config(0, 0), summaries))
+}

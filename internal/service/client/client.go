@@ -67,6 +67,11 @@ type Client struct {
 	// DefaultRequestTimeout; negative disables). The caller's context
 	// still bounds the call as a whole.
 	RequestTimeout time.Duration
+	// StreamDropEvery, when positive, makes Watch sever its SSE
+	// connection after every N delivered events and resume with
+	// Last-Event-ID — a fault-injection hook that exercises the resume
+	// path end to end (scripts/stream_smoke.sh). Zero disables.
+	StreamDropEvery int
 }
 
 // New returns a client for the given base URL.

@@ -1,0 +1,61 @@
+package client
+
+import "voltnoise/internal/service"
+
+// Typed request constructors. These are the supported way to build a
+// request: each takes the study's typed parameter struct, applies the
+// options, and returns the normalized, validated *service.Request
+// (defaults filled, values canonicalized) or the validation error —
+// the same normalization the server would apply, so a constructed
+// request round-trips through Submit unchanged. Hand-built raw
+// requests still work on the wire but get none of this checking.
+
+// RequestOption tweaks the study-independent knobs of a typed request.
+type RequestOption func(*service.Request)
+
+// Quick selects the reduced stressmark search (same shape,
+// milliseconds instead of minutes). It changes the discovered
+// sequences and therefore the results.
+func Quick() RequestOption { return func(r *service.Request) { r.Quick = true } }
+
+// Workers caps the study's parallel measurement workers (0 = one per
+// CPU, 1 = serial). Scheduling only — results are identical at any
+// setting.
+func Workers(n int) RequestOption { return func(r *service.Request) { r.Workers = n } }
+
+// Batch sets the lockstep batch lane width (0 = auto, 1 =
+// lane-per-run). Scheduling only — every width produces bit-identical
+// results.
+func Batch(n int) RequestOption { return func(r *service.Request) { r.Batch = n } }
+
+func build(r *service.Request, opts []RequestOption) (*service.Request, error) {
+	for _, o := range opts {
+		o(r)
+	}
+	return r.Normalize()
+}
+
+// FreqSweep builds a validated freq_sweep request.
+func FreqSweep(p service.FreqSweepParams, opts ...RequestOption) (*service.Request, error) {
+	return build(&service.Request{Study: service.StudyFreqSweep, FreqSweep: &p}, opts)
+}
+
+// VminWalk builds a validated vmin_walk request.
+func VminWalk(p service.VminWalkParams, opts ...RequestOption) (*service.Request, error) {
+	return build(&service.Request{Study: service.StudyVminWalk, VminWalk: &p}, opts)
+}
+
+// EPIProfile builds a validated epi_profile request.
+func EPIProfile(p service.EPIProfileParams, opts ...RequestOption) (*service.Request, error) {
+	return build(&service.Request{Study: service.StudyEPIProfile, EPIProfile: &p}, opts)
+}
+
+// Guardband builds a validated guardband request.
+func Guardband(p service.GuardbandParams, opts ...RequestOption) (*service.Request, error) {
+	return build(&service.Request{Study: service.StudyGuardband, Guardband: &p}, opts)
+}
+
+// Population builds a validated population request.
+func Population(p service.PopulationParams, opts ...RequestOption) (*service.Request, error) {
+	return build(&service.Request{Study: service.StudyPopulation, Population: &p}, opts)
+}

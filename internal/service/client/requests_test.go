@@ -1,0 +1,97 @@
+package client
+
+import (
+	"testing"
+
+	"voltnoise/internal/service"
+)
+
+func TestTypedConstructorsNormalize(t *testing.T) {
+	req, err := FreqSweep(service.FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 3, Sync: true},
+		Quick(), Workers(4), Batch(3))
+	if err != nil {
+		t.Fatalf("FreqSweep: %v", err)
+	}
+	if req.Study != service.StudyFreqSweep || !req.Quick || req.Workers != 4 || req.Batch != 3 {
+		t.Fatalf("options not applied: %+v", req)
+	}
+	if req.FreqSweep.Events == 0 {
+		t.Fatalf("normalization did not fill the sync default event count: %+v", req.FreqSweep)
+	}
+
+	vw, err := VminWalk(service.VminWalkParams{FreqHz: 2e6, Events: 10})
+	if err != nil {
+		t.Fatalf("VminWalk: %v", err)
+	}
+	if vw.VminWalk.FailVoltage == 0 || vw.VminWalk.MinBias == 0 {
+		t.Fatalf("vmin defaults not filled: %+v", vw.VminWalk)
+	}
+
+	ep, err := EPIProfile(service.EPIProfileParams{})
+	if err != nil {
+		t.Fatalf("EPIProfile: %v", err)
+	}
+	if ep.EPIProfile.TopN == 0 || ep.EPIProfile.MeasureCycles == 0 {
+		t.Fatalf("epi defaults not filled: %+v", ep.EPIProfile)
+	}
+
+	pop, err := Population(service.PopulationParams{Chips: 10})
+	if err != nil {
+		t.Fatalf("Population: %v", err)
+	}
+	if pop.Population.TechNode == 0 || pop.Population.RLCBins == 0 {
+		t.Fatalf("population defaults not filled: %+v", pop.Population)
+	}
+
+	gb, err := Guardband(service.GuardbandParams{
+		Droops: []float64{0, 1, 2, 3, 4, 5, 6},
+		Trace:  []service.UtilizationPhase{{ActiveCores: 2, DurationS: 1}},
+	})
+	if err != nil {
+		t.Fatalf("Guardband: %v", err)
+	}
+	if gb.Study != service.StudyGuardband {
+		t.Fatalf("study not set: %+v", gb)
+	}
+}
+
+func TestTypedConstructorsValidate(t *testing.T) {
+	if _, err := FreqSweep(service.FreqSweepParams{LoHz: -1, HiHz: 4e6, Points: 3}); err == nil {
+		t.Fatal("negative LoHz accepted")
+	}
+	if _, err := VminWalk(service.VminWalkParams{}); err == nil {
+		t.Fatal("empty vmin params accepted")
+	}
+	if _, err := Population(service.PopulationParams{Chips: -5}); err == nil {
+		t.Fatal("negative chip count accepted")
+	}
+}
+
+// TestTypedConstructorsMatchHandBuilt: a constructed request hashes
+// identically to the equivalent hand-normalized raw request, so the
+// two submission styles dedupe against each other.
+func TestTypedConstructorsMatchHandBuilt(t *testing.T) {
+	typed, err := FreqSweep(service.FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 3}, Quick())
+	if err != nil {
+		t.Fatalf("FreqSweep: %v", err)
+	}
+	raw := &service.Request{
+		Study: service.StudyFreqSweep, Quick: true,
+		FreqSweep: &service.FreqSweepParams{LoHz: 1e6, HiHz: 4e6, Points: 3},
+	}
+	rawN, err := raw.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	h1, err := typed.Hash()
+	if err != nil {
+		t.Fatalf("hash typed: %v", err)
+	}
+	h2, err := rawN.Hash()
+	if err != nil {
+		t.Fatalf("hash raw: %v", err)
+	}
+	if h1 != h2 {
+		t.Fatalf("typed and raw requests hash differently: %s vs %s", h1, h2)
+	}
+}

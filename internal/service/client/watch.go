@@ -1,0 +1,201 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"voltnoise/internal/service"
+)
+
+// ErrEventsGone reports that the events the watch needed were trimmed
+// from the server's retained window (the documented 410 Gone). The
+// stream cannot be resumed; fetch the full result with Result instead.
+var ErrEventsGone = errors.New("client: events trimmed from the server's retained window")
+
+// errDropInjected is the synthetic connection failure of the
+// StreamDropEvery fault hook.
+var errDropInjected = errors.New("client: injected stream drop (StreamDropEvery)")
+
+// Watch streams a job's events (GET /v1/jobs/{id}/events) from the
+// beginning. It returns an event channel and an error channel: events
+// arrive in seq order with no gaps or duplicates, the event channel
+// closes when the watch ends, and the error channel then delivers
+// exactly one value — nil after the job's terminal event, the final
+// error otherwise.
+//
+// Watch rides the client's existing retry machinery: a dropped
+// connection or 5xx resumes automatically with the last seq as
+// Last-Event-ID (backoff and attempt budget as for any other call; the
+// failure counter resets whenever a reconnect makes progress). A
+// resume the server can no longer serve ends the watch with an error
+// wrapping ErrEventsGone — fall back to Result, which is byte-identical
+// to what the stream would have assembled.
+func (c *Client) Watch(ctx context.Context, id string) (<-chan *service.Event, <-chan error) {
+	return c.WatchFrom(ctx, id, 0)
+}
+
+// WatchFrom is Watch resuming after a known sequence number: only
+// events with Seq > after are delivered. after=0 replays the stream
+// from the beginning (including the hello event AssembleResult needs).
+func (c *Client) WatchFrom(ctx context.Context, id string, after int64) (<-chan *service.Event, <-chan error) {
+	events := make(chan *service.Event)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(events)
+		errc <- c.watch(ctx, id, after, events)
+	}()
+	return events, errc
+}
+
+func (c *Client) watch(ctx context.Context, id string, after int64, out chan<- *service.Event) error {
+	cursor := after
+	failures := 0
+	for {
+		delivered, err := c.streamOnce(ctx, id, &cursor, out)
+		if err == nil {
+			return nil // terminal event delivered
+		}
+		if delivered > 0 {
+			failures = 0 // the reconnect made progress; fresh budget
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		failures++
+		if failures >= c.maxAttempts() || ctx.Err() != nil {
+			return err
+		}
+		if sleepErr := sleepContext(ctx, c.backoff(failures, nil)); sleepErr != nil {
+			return err
+		}
+	}
+}
+
+// streamOnce opens one SSE connection at the cursor and pumps events
+// until the terminal event (nil error), the connection dies
+// (TransientError; the cursor marks where to resume) or a permanent
+// failure. The cursor advances as events are delivered.
+func (c *Client) streamOnce(ctx context.Context, id string, cursor *int64, out chan<- *service.Event) (delivered int, err error) {
+	path := "/v1/jobs/" + id + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return 0, fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Cache-Control", "no-cache")
+	if *cursor > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*cursor, 10))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return 0, &TransientError{Err: fmt.Errorf("client: GET %s: %w", path, err)}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return 0, fmt.Errorf("client: GET %s after seq %d: %w", path, *cursor, ErrEventsGone)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return 0, &TransientError{Err: attemptError(http.MethodGet, path, attemptResult{body: b, header: resp.Header, status: resp.StatusCode})}
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return 0, attemptError(http.MethodGet, path, attemptResult{body: b, header: resp.Header, status: resp.StatusCode})
+	}
+	sc := newSSEScanner(resp.Body)
+	for {
+		frame, err := sc.next()
+		if err != nil {
+			// EOF or a torn read mid-stream: the server (or the network)
+			// went away without a terminal event. Resume from the cursor.
+			if ctx.Err() != nil {
+				return delivered, ctx.Err()
+			}
+			return delivered, &TransientError{Err: fmt.Errorf("client: stream %s: %w", id, err)}
+		}
+		var e service.Event
+		if err := json.Unmarshal(frame.data, &e); err != nil {
+			return delivered, fmt.Errorf("client: decoding event %q: %w", frame.id, err)
+		}
+		if e.Seq <= *cursor {
+			continue // replayed duplicate after a reconnect race
+		}
+		select {
+		case out <- &e:
+		case <-ctx.Done():
+			return delivered, ctx.Err()
+		}
+		*cursor = e.Seq
+		delivered++
+		if e.Terminal() {
+			return delivered, nil
+		}
+		if c.StreamDropEvery > 0 && delivered%c.StreamDropEvery == 0 {
+			return delivered, &TransientError{Err: errDropInjected}
+		}
+	}
+}
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	id    string
+	event string
+	data  []byte
+}
+
+// sseScanner incrementally parses an SSE byte stream: "field: value"
+// lines accumulate into a frame, ":" lines are comments, and a blank
+// line dispatches the frame. Multi-line data fields are joined with
+// newlines per the SSE spec.
+type sseScanner struct{ r *bufio.Reader }
+
+func newSSEScanner(r io.Reader) *sseScanner { return &sseScanner{r: bufio.NewReader(r)} }
+
+// next returns the next frame that carries data; comment-only frames
+// are skipped. Returns io.EOF (or the read error) when the stream
+// ends — a partial frame at EOF is dropped, which is safe because
+// resume is by sequence number.
+func (s *sseScanner) next() (sseFrame, error) {
+	var f sseFrame
+	var data [][]byte
+	for {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			return sseFrame{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if len(data) > 0 {
+				f.data = bytes.Join(data, []byte("\n"))
+				return f, nil
+			}
+			f, data = sseFrame{}, nil
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			f.id = value
+		case "event":
+			f.event = value
+		case "data":
+			data = append(data, []byte(value))
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"voltnoise/internal/service"
+)
+
+func TestSSEScanner(t *testing.T) {
+	in := strings.Join([]string{
+		": keepalive comment",
+		"id: 1",
+		"event: hello",
+		`data: {"seq":1}`,
+		"",
+		": another comment",
+		"",
+		"id: 2",
+		"event: partial",
+		"data: line1",
+		"data: line2",
+		"",
+		"id: 3\r",
+		"event: done\r",
+		"data: crlf\r",
+		"",
+		"ignored-field: x",
+		"data:no-space",
+		"",
+	}, "\n") + "\n"
+	sc := newSSEScanner(strings.NewReader(in))
+	want := []sseFrame{
+		{id: "1", event: "hello", data: []byte(`{"seq":1}`)},
+		{id: "2", event: "partial", data: []byte("line1\nline2")},
+		{id: "3", event: "done", data: []byte("crlf")},
+		{data: []byte("no-space")},
+	}
+	for i, w := range want {
+		f, err := sc.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.id != w.id || f.event != w.event || string(f.data) != string(w.data) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, f, w)
+		}
+	}
+	if _, err := sc.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: got %v, want EOF", err)
+	}
+}
+
+func TestSSEScannerDropsPartialFrameAtEOF(t *testing.T) {
+	sc := newSSEScanner(strings.NewReader("id: 9\ndata: torn"))
+	if _, err := sc.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("torn frame: got %v, want EOF", err)
+	}
+}
+
+// sseEvent renders one event as an SSE frame the way the server does.
+func sseEvent(seq int64, typ, body string) string {
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: {\"seq\":%d,\"type\":%q,\"job\":\"j-1\"%s}\n\n",
+		seq, typ, seq, typ, body)
+}
+
+// streamServer serves a canned 5-event stream and honors
+// Last-Event-ID. With dropAfter > 0, a from-scratch request is cut
+// after that many events to force a client resume.
+func streamServer(t *testing.T, dropAfter int) *httptest.Server {
+	t.Helper()
+	frames := []string{
+		sseEvent(1, service.EventHello, `,"state":"queued"`),
+		sseEvent(2, service.EventStatus, `,"state":"running"`),
+		sseEvent(3, service.EventPartial, `,"chunks_done":1,"chunks_total":2`),
+		sseEvent(4, service.EventPartial, `,"chunks_done":2,"chunks_total":2`),
+		sseEvent(5, service.EventDone, `,"state":"done"`),
+	}
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after := int64(0)
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			n, err := strconv.ParseInt(lei, 10, 64)
+			if err != nil {
+				t.Errorf("bad Last-Event-ID %q: %v", lei, err)
+			}
+			after = n
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		for i, f := range frames {
+			if int64(i+1) <= after {
+				continue
+			}
+			if dropAfter > 0 && after == 0 && i >= dropAfter {
+				panic(http.ErrAbortHandler) // sever the first stream mid-flight
+			}
+			io.WriteString(w, f)
+			w.(http.Flusher).Flush() // frames must reach the client live
+		}
+	}))
+}
+
+func TestWatchDeliversStream(t *testing.T) {
+	ts := streamServer(t, 0)
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	events, errc := c.Watch(context.Background(), "j-1")
+	var seqs []int64
+	for e := range events {
+		seqs = append(seqs, e.Seq)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("got %d events, want 5 (%v)", len(seqs), seqs)
+	}
+	for i, s := range seqs {
+		if s != int64(i+1) {
+			t.Fatalf("gap or duplicate at %d: %v", i, seqs)
+		}
+	}
+}
+
+func TestWatchResumesAfterDisconnect(t *testing.T) {
+	ts := streamServer(t, 2)
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	events, errc := c.Watch(context.Background(), "j-1")
+	var seqs []int64
+	for e := range events {
+		seqs = append(seqs, e.Seq)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if len(seqs) != 5 || seqs[4] != 5 {
+		t.Fatalf("resume lost events: %v", seqs)
+	}
+}
+
+func TestWatchFromSkipsSeenEvents(t *testing.T) {
+	ts := streamServer(t, 0)
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	events, errc := c.WatchFrom(context.Background(), "j-1", 3)
+	var seqs []int64
+	for e := range events {
+		seqs = append(seqs, e.Seq)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if len(seqs) != 2 || seqs[0] != 4 {
+		t.Fatalf("resume after 3 delivered %v, want [4 5]", seqs)
+	}
+}
+
+func TestWatchStreamDropEveryStillCompletes(t *testing.T) {
+	ts := streamServer(t, 0)
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	c.StreamDropEvery = 1 // reconnect after every single event
+	events, errc := c.Watch(context.Background(), "j-1")
+	n := 0
+	for range events {
+		n++
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("got %d events, want 5", n)
+	}
+}
+
+func TestWatchGone(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		io.WriteString(w, `{"error":"trimmed","result":"/v1/jobs/j-1/result"}`)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	events, errc := c.Watch(context.Background(), "j-1")
+	for range events {
+	}
+	if err := <-errc; !errors.Is(err, ErrEventsGone) {
+		t.Fatalf("got %v, want ErrEventsGone", err)
+	}
+}
+
+func TestWatchPermanentError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	events, errc := c.Watch(context.Background(), "j-x")
+	for range events {
+	}
+	err := <-errc
+	if err == nil || IsTransient(err) || errors.Is(err, ErrEventsGone) {
+		t.Fatalf("404 should be a permanent error, got %v", err)
+	}
+}
+
+func TestWatchGivesUpAfterRepeatedFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := fastRetry(ts.URL)
+	events, errc := c.Watch(context.Background(), "j-1")
+	for range events {
+	}
+	if err := <-errc; !IsTransient(err) {
+		t.Fatalf("want the final transient error, got %v", err)
+	}
+}
+
+// FuzzSSEParse throws arbitrary bytes at the SSE frame parser: it must
+// never panic, always terminate (a finite input yields finitely many
+// frames then a read error), and only dispatch frames on an explicit
+// data field — an input without "data" lines yields no frame at all.
+func FuzzSSEParse(f *testing.F) {
+	f.Add([]byte("id: 1\nevent: hello\ndata: {\"seq\":1}\n\n"))
+	f.Add([]byte(": comment\n\nid: 2\ndata: a\ndata: b\n\n"))
+	f.Add([]byte("id: 3\r\nevent: done\r\ndata: x\r\n\r\n"))
+	f.Add([]byte("data:no-space\n\n"))
+	f.Add([]byte("data:\n\n"))
+	f.Add([]byte("id 1\nmalformed\n\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("data: torn"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		hasData := strings.Contains(string(in), "data")
+		sc := newSSEScanner(strings.NewReader(string(in)))
+		frames := 0
+		for {
+			_, err := sc.next()
+			if err != nil {
+				break // stream over
+			}
+			frames++
+			if frames > len(in) {
+				t.Fatalf("more frames (%d) than input bytes (%d)", frames, len(in))
+			}
+		}
+		if frames > 0 && !hasData {
+			t.Fatalf("%d frame(s) from input without a data field: %q", frames, in)
+		}
+	})
+}

@@ -29,6 +29,13 @@ func FuzzRequestValidate(f *testing.F) {
 		`{"study":"population","population":{"chips":100,"age_years":5,"mix":["o3","io","o3","io","o3","io"],"tech_node":22,"decap_scale":0.8,"exit_hz":1e6,"warmup_s":5e-6,"seed":42,"rlc_bins":4,"safety_percent":2}}`,
 		`{"study":"population","population":{"chips":10}}`,
 		`{"study":"population","population":{"chips":0,"mix":["npu"],"tech_node":28,"exit_hz":-1}}`,
+		// Streaming-era shapes: the requests the typed client
+		// constructors and the watch walkthroughs produce (big sweeps
+		// and fleets watched over /v1/jobs/{id}/events).
+		`{"study":"freq_sweep","quick":true,"workers":8,"batch":8,"freq_sweep":{"lo_hz":10e3,"hi_hz":10e6,"points":10000}}`,
+		`{"study":"population","workers":8,"batch":8,"population":{"chips":1000,"age_years":7,"mix":["o3","io","o3","io","o3","io"],"tech_node":22,"exit_hz":2e6,"warmup_s":4e-6,"seed":7,"rlc_bins":4}}`,
+		`{"study":"vmin_walk","quick":true,"workers":4,"batch":3,"vmin_walk":{"freq_hz":2.5e6,"events":10,"min_bias":0.92}}`,
+		`{"study":"epi_profile","workers":4,"batch":3,"epi_profile":{"top_n":3,"measure_cycles":1024}}`,
 		`{"study":"nope"}`,
 		`{"study":"freq_sweep"}`,
 		`{"study":"freq_sweep","freq_sweep":{"lo_hz":-1,"hi_hz":5e6,"points":8}}`,

@@ -44,6 +44,15 @@ type JobStatus struct {
 	// after a restart rather than submitted on this incarnation.
 	Recovered bool   `json:"recovered,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// EventsEmitted counts the stream events published for this job so
+	// far (GET /v1/jobs/{id}/events replays the retained window of
+	// them). ChunksDone/ChunksTotal track the study's ordered
+	// reduction: how many measurement chunks have reduced out of how
+	// many the schedule cut. Zero until the study emits its first
+	// partial.
+	EventsEmitted int64 `json:"events_emitted,omitempty"`
+	ChunksDone    int   `json:"chunks_done,omitempty"`
+	ChunksTotal   int   `json:"chunks_total,omitempty"`
 }
 
 // job is the server-side job record.
@@ -59,6 +68,13 @@ type job struct {
 	state  State
 	result []byte // marshaled study payload, set when state == StateDone
 	err    string
+
+	// hub is the job's event stream (always set by the server; nil only
+	// in tests that build bare jobs).
+	hub *eventHub
+	// progress counters mirrored into JobStatus; guarded by mu.
+	eventsEmitted           int64
+	chunksDone, chunksTotal int
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -123,14 +139,28 @@ func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return &JobStatus{
-		ID:        j.id,
-		Study:     j.req.Study,
-		Hash:      j.hash,
-		Status:    j.state,
-		Cached:    j.cached,
-		Recovered: j.recovered,
-		Error:     j.err,
+		ID:            j.id,
+		Study:         j.req.Study,
+		Hash:          j.hash,
+		Status:        j.state,
+		Cached:        j.cached,
+		Recovered:     j.recovered,
+		Error:         j.err,
+		EventsEmitted: j.eventsEmitted,
+		ChunksDone:    j.chunksDone,
+		ChunksTotal:   j.chunksTotal,
 	}
+}
+
+// noteEvent records a published stream event in the job's progress
+// counters.
+func (j *job) noteEvent(e *Event) {
+	j.mu.Lock()
+	j.eventsEmitted++
+	if e.ChunksTotal > 0 {
+		j.chunksDone, j.chunksTotal = e.ChunksDone, e.ChunksTotal
+	}
+	j.mu.Unlock()
 }
 
 // snapshot returns the terminal state, result bytes and error text.

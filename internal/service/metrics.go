@@ -57,6 +57,18 @@ type MetricsSnapshot struct {
 	// affected jobs still ran; they just lost crash protection.
 	JournalErrors int64 `json:"journal_errors"`
 
+	// EventsEmitted counts job-stream events published across all jobs;
+	// EventsTrimmed counts events that aged out of per-job retained
+	// windows (a resume from before a trimmed event gets 410 Gone).
+	EventsEmitted int64 `json:"events_emitted"`
+	EventsTrimmed int64 `json:"events_trimmed"`
+	// StreamsOpened counts GET /v1/jobs/{id}/events connections served;
+	// StreamsResumed the subset that presented a Last-Event-ID cursor;
+	// StreamsGone the 410 responses (resume past the retained window).
+	StreamsOpened  int64 `json:"streams_opened"`
+	StreamsResumed int64 `json:"streams_resumed"`
+	StreamsGone    int64 `json:"streams_gone"`
+
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 
@@ -75,7 +87,14 @@ type metrics struct {
 	rejected  int64
 	recovered int64
 	journal   int64
-	studies   map[Study]*studyCounters
+
+	events         int64
+	eventsTrimmed  int64
+	streamsOpened  int64
+	streamsResumed int64
+	streamsGone    int64
+
+	studies map[Study]*studyCounters
 }
 
 type studyCounters struct {
@@ -103,6 +122,25 @@ func (m *metrics) jobRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *metrics) jobDeduped()   { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
 func (m *metrics) jobRecovered() { m.mu.Lock(); m.recovered++; m.mu.Unlock() }
 func (m *metrics) journalError() { m.mu.Lock(); m.journal++; m.mu.Unlock() }
+func (m *metrics) streamGone()   { m.mu.Lock(); m.streamsGone++; m.mu.Unlock() }
+
+// eventPublished records one published stream event and how many
+// retained events its append trimmed from the ring.
+func (m *metrics) eventPublished(trimmed int) {
+	m.mu.Lock()
+	m.events++
+	m.eventsTrimmed += int64(trimmed)
+	m.mu.Unlock()
+}
+
+func (m *metrics) streamOpened(resumed bool) {
+	m.mu.Lock()
+	m.streamsOpened++
+	if resumed {
+		m.streamsResumed++
+	}
+	m.mu.Unlock()
+}
 
 func (m *metrics) jobStarted() {
 	m.mu.Lock()
@@ -168,6 +206,11 @@ func (m *metrics) snapshot(hits, misses, getErrs, putErrs int64, cacheEntries, q
 		StoreGetErrors: getErrs,
 		StorePutErrors: putErrs,
 		JournalErrors:  m.journal,
+		EventsEmitted:  m.events,
+		EventsTrimmed:  m.eventsTrimmed,
+		StreamsOpened:  m.streamsOpened,
+		StreamsResumed: m.streamsResumed,
+		StreamsGone:    m.streamsGone,
 		QueueDepth:     queueDepth,
 		QueueCapacity:  queueCap,
 		Studies:        make(map[string]StudyStats, len(m.studies)),

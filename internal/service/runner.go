@@ -11,6 +11,7 @@ import (
 	"voltnoise/internal/noise"
 	"voltnoise/internal/pdn"
 	"voltnoise/internal/population"
+	"voltnoise/internal/progress"
 	"voltnoise/internal/stressmark"
 	"voltnoise/internal/vmin"
 )
@@ -109,6 +110,84 @@ func (r *LabRunner) Run(ctx context.Context, req *Request) (any, error) {
 	}
 }
 
+// The per-study sink adapters below bridge the two progress layers:
+// the studies emit their own partial types (noise.ChunkResult,
+// vmin.StepEvent, …) from the ordered reduction, and the adapters
+// convert each into the wire partial the stream documents — computing
+// any derived values (Worst, FreqHz) with exactly the arithmetic the
+// final reduction uses, so stream-assembled results stay byte-identical
+// to the blob. A nil context sink leaves the study's Progress nil and
+// costs nothing.
+
+// freqSweepSink converts raw measurement chunks into FreqSweepPartial
+// events carrying finished sweep points at their original indices.
+func freqSweepSink(sink progress.Sink, freqs []float64) progress.Sink {
+	return func(e progress.Event) {
+		cr, ok := e.Payload.(noise.ChunkResult)
+		if !ok {
+			return
+		}
+		p := FreqSweepPartial{Points: make([]IndexedFreqPoint, len(cr.Jobs))}
+		for k, ji := range cr.Jobs {
+			pt := noise.FreqPoint{Freq: freqs[ji], P2P: cr.Measurements[k].P2P}
+			p.Points[k] = IndexedFreqPoint{Index: ji, Point: FreqSweepPoint{
+				FreqHz: pt.Freq,
+				P2P:    append([]float64(nil), pt.P2P[:]...),
+				Worst:  pt.Worst(),
+			}}
+		}
+		e.Payload = p
+		sink.Emit(e)
+	}
+}
+
+// vminSink converts reduced bias steps into VminStepPartial events.
+func vminSink(sink progress.Sink) progress.Sink {
+	return func(e progress.Event) {
+		se, ok := e.Payload.(vmin.StepEvent)
+		if !ok {
+			return
+		}
+		e.Payload = VminStepPartial{Step: e.Done, Bias: se.Bias, MinV: se.MinV}
+		sink.Emit(e)
+	}
+}
+
+// epiSink converts profiled instruction chunks into EPIProfilePartial
+// events.
+func epiSink(sink progress.Sink) progress.Sink {
+	return func(e progress.Event) {
+		ce, ok := e.Payload.(epi.ChunkEntries)
+		if !ok {
+			return
+		}
+		p := EPIProfilePartial{Start: ce.Start, End: ce.End, Entries: make([]EPIPartialEntry, len(ce.Entries))}
+		for i, en := range ce.Entries {
+			p.Entries[i] = EPIPartialEntry{
+				Mnemonic:   en.Instr.Mnemonic,
+				Unit:       en.Instr.Unit.String(),
+				PowerWatts: en.PowerWatts,
+				IPC:        en.IPC,
+			}
+		}
+		e.Payload = p
+		sink.Emit(e)
+	}
+}
+
+// populationSink converts per-batch chip summaries into
+// PopulationPartial events.
+func populationSink(sink progress.Sink) progress.Sink {
+	return func(e progress.Event) {
+		chips, ok := e.Payload.([]population.ChipSummary)
+		if !ok {
+			return
+		}
+		e.Payload = PopulationPartial{Chips: chips}
+		sink.Emit(e)
+	}
+}
+
 func (r *LabRunner) runFreqSweep(ctx context.Context, req *Request) (any, error) {
 	p := req.FreqSweep
 	l, err := r.jobLab(req)
@@ -116,6 +195,9 @@ func (r *LabRunner) runFreqSweep(ctx context.Context, req *Request) (any, error)
 		return nil, err
 	}
 	freqs := pdn.LogSpace(p.LoHz, p.HiHz, p.Points)
+	if sink := progress.FromContext(ctx); sink != nil {
+		l.Progress = freqSweepSink(sink, freqs)
+	}
 	pts, err := l.FrequencySweep(ctx, freqs, p.Sync, p.Events)
 	if err != nil {
 		return nil, err
@@ -142,6 +224,9 @@ func (r *LabRunner) runVminWalk(ctx context.Context, req *Request) (any, error) 
 	vcfg.MinBias = p.MinBias
 	vcfg.Workers = req.Workers
 	vcfg.Batch = req.Batch
+	if sink := progress.FromContext(ctx); sink != nil {
+		vcfg.Progress = vminSink(sink)
+	}
 	pts, err := l.ConsecutiveEventStudy(ctx, []float64{p.FreqHz}, []int{p.Events}, vcfg)
 	if err != nil {
 		return nil, err
@@ -162,6 +247,9 @@ func runEPIProfile(ctx context.Context, req *Request) (any, error) {
 	cfg.WarmupCycles = p.WarmupCycles
 	cfg.Workers = req.Workers
 	cfg.Batch = req.Batch
+	if sink := progress.FromContext(ctx); sink != nil {
+		cfg.Progress = epiSink(sink)
+	}
 	prof, err := epi.Generate(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -193,7 +281,11 @@ func runEPIProfile(ctx context.Context, req *Request) (any, error) {
 // dropped afterwards: fleets are parameterized too widely to share
 // lab-style state across jobs.
 func runPopulation(ctx context.Context, req *Request) (any, error) {
-	res, err := population.Run(ctx, req.Population.config(req.Workers, req.Batch))
+	cfg := req.Population.config(req.Workers, req.Batch)
+	if sink := progress.FromContext(ctx); sink != nil {
+		cfg.Progress = populationSink(sink)
+	}
+	res, err := population.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

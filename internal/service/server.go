@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"voltnoise/internal/progress"
 	"voltnoise/internal/service/journal"
 	"voltnoise/internal/service/store"
 )
@@ -44,6 +47,10 @@ type Config struct {
 	// Runner executes studies (default: NewLabRunner on the calibrated
 	// platform).
 	Runner Runner
+	// EventBuffer caps each job's retained event window (default 1024).
+	// A stream resumed from before the window is answered with 410 Gone
+	// and the client falls back to GET /v1/jobs/{id}/result.
+	EventBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +139,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/studies", s.handleSyncStudy)
 	s.mux.HandleFunc("GET /v1/studies", s.handleListStudies)
@@ -208,6 +216,10 @@ func (s *Server) submit(req *Request) (*job, *JobStatus, error) {
 	if bytes, ok := s.cache.Get(hash); ok {
 		s.seq++
 		j := newCachedJob(jobID(s.seq), hash, n, bytes)
+		j.hub = newEventHub(s.cfg.EventBuffer)
+		s.publishEvent(j, &Event{Type: EventHello, State: StateDone, Request: j.req})
+		s.publishEvent(j, &Event{Type: EventDone, State: StateDone,
+			ResultHash: resultSum(bytes), ResultBytes: len(bytes)})
 		s.jobs[j.id] = j
 		return j, j.status(), nil
 	}
@@ -221,6 +233,7 @@ func (s *Server) submit(req *Request) (*job, *JobStatus, error) {
 	}
 	s.seq++
 	j := newJob(jobID(s.seq), hash, n)
+	j.hub = newEventHub(s.cfg.EventBuffer)
 	select {
 	case s.queue <- j:
 	default:
@@ -236,7 +249,42 @@ func (s *Server) submit(req *Request) (*job, *JobStatus, error) {
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
 	s.met.jobQueued()
+	s.publishEvent(j, &Event{Type: EventHello, State: StateQueued, Request: j.req})
 	return j, j.status(), nil
+}
+
+// publishEvent stamps the event with the job's identity, publishes it
+// on the job's hub and maintains the job/metrics counters. Safe with
+// or without s.mu held (it takes only the hub's and job's own locks).
+func (s *Server) publishEvent(j *job, e *Event) {
+	if j.hub == nil {
+		return
+	}
+	e.Job = j.id
+	e.Study = j.req.Study
+	trimmed := j.hub.publish(e)
+	j.noteEvent(e)
+	s.met.eventPublished(trimmed)
+}
+
+// progressSink adapts a job's study progress events — already
+// converted to wire partial payloads by the runner — into published
+// stream events.
+func (s *Server) progressSink(j *job) progress.Sink {
+	return func(e progress.Event) {
+		raw, err := json.Marshal(e.Payload)
+		if err != nil {
+			return // wire partials always marshal
+		}
+		s.publishEvent(j, &Event{
+			Type:        EventPartial,
+			State:       StateRunning,
+			Chunk:       e.Chunk,
+			ChunksDone:  e.Done,
+			ChunksTotal: e.Total,
+			Partial:     raw,
+		})
+	}
 }
 
 // journalAccept appends the job's acceptance record. Caller holds
@@ -299,13 +347,18 @@ func (s *Server) runJob(j *job) {
 	defer s.removeInflight(j)
 	if j.ctx.Err() != nil || !j.setRunning() {
 		j.finish(StateCanceled, nil, context.Canceled)
+		s.publishEvent(j, &Event{Type: EventCanceled, State: StateCanceled, Error: context.Canceled.Error()})
 		s.journalFinish(j.id, StateCanceled)
 		s.met.jobCanceled()
 		return
 	}
 	s.met.jobStarted()
+	s.publishEvent(j, &Event{Type: EventStatus, State: StateRunning})
 	start := time.Now()
-	payload, err := s.runner.Run(j.ctx, j.req)
+	// The progress sink rides the job context so the Runner interface
+	// stays payload-agnostic; the lab runner converts study partials to
+	// wire payloads before they reach the sink.
+	payload, err := s.runner.Run(progress.NewContext(j.ctx, s.progressSink(j)), j.req)
 	var result []byte
 	if err == nil {
 		result, err = json.Marshal(payload)
@@ -318,14 +371,18 @@ func (s *Server) runJob(j *job) {
 		// journaling a result that was never stored.
 		s.cache.Put(j.hash, result)
 		j.finish(StateDone, result, nil)
+		s.publishEvent(j, &Event{Type: EventDone, State: StateDone,
+			ResultHash: resultSum(result), ResultBytes: len(result)})
 		s.journalFinish(j.id, StateDone)
 		s.met.jobFinished(j.req.Study, true, elapsed)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCanceled, nil, err)
+		s.publishEvent(j, &Event{Type: EventCanceled, State: StateCanceled, Error: err.Error()})
 		s.journalFinish(j.id, StateCanceled)
 		s.met.runCanceled()
 	default:
 		j.finish(StateFailed, nil, err)
+		s.publishEvent(j, &Event{Type: EventFailed, State: StateFailed, Error: err.Error()})
 		s.journalFinish(j.id, StateFailed)
 		s.met.jobFinished(j.req.Study, false, elapsed)
 	}
@@ -388,18 +445,31 @@ func submitCode(err error) int {
 	}
 }
 
-func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+// acceptSubmission is the single entry of the job pipeline behind
+// both POST /v1/jobs and POST /v1/studies: decode, normalize, submit
+// (cache → singleflight → journal → queue). On failure it writes the
+// error response itself and reports ok=false; both endpoints stay
+// wire-compatible because they share every acceptance decision here.
+func (s *Server) acceptSubmission(w http.ResponseWriter, r *http.Request) (*job, *JobStatus, bool) {
 	req, ok := decodeRequest(w, r)
 	if !ok {
-		return
+		return nil, nil, false
 	}
-	_, st, err := s.submit(req)
+	j, st, err := s.submit(req)
 	if err != nil {
 		code := submitCode(err)
 		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, code, "%v", err)
+		return nil, nil, false
+	}
+	return j, st, true
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	_, st, ok := s.acceptSubmission(w, r)
+	if !ok {
 		return
 	}
 	code := http.StatusAccepted
@@ -456,6 +526,101 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobEvents serves the job's event stream as Server-Sent Events:
+// each event is framed as "id: <seq>" / "event: <type>" / "data:
+// <json>" and the stream stays open until the job's terminal event (or
+// the client goes away). A reconnecting client resumes by sending the
+// last seq it saw as the Last-Event-ID header (or ?from= query
+// parameter); asking for events already trimmed from the retained
+// window is answered with 410 Gone and a body naming the full-result
+// fallback, GET /v1/jobs/{id}/result.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.hub == nil {
+		writeError(w, http.StatusInternalServerError, "job %s has no event stream", j.id)
+		return
+	}
+	after := int64(0)
+	resumed := false
+	cursor := r.Header.Get("Last-Event-ID")
+	if cursor == "" {
+		cursor = r.URL.Query().Get("from")
+	}
+	if cursor != "" {
+		n, err := strconv.ParseInt(cursor, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad resume cursor %q", cursor)
+			return
+		}
+		after, resumed = n, n > 0
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Subscribe before the first read so no event published in between
+	// is missed.
+	ch, unsub := j.hub.subscribe()
+	defer unsub()
+	evs, trimmed, closed := j.hub.since(after)
+	if trimmed {
+		s.met.streamGone()
+		writeJSON(w, http.StatusGone, map[string]string{
+			"error":  fmt.Sprintf("events up to seq %d trimmed from the retained window", after),
+			"result": "/v1/jobs/" + j.id + "/result",
+		})
+		return
+	}
+	s.met.streamOpened(resumed)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		for _, e := range evs {
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			after = e.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+		evs, trimmed, closed = j.hub.since(after)
+		if trimmed {
+			// The ring lapped this subscriber mid-stream; close so the
+			// reconnect gets the documented 410 and falls back to the
+			// full result.
+			s.met.streamGone()
+			return
+		}
+	}
+}
+
+// writeSSE frames one event for the wire.
+func writeSSE(w io.Writer, e *Event) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, b)
+	return err
+}
+
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -468,18 +633,13 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleSyncStudy delegates through the same pipeline as
+// POST /v1/jobs — the study rides a regular job (journaled, deduped,
+// streamable via its X-Voltnoise-Job id) and the handler merely waits
+// for it.
 func (s *Server) handleSyncStudy(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	j, st, ok := s.acceptSubmission(w, r)
 	if !ok {
-		return
-	}
-	j, st, err := s.submit(req)
-	if err != nil {
-		code := submitCode(err)
-		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		writeError(w, code, "%v", err)
 		return
 	}
 	select {

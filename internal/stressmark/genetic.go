@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"voltnoise/internal/isa"
+	"voltnoise/internal/progress"
 	"voltnoise/internal/uarch"
 )
 
@@ -33,6 +34,20 @@ type GeneticConfig struct {
 	MutationPerMille int
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Progress, when set, receives one GenerationEvent per evolution
+	// step. The GA is serial and seeded, so the stream is deterministic.
+	Progress progress.Sink
+}
+
+// GenerationEvent is the Progress payload emitted per GA generation.
+type GenerationEvent struct {
+	// Generation is the zero-based evolution step.
+	Generation int
+	// BestPower is the generation's best (possibly penalized) fitness
+	// in watts.
+	BestPower float64
+	// Evaluations is the cumulative power-evaluation count.
+	Evaluations int
 }
 
 // DefaultGeneticConfig returns a configuration that reliably finds the
@@ -153,6 +168,10 @@ func EvolveMaxPowerSequence(cfg GeneticConfig) (*GeneticResult, error) {
 	for gen := 0; gen < cfg.Generations; gen++ {
 		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
 		res.GenerationBest = append(res.GenerationBest, pop[0].fitness)
+		cfg.Progress.Emit(progress.Event{
+			Chunk: gen, Done: gen + 1, Total: cfg.Generations,
+			Payload: GenerationEvent{Generation: gen, BestPower: pop[0].fitness, Evaluations: res.Evaluations},
+		})
 		next := make([]genome, 0, cfg.Population)
 		next = append(next, pop[:cfg.Elite]...)
 		for len(next) < cfg.Population {

@@ -13,6 +13,7 @@ import (
 
 	"voltnoise/internal/core"
 	"voltnoise/internal/exec"
+	"voltnoise/internal/progress"
 )
 
 // DefaultFailVoltage is the calibrated critical-path failure threshold
@@ -56,6 +57,20 @@ type Config struct {
 	// the single-session arithmetic and the reduction stays in
 	// descending-bias order.
 	Batch int
+	// Progress, when set, receives one StepEvent per reduced bias lane,
+	// in descending-bias order — including the failing step, which is
+	// the last one emitted. The stream is deterministic at every
+	// (Workers, Batch) setting because the reduction is.
+	Progress progress.Sink
+}
+
+// StepEvent is the Progress payload emitted per reduced bias step.
+type StepEvent struct {
+	// Bias is the quantized bias the step actually applied.
+	Bias float64
+	// MinV is the deepest supply excursion observed across the step's
+	// measurement windows.
+	MinV float64
 }
 
 // DefaultConfig returns the standard experiment setup for workloads
@@ -144,6 +159,10 @@ func Run(ctx context.Context, p *core.Platform, workloads [core.NumCores]core.Wo
 	lastSafe := cfg.StartBias
 	reduce := func(s step) error {
 		res.Steps++
+		cfg.Progress.Emit(progress.Event{
+			Chunk: res.Steps - 1, Done: res.Steps, Total: len(biases),
+			Payload: StepEvent{Bias: s.bias, MinV: s.minV},
+		})
 		if s.minV < cfg.FailVoltage {
 			res.Failed = true
 			res.FailBias = s.bias

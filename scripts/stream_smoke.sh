@@ -1,0 +1,110 @@
+#!/bin/sh
+# stream_smoke.sh — watch a live job stream through faults and verify
+# byte-identity end to end.
+#
+# Starts voltnoised, submits a 1000-chip population study (workers 8,
+# batch 8), and checks the two documented recovery paths of the event
+# stream:
+#
+#   A. A watch whose connection is severed after every few events
+#      (ctl watch -drop-every, resuming with Last-Event-ID each time)
+#      still assembles the final result client-side, verifies it
+#      against the done event's hash, and matches the server's result
+#      blob byte for byte.
+#
+#   B. A watching client killed -9 mid-sweep reconnects with
+#      Last-Event-ID (ctl watch -from <last seen seq>) and rides the
+#      stream to its terminal event; a fresh full-replay watch then
+#      assembles the result and matches the blob byte for byte.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:18474}
+WORK=$(mktemp -d)
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+pop_req() {
+    # A fleet big enough to stream for a while: ~1000 chips, 8 workers,
+    # 8-lane batches. The seed differs per call so each request is a
+    # fresh cache miss.
+    printf '{"study":"population","workers":8,"batch":8,"population":{"chips":1000,"age_years":5,"mix":["o3","io","o3","io","o3","io"],"tech_node":22,"exit_hz":2e6,"warmup_s":4e-6,"rlc_bins":2,"seed":%d}}' "$1"
+}
+
+job_id() {
+    sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+echo "== build"
+$GO build -o "$WORK/voltnoised" ./cmd/voltnoised
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: voltnoised did not come up on $ADDR" >&2
+    exit 1
+}
+
+echo "== server"
+"$WORK/voltnoised" serve -addr "$ADDR" -pool 2 >"$WORK/serve.log" 2>&1 &
+PID=$!
+wait_healthy
+
+CTL="$WORK/voltnoised ctl -addr http://$ADDR"
+
+echo "== check A: watch with injected drops, assemble, verify"
+$CTL submit "$(pop_req 11)" >"$WORK/submit1.json"
+ID1=$(job_id "$WORK/submit1.json")
+[ -n "$ID1" ] || { echo "FAIL: no job id in submit response"; cat "$WORK/submit1.json"; exit 1; }
+
+$CTL -drop-every 7 watch "$ID1" >"$WORK/watch1.out"
+grep -q '^# assembled from stream; hash verified' "$WORK/watch1.out" || {
+    echo "FAIL: drop-every watch did not assemble+verify from the stream:" >&2
+    tail -5 "$WORK/watch1.out"; exit 1
+}
+grep -v '^#' "$WORK/watch1.out" >"$WORK/assembled1.json"
+$CTL result "$ID1" >"$WORK/result1.json"
+cmp -s "$WORK/assembled1.json" "$WORK/result1.json" || {
+    echo "FAIL: stream-assembled result differs from the server blob" >&2
+    exit 1
+}
+
+echo "== check B: kill the watcher mid-sweep, resume with Last-Event-ID"
+$CTL submit "$(pop_req 12)" >"$WORK/submit2.json"
+ID2=$(job_id "$WORK/submit2.json")
+$CTL watch "$ID2" >"$WORK/watch2.out" 2>/dev/null &
+WPID=$!
+sleep 0.7
+kill -9 "$WPID" 2>/dev/null || true
+wait "$WPID" 2>/dev/null || true
+
+# Resume after the last partial the dead watcher saw (a partial is
+# never the last event, so the stream always has more to deliver).
+LAST=$(sed -n 's/^# seq=\([0-9]*\) partial.*/\1/p' "$WORK/watch2.out" | tail -1)
+[ -n "$LAST" ] || LAST=1
+$CTL -from "$LAST" watch "$ID2" >"$WORK/watch3.out"
+RESUMED=$(sed -n 's/^# seq=\([0-9]*\) .*/\1/p' "$WORK/watch3.out" | head -1)
+[ -n "$RESUMED" ] && [ "$RESUMED" -gt "$LAST" ] || {
+    echo "FAIL: resume with Last-Event-ID $LAST delivered seq '$RESUMED'" >&2
+    cat "$WORK/watch3.out"; exit 1
+}
+
+# A fresh full-replay watch assembles the whole result from events.
+$CTL watch "$ID2" >"$WORK/watch4.out"
+grep -q '^# assembled from stream; hash verified' "$WORK/watch4.out" || {
+    echo "FAIL: full replay did not assemble+verify from the stream:" >&2
+    tail -5 "$WORK/watch4.out"; exit 1
+}
+grep -v '^#' "$WORK/watch4.out" >"$WORK/assembled2.json"
+$CTL result "$ID2" >"$WORK/result2.json"
+cmp -s "$WORK/assembled2.json" "$WORK/result2.json" || {
+    echo "FAIL: post-kill assembled result differs from the server blob" >&2
+    exit 1
+}
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+echo "PASS: stream survived drops and a killed watcher (resume by Last-Event-ID, assembled results byte-identical)"
