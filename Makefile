@@ -9,6 +9,8 @@
 #   make fuzz-smoke  short fuzzing pass over the request validator,
 #                    the journal replayer and the client's SSE frame
 #                    parser (plus their seed corpora)
+#   make profile     CPU profiles of the FrequencySweep pair into
+#                    results/ for step-kernel hot-spot digging
 #   make run-service start the voltnoised HTTP service on :8080
 #   make fault       fault-injection suite: store failures, corruption,
 #                    crash recovery, journaled shutdown
@@ -30,7 +32,7 @@
 # fuzz-smoke budget per target.
 
 GO ?= go
-BENCH_PR ?= 8
+BENCH_PR ?= 10
 BENCH_SELECT ?= FrequencySweep(Serial|Parallel)|EPIProfile(Serial|Parallel)|PopulationStudy(Serial|Parallel)
 BENCH_OUT ?= BENCH_PR$(BENCH_PR).json
 BENCH_BASELINE ?= BENCH_PR$(BENCH_PR).json
@@ -44,7 +46,7 @@ BENCH_COUNT ?= 4
 BENCH_MAX_REGRESS ?= 40%
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test tier1 race batch-determinism fuzz-smoke fault recover-smoke stream-smoke bench bench-json bench-check run-service ci clean
+.PHONY: all build vet test tier1 race batch-determinism fuzz-smoke fault recover-smoke stream-smoke bench bench-json bench-check profile run-service ci clean
 
 all: tier1
 
@@ -71,7 +73,7 @@ race:
 
 # batch-determinism runs the lockstep-batching determinism suites
 # under the race detector: every study must produce bit-identical
-# results at batch widths {1,3,8} x workers {1,4,8}, and the shared
+# results at batch widths {1,3,8,16} x workers {1,4,8}, and the shared
 # batch-session pool and the stolen-chunk scheduler must stay
 # race-clean while doing it.
 batch-determinism:
@@ -80,13 +82,18 @@ batch-determinism:
 # fuzz-smoke runs each fuzz target for FUZZTIME on top of its committed
 # seed corpus: the request validator (decode -> normalize -> hash
 # pipeline), the write-ahead journal replayer (arbitrary on-disk
-# bytes) and the client's SSE frame parser (arbitrary stream bytes).
-# Go allows one -fuzz pattern per package invocation, so the targets
-# run back to back.
+# bytes), the client's SSE frame parser (arbitrary stream bytes), the
+# in-place batch substitution kernels (random sparse systems, every
+# lane width, vector and Go bodies vs the element-wise reference), and
+# the skitter sticky state machine (random configs x voltage walks,
+# certified table vs exact evaluation). Go allows one -fuzz pattern per
+# package invocation, so the targets run back to back.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRequestValidate -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/service/journal
 	$(GO) test -run '^$$' -fuzz FuzzSSEParse -fuzztime $(FUZZTIME) ./internal/service/client
+	$(GO) test -run '^$$' -fuzz FuzzSolveBatchInPlace -fuzztime $(FUZZTIME) ./internal/pdn
+	$(GO) test -run '^$$' -fuzz FuzzSkitterSticky -fuzztime $(FUZZTIME) ./internal/skitter
 
 # bench compares the serial (Workers=1, Batch=1: the lane-per-run
 # shape every pre-batching release ran) and parallel (auto workers and
@@ -109,6 +116,18 @@ bench-json:
 bench-check:
 	$(MAKE) bench-json BENCH_OUT=/tmp/bench-check.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench-check.json -max-regress $(BENCH_MAX_REGRESS)
+
+# profile captures CPU profiles of the FrequencySweep pair — the
+# serial lane-per-run path and the parallel lockstep-lane path — into
+# results/, along with the test binary pprof needs to symbolize them.
+# Inspect with: go tool pprof results/profile.test results/freqsweep_parallel.pprof
+profile:
+	mkdir -p results
+	$(GO) test -run NONE -bench 'FrequencySweepSerial$$' -benchtime 3x \
+		-cpuprofile results/freqsweep_serial.pprof -o results/profile.test .
+	$(GO) test -run NONE -bench 'FrequencySweepParallel$$' -benchtime 3x \
+		-cpuprofile results/freqsweep_parallel.pprof -o results/profile.test .
+	@echo "profiles in results/: freqsweep_serial.pprof freqsweep_parallel.pprof"
 
 # run-service starts the voltnoised characterization service; stop it
 # with SIGINT/SIGTERM for a graceful queue drain.

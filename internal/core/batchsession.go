@@ -52,15 +52,18 @@ type BatchSession struct {
 	// step, reused by the chip-power accumulators.
 	pw [][NumCores]float64
 	// iq is the per-lane current scratch: the quotient p/vnom each
-	// source core's closure just computed, reused verbatim by aliased
-	// cores so the (bit-identical) division runs once per distinct
-	// workload instead of once per core.
+	// core's closure computed (or copied from its alias source), so
+	// the (bit-identical) division runs once per distinct workload at
+	// each distinct supply instead of once per core.
 	iq [][NumCores]float64
-	// src[l][i] is the lowest core index of lane l whose slot holds
-	// the identical (pure) workload value as core i's, or i itself —
-	// the per-lane analogue of Session.src. Within a lane the engine
-	// evaluates loads in core order at one instant, so aliased cores
-	// copy the sample the source core just parked.
+	// src[l][i] is the lowest slot in lane-major order (lane*NumCores
+	// + core) whose workload value is identical to core i's, or core
+	// i's own slot. Unlike Session.src the aliasing spans lanes:
+	// lockstep lanes evaluate their loads at the same instants in
+	// ascending lane order, so an identical pure workload produces a
+	// bit-identical power sample wherever it runs first — an aliased
+	// core copies that sample and pays at most the p/vnom division
+	// (and only when its lane's supply differs from the source's).
 	src [][NumCores]int
 	// lane is the lane whose loads the circuit is evaluating right now,
 	// kept current by the engine's onLane hook.
@@ -95,7 +98,7 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 		s.gains[l] = cfg.CoreGain
 		for i := range s.wl[l] {
 			s.wl[l][i] = s.idle
-			s.src[l][i] = i
+			s.src[l][i] = l*NumCores + i
 		}
 		if err := s.rebuildMacros(l); err != nil {
 			return nil, err
@@ -112,11 +115,21 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 		s.circuit.AddLoad(fmt.Sprintf("core%d", i), s.nodes.Core[i],
 			func(t float64) float64 {
 				l := s.lane
-				if j := s.src[l][i]; j != i {
-					// The source core (j < i) ran first this step: reuse
-					// its power sample and its already-divided current.
-					s.pw[l][i] = s.pw[l][j]
-					return s.iq[l][j]
+				if g := s.src[l][i]; g != l*NumCores+i {
+					// The source slot — an earlier core of this lane or any
+					// core of an earlier lane — ran first this step at the
+					// same instant, so its power sample is bit-identical to
+					// what this core's workload would produce. The division
+					// re-runs only when the two lanes' supplies differ.
+					r, j := g/NumCores, g%NumCores
+					p := s.pw[r][j]
+					q := s.iq[r][j]
+					if s.vnom[l] != s.vnom[r] {
+						q = p / s.vnom[l]
+					}
+					s.pw[l][i] = p
+					s.iq[l][i] = q
+					return q
 				}
 				p := s.wl[l][i].Power(t)
 				s.pw[l][i] = p
@@ -126,6 +139,9 @@ func NewBatchSession(cfg Config, lanes int) (*BatchSession, error) {
 			})
 	}
 	s.circuit.AddLoad("uncore", s.nodes.L3, func(float64) float64 { return s.uncoreI[s.lane] })
+	// Every lane starts idle on every core, so the construction-time DC
+	// solve already dedupes down to one Power evaluation per step.
+	s.refreshAliases()
 
 	bt, err := pdn.NewBatchTransientAt(s.circuit, cfg.Dt, 0, lanes, func(l int) { s.lane = l })
 	if err != nil {
@@ -180,21 +196,30 @@ func (s *BatchSession) SetVoltageBias(bias float64) error {
 	return nil
 }
 
-// refreshAliases recomputes one lane's src row from its workload
-// slots, exactly as Session.refreshAliases does for the single-lane
-// engine.
-func (s *BatchSession) refreshAliases(lane int) {
-	for i := range s.wl[lane] {
-		s.src[lane][i] = i
-		for j := 0; j < i; j++ {
-			if !sameWorkload(s.wl[lane][j], s.wl[lane][i]) {
-				continue
+// refreshAliases recomputes the whole-batch alias map from every
+// lane's workload slots. A core's alias source may be any earlier slot
+// in lane-major order — an earlier core of its own lane, or any core
+// of an earlier lane — because the first matching slot's closure has
+// always run by the time the aliased core's is evaluated, within the
+// same step at the same instant. The first match is never itself an
+// alias (its own scan found nothing earlier), so alias chains are
+// depth one and every copy reads a freshly computed sample.
+func (s *BatchSession) refreshAliases() {
+	for l := 0; l < s.lanes; l++ {
+		for i := range s.wl[l] {
+			me := l*NumCores + i
+			s.src[l][i] = me
+			for g := 0; g < me; g++ {
+				r, j := g/NumCores, g%NumCores
+				if !sameWorkload(s.wl[r][j], s.wl[l][i]) {
+					continue
+				}
+				if _, fixed := s.circuit.FixedVoltage(s.nodes.Core[j]); fixed {
+					continue
+				}
+				s.src[l][i] = g
+				break
 			}
-			if _, fixed := s.circuit.FixedVoltage(s.nodes.Core[j]); fixed {
-				continue
-			}
-			s.src[lane][i] = j
-			break
 		}
 	}
 }
@@ -242,6 +267,12 @@ func (s *BatchSession) rebuildMacros(lane int) error {
 	}
 	return nil
 }
+
+// LaneFootprintBytes reports the engine state one lane streams through
+// per step, for the width-calibration footprint gate (see
+// SessionPool.AutoBatchWidth). It is independent of this session's own
+// width.
+func (s *BatchSession) LaneFootprintBytes() int { return s.bt.LaneFootprintBytes() }
 
 // RunBatch executes one measurement window on every lane. See
 // RunBatchContext.
@@ -297,8 +328,8 @@ func (s *BatchSession) RunBatchContext(ctx context.Context, specs []RunSpec) ([]
 				s.wl[l][i] = specs[l].Workloads[i]
 			}
 		}
-		s.refreshAliases(l)
 	}
+	s.refreshAliases()
 	if err := s.bt.Reset(start - warmup); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"math"
 	"testing"
+
+	"voltnoise/internal/pdn"
+	"voltnoise/internal/signal"
 )
 
 // laneWorkload returns a lane-distinct square wave so cross-lane
@@ -190,6 +193,131 @@ func TestBatchSessionLaneGains(t *testing.T) {
 	if bs.LaneGains(0) != gainSets[0] {
 		t.Error("rejected gain set clobbered the lane")
 	}
+}
+
+// countingWorkload is a comparable constant-power workload that tallies
+// Power evaluations through a shared counter, so tests can observe how
+// often the engines actually evaluate a deduplicated waveform. Power is
+// pure in its return value; the counter is test instrumentation only.
+type countingWorkload struct {
+	n     *int
+	watts float64
+}
+
+func (w countingWorkload) Power(float64) float64 { *w.n++; return w.watts }
+func (w countingWorkload) Name() string          { return "counting" }
+
+// TestBatchSessionCrossLaneDedup covers the cross-lane alias map: lanes
+// sharing comparable workload values — at equal and at different biases
+// — must stay bit-identical to lane-per-run Sessions, whether the alias
+// source sits in the same lane, an earlier lane at the same supply
+// (current reused verbatim), or an earlier lane at a different supply
+// (power copied, division redone).
+func TestBatchSessionCrossLaneDedup(t *testing.T) {
+	cfg := DefaultConfig()
+	shared := Steady("stress", 37.5)
+	tr := signal.NewTrace(cfg.Dt, 8)
+	for i := range tr.Samples {
+		tr.Samples[i] = 20 + 3*float64(i%4)
+	}
+	tw, err := NewTraceWorkload("ripple", tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biases := []float64{1.0, 0.95, 1.0, 0.9}
+	bs, err := NewBatchSession(cfg, len(biases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]RunSpec, len(biases))
+	for l, b := range biases {
+		if err := bs.SetLaneBias(l, b); err != nil {
+			t.Fatal(err)
+		}
+		var wl [NumCores]Workload
+		wl[0] = shared        // every lane: cross-lane alias at mixed supplies
+		wl[2] = oscWorkload() // FuncWorkload: deliberately never deduplicated
+		if l%2 == 0 {
+			wl[3] = tw // shared pointer workload, lanes 0 and 2 only
+		}
+		if l == 1 {
+			wl[4] = shared // in-lane alias inside a non-root lane
+		}
+		specs[l] = RunSpec{Workloads: wl, Start: 0, Duration: 12e-6}
+	}
+	got, err := bs.RunBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, b := range biases {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetVoltageBias(b); err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run(specs[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalMeasurements(t, "dedup lane", got[l], want)
+	}
+}
+
+// TestBatchSessionDedupEvaluatesOnce: a workload value shared by every
+// core of every lane must be evaluated exactly once per engine step —
+// the whole point of the cross-lane alias map. The counter tolerates
+// the per-lane DC initializations (root lane only) but fails on
+// anything close to per-lane or per-core evaluation.
+func TestBatchSessionDedupEvaluatesOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	const lanes = 4
+	bs, err := NewBatchSession(cfg, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var wl [NumCores]Workload
+	for i := range wl {
+		wl[i] = countingWorkload{n: &count, watts: 33}
+	}
+	specs := make([]RunSpec, lanes)
+	for l := range specs {
+		specs[l] = RunSpec{Workloads: wl, Start: 0, Duration: 10e-6, Warmup: 5e-6}
+	}
+	if _, err := bs.RunBatch(specs); err != nil {
+		t.Fatal(err)
+	}
+	steps := int(math.Round(15e-6/cfg.Dt)) + 2 // warmup + window + DC init
+	if count > steps {
+		t.Errorf("shared workload evaluated %d times over ~%d steps; dedup not engaging", count, steps)
+	}
+	if count == 0 {
+		t.Error("shared workload never evaluated")
+	}
+}
+
+// TestAutoBatchWidth: calibration must settle on one of the
+// register-blocked kernel widths, cache its answer, and leave the pool
+// fully usable (the probe sessions go back to the free lists).
+func TestAutoBatchWidth(t *testing.T) {
+	pool := NewSessionPool(DefaultConfig())
+	w := pool.AutoBatchWidth()
+	if w != pdn.DefaultBatchLanes && w != pdn.WideBatchLanes {
+		t.Fatalf("AutoBatchWidth() = %d, want %d or %d", w, pdn.DefaultBatchLanes, pdn.WideBatchLanes)
+	}
+	if again := pool.AutoBatchWidth(); again != w {
+		t.Fatalf("AutoBatchWidth() flapped: %d then %d", w, again)
+	}
+	bs, err := pool.GetBatch(1.0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.LaneFootprintBytes() <= 0 {
+		t.Error("non-positive lane footprint")
+	}
+	pool.PutBatch(bs)
 }
 
 // TestSessionPoolGainReset: a pooled session returned with overridden

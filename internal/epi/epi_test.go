@@ -171,3 +171,28 @@ func TestTableIRendering(t *testing.T) {
 		t.Errorf("Table I output missing CIB power:\n%s", s)
 	}
 }
+
+func TestGenerateAllocsPerInstruction(t *testing.T) {
+	// Each worker recycles one micro-benchmark and executor through a
+	// pool, so steady-state profiling should allocate only a handful of
+	// chunk-level objects per instruction — not a fresh 4000-entry
+	// program and energy trace each (previously ~12 allocs and ~40KB
+	// per instruction).
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse")
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 16
+	cfg.MeasureCycles = 128
+	cfg.Workers = 1
+	n := float64(cfg.Table.Size())
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Generate(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perInstr := allocs / n; perInstr > 2 {
+		t.Errorf("Generate allocated %.2f/instruction (%.0f total over %d), want <= 2",
+			perInstr, allocs, int(n))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package epi
+
+// raceEnabled reports whether the race detector instruments this
+// build. The allocation guard skips under -race: the detector
+// randomizes sync.Pool hits, so the pooled scratch misses by design.
+const raceEnabled = false

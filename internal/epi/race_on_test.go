@@ -1,0 +1,5 @@
+//go:build race
+
+package epi
+
+const raceEnabled = true

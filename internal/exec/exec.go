@@ -79,6 +79,24 @@ func BatchWidth(batch, n int) int {
 	return batch
 }
 
+// BatchWidthAuto resolves a batch knob like BatchWidth but lets a
+// calibrated width stand in for the static default: batch <= 0 invokes
+// auto — typically core.SessionPool.AutoBatchWidth, passed as a method
+// value — and uses its result instead of DefaultBatchWidth (a result
+// below 1 falls back to the default). auto runs only when its answer
+// matters: an explicit batch, a single item, or a nil auto skip the
+// call, so studies with pinned widths never pay for calibration.
+// Lane results are bit-identical at every width, so the choice moves
+// only wall-clock time, never output.
+func BatchWidthAuto(batch, n int, auto func() int) int {
+	if batch <= 0 && n > 1 && auto != nil {
+		if w := auto(); w >= 1 {
+			batch = w
+		}
+	}
+	return BatchWidth(batch, n)
+}
+
 // Chunks splits [0, n) into consecutive [start, end) ranges of at most
 // `width` items, in order — the lane packing used by batched studies.
 func Chunks(n, width int) [][2]int {

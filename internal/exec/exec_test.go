@@ -291,6 +291,40 @@ func TestBatchWidth(t *testing.T) {
 	}
 }
 
+func TestBatchWidthAuto(t *testing.T) {
+	sixteen := func() int { return 16 }
+	cases := []struct {
+		batch, n int
+		auto     func() int
+		want     int
+	}{
+		{0, 100, sixteen, 16},                // auto defers to the calibrated width
+		{0, 5, sixteen, 5},                   // still capped at the item count
+		{0, 100, func() int { return 0 }, 8}, // useless calibration: static default
+		{0, 100, nil, 8},                     // no calibrator: static default
+		{-1, 100, sixteen, 16},               // negative behaves like auto
+		{3, 100, sixteen, 3},                 // explicit width wins
+		{1, 100, sixteen, 1},                 // explicit lane-per-run wins
+	}
+	for _, c := range cases {
+		if got := BatchWidthAuto(c.batch, c.n, c.auto); got != c.want {
+			t.Errorf("BatchWidthAuto(%d, %d, auto) = %d, want %d", c.batch, c.n, got, c.want)
+		}
+	}
+	// The calibrator must not run when its answer cannot matter: an
+	// explicit width, a single item, or no items.
+	boom := func() int { t.Fatal("auto invoked needlessly"); return 0 }
+	if got := BatchWidthAuto(8, 100, boom); got != 8 {
+		t.Errorf("BatchWidthAuto(8, 100) = %d", got)
+	}
+	if got := BatchWidthAuto(0, 1, boom); got != 1 {
+		t.Errorf("BatchWidthAuto(0, 1) = %d", got)
+	}
+	if got := BatchWidthAuto(0, 0, boom); got != 1 {
+		t.Errorf("BatchWidthAuto(0, 0) = %d", got)
+	}
+}
+
 func TestChunks(t *testing.T) {
 	if got := Chunks(7, 3); len(got) != 3 || got[0] != [2]int{0, 3} || got[1] != [2]int{3, 6} || got[2] != [2]int{6, 7} {
 		t.Errorf("Chunks(7,3) = %v", got)

@@ -44,9 +44,13 @@ type Lab struct {
 	// Batch is the lane width of the lockstep batch engine: studies
 	// pack measurement runs sharing a window into lanes of one
 	// core.BatchSession, amortizing the step-plan walk and turning the
-	// per-step solve into a multi-RHS substitution. Zero selects
-	// exec.DefaultBatchWidth; one forces lane-per-run, the single-lane
-	// engine. Lanes are never split to feed idle workers — workers
+	// per-step solve into a multi-RHS substitution. Zero selects the
+	// auto width: the session pool's calibrated lane width (see
+	// core.SessionPool.AutoBatchWidth), which probes the register-
+	// blocked kernels once per pool and picks the fastest per-lane
+	// width that stays cache-resident. One forces lane-per-run, the
+	// single-lane engine. Lanes are never split to feed idle workers —
+	// workers
 	// contend for whole batches by work stealing (exec.MapStolen).
 	// Results are bit-identical for every width — each lane performs
 	// exactly the single-lane arithmetic.
@@ -352,7 +356,10 @@ type ChunkResult struct {
 // emits a ChunkResult from the ordered-reduction side.
 func (l *Lab) runMeasurements(ctx context.Context, jobs []measJob) ([]*core.Measurement, error) {
 	pool := l.Platform.Sessions()
-	width := exec.BatchWidth(l.Batch, len(jobs))
+	width := 1
+	if pool != nil {
+		width = exec.BatchWidthAuto(l.Batch, len(jobs), pool.AutoBatchWidth)
+	}
 	if pool == nil || width <= 1 {
 		out := make([]*core.Measurement, len(jobs))
 		done := 0

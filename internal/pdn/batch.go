@@ -31,6 +31,14 @@ type BatchTransient struct {
 	idx   []int   // NodeID -> unknown index or -1
 	n     int     // number of unknowns
 
+	// idxP maps NodeID -> permuted RHS slot (invPerm of idx) or -1, and
+	// unkNode[i] is the node whose solution the in-place solve leaves at
+	// slot i — together they let the step walk assemble the right-hand
+	// sides directly in permuted row order and scatter the solutions
+	// without touching fixed nodes (see Transient).
+	idxP    []int
+	unkNode []int32
+
 	// onLane selects a lane before its loads are evaluated, so the
 	// owner can swap the workload state the load closures read.
 	onLane func(lane int)
@@ -55,8 +63,10 @@ type BatchTransient struct {
 	planFA []float64  // fixed-node contributions per plan entry x lane
 	planFB []float64
 
-	rhs []float64 // n x lanes right-hand sides
-	sol []float64 // n x lanes solutions
+	// rhs holds the n x lanes right-hand sides, assembled directly in
+	// permuted row order; the substitutions run in place in this buffer,
+	// so no separate solution block exists.
+	rhs []float64
 
 	laneRHS []float64 // n-vector scratch for the per-lane DC init
 	laneSol []float64
@@ -99,7 +109,6 @@ func NewBatchTransientAt(c *Circuit, dt, start float64, lanes int, onLane func(l
 		pots:     make([]float64, c.NumNodes()*lanes),
 		fixedPot: make([]float64, c.NumNodes()*lanes),
 		rhs:      make([]float64, n*lanes),
-		sol:      make([]float64, n*lanes),
 		laneRHS:  make([]float64, n),
 		laneSol:  make([]float64, n),
 	}
@@ -117,6 +126,7 @@ func NewBatchTransientAt(c *Circuit, dt, start float64, lanes int, onLane func(l
 		return nil, err
 	}
 	t.geq, t.lu = geq, lu
+	t.idxP, t.unkNode = permutedIndex(idx, lu)
 	dcLU, err := factorDCMatrix(c, idx, n)
 	if err != nil {
 		return nil, err
@@ -221,6 +231,7 @@ func (t *BatchTransient) buildPlan() {
 	t.plan = t.plan[:0]
 	for ei, e := range t.c.elements {
 		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], na: int(e.a), nb: int(e.b), ia: t.idx[e.a], ib: t.idx[e.b]}
+		pe.iaP, pe.ibP = t.idxP[e.a], t.idxP[e.b]
 		pe.hasFA = pe.ia >= 0 && pe.ib < 0
 		pe.hasFB = pe.ib >= 0 && pe.ia < 0
 		if e.kind == kindResistor && !pe.hasFA && !pe.hasFB {
@@ -321,8 +332,11 @@ func (t *BatchTransient) initState() error {
 
 // Step advances every lane by one timestep. It allocates nothing.
 func (t *BatchTransient) Step() error {
-	if t.lanes == DefaultBatchLanes {
+	switch t.lanes {
+	case DefaultBatchLanes:
 		return t.step8()
+	case WideBatchLanes:
+		return t.step16()
 	}
 	c := t.c
 	B := t.lanes
@@ -336,20 +350,22 @@ func (t *BatchTransient) Step() error {
 	// the same arithmetic as the single-lane Step: past the first step
 	// the walk rolls each reactive element's companion state forward
 	// from the last solve's potentials in the same pass that feeds the
-	// RHS (see Transient.Step for the derivation).
+	// RHS (see Transient.Step for the derivation). RHS rows are
+	// assembled at the permuted slots (iaP/ibP) so the solve can run in
+	// place — the accumulation order per unknown is untouched.
 	first := t.step == 0
 	for pi := range t.plan {
 		pe := &t.plan[pi]
 		if pe.hasFA {
 			fa := t.planFA[pi*B : pi*B+B : pi*B+B]
-			ra := rhs[pe.ia*B : pe.ia*B+B]
+			ra := rhs[pe.iaP*B : pe.iaP*B+B]
 			for l := range ra {
 				ra[l] += fa[l]
 			}
 		}
 		if pe.hasFB {
 			fb := t.planFB[pi*B : pi*B+B : pi*B+B]
-			rb := rhs[pe.ib*B : pe.ib*B+B]
+			rb := rhs[pe.ibP*B : pe.ibP*B+B]
 			for l := range rb {
 				rb[l] += fb[l]
 			}
@@ -379,20 +395,20 @@ func (t *BatchTransient) Step() error {
 			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
 			// Branch current a->b contributes +hist into node a's RHS.
 			switch {
-			case pe.ia >= 0 && pe.ib >= 0:
-				ra := rhs[pe.ia*B : pe.ia*B+B]
-				rb := rhs[pe.ib*B : pe.ib*B+B]
+			case pe.iaP >= 0 && pe.ibP >= 0:
+				ra := rhs[pe.iaP*B : pe.iaP*B+B]
+				rb := rhs[pe.ibP*B : pe.ibP*B+B]
 				for l := range ra {
 					ra[l] += hist[l]
 					rb[l] -= hist[l]
 				}
-			case pe.ia >= 0:
-				ra := rhs[pe.ia*B : pe.ia*B+B]
+			case pe.iaP >= 0:
+				ra := rhs[pe.iaP*B : pe.iaP*B+B]
 				for l := range ra {
 					ra[l] += hist[l]
 				}
-			case pe.ib >= 0:
-				rb := rhs[pe.ib*B : pe.ib*B+B]
+			case pe.ibP >= 0:
+				rb := rhs[pe.ibP*B : pe.ibP*B+B]
 				for l := range rb {
 					rb[l] -= hist[l]
 				}
@@ -400,20 +416,20 @@ func (t *BatchTransient) Step() error {
 		case kindInductor:
 			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
 			switch {
-			case pe.ia >= 0 && pe.ib >= 0:
-				ra := rhs[pe.ia*B : pe.ia*B+B]
-				rb := rhs[pe.ib*B : pe.ib*B+B]
+			case pe.iaP >= 0 && pe.ibP >= 0:
+				ra := rhs[pe.iaP*B : pe.iaP*B+B]
+				rb := rhs[pe.ibP*B : pe.ibP*B+B]
 				for l := range ra {
 					ra[l] -= hist[l]
 					rb[l] += hist[l]
 				}
-			case pe.ia >= 0:
-				ra := rhs[pe.ia*B : pe.ia*B+B]
+			case pe.iaP >= 0:
+				ra := rhs[pe.iaP*B : pe.iaP*B+B]
 				for l := range ra {
 					ra[l] -= hist[l]
 				}
-			case pe.ib >= 0:
-				rb := rhs[pe.ib*B : pe.ib*B+B]
+			case pe.ibP >= 0:
+				rb := rhs[pe.ibP*B : pe.ibP*B+B]
 				for l := range rb {
 					rb[l] += hist[l]
 				}
@@ -427,31 +443,27 @@ func (t *BatchTransient) Step() error {
 			t.onLane(l)
 		}
 		for _, ld := range c.loads {
-			if i := t.idx[ld.Node]; i >= 0 {
+			if i := t.idxP[ld.Node]; i >= 0 {
 				rhs[i*B+l] -= ld.Current(next)
 			}
 		}
 	}
-	t.lu.solveBatchInto(t.sol, rhs, B)
-	// Scatter node potentials, checking for divergence in the same
-	// pass (every unknown is scattered exactly once). v-v is 0 for
-	// every finite v and NaN for NaN and ±Inf, so one subtraction
-	// replaces the IsNaN/IsInf pair on this hot path. On divergence the
-	// engine state is abandoned with the error.
+	t.lu.solveBatchInPlace(rhs, B)
+	// Scatter the solved unknowns, checking for divergence in the same
+	// pass (v-v is 0 for every finite v and NaN for NaN and ±Inf).
+	// Fixed-node potentials are not rewritten here: they change only
+	// through Reset, which re-scatters them via initState. On
+	// divergence the engine state is abandoned with the error.
 	bad := -1
-	for node, i := range t.idx {
-		po := t.pots[node*B : node*B+B]
-		if i >= 0 {
-			so := t.sol[i*B : i*B+B : i*B+B]
-			for l := range po {
-				v := so[l]
-				if v-v != 0 {
-					bad = l
-				}
-				po[l] = v
+	for i, node := range t.unkNode {
+		po := t.pots[int(node)*B : int(node)*B+B]
+		so := rhs[i*B : i*B+B : i*B+B]
+		for l := range po {
+			v := so[l]
+			if v-v != 0 {
+				bad = l
 			}
-		} else {
-			copy(po, t.fixedPot[node*B:node*B+B])
+			po[l] = v
 		}
 	}
 	if bad >= 0 {
@@ -481,14 +493,14 @@ func (t *BatchTransient) step8() error {
 		pe := &t.plan[pi]
 		if pe.hasFA {
 			fa := (*[B]float64)(t.planFA[pi*B : pi*B+B])
-			ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+			ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
 			for l := 0; l < B; l++ {
 				ra[l] += fa[l]
 			}
 		}
 		if pe.hasFB {
 			fb := (*[B]float64)(t.planFB[pi*B : pi*B+B])
-			rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+			rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
 			for l := 0; l < B; l++ {
 				rb[l] += fb[l]
 			}
@@ -517,20 +529,20 @@ func (t *BatchTransient) step8() error {
 		case kindCapacitor:
 			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
 			switch {
-			case pe.ia >= 0 && pe.ib >= 0:
-				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
-				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+			case pe.iaP >= 0 && pe.ibP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
 				for l := 0; l < B; l++ {
 					ra[l] += hist[l]
 					rb[l] -= hist[l]
 				}
-			case pe.ia >= 0:
-				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+			case pe.iaP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
 				for l := 0; l < B; l++ {
 					ra[l] += hist[l]
 				}
-			case pe.ib >= 0:
-				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+			case pe.ibP >= 0:
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
 				for l := 0; l < B; l++ {
 					rb[l] -= hist[l]
 				}
@@ -538,20 +550,20 @@ func (t *BatchTransient) step8() error {
 		case kindInductor:
 			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
 			switch {
-			case pe.ia >= 0 && pe.ib >= 0:
-				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
-				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+			case pe.iaP >= 0 && pe.ibP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
 				for l := 0; l < B; l++ {
 					ra[l] -= hist[l]
 					rb[l] += hist[l]
 				}
-			case pe.ia >= 0:
-				ra := (*[B]float64)(rhs[pe.ia*B : pe.ia*B+B])
+			case pe.iaP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
 				for l := 0; l < B; l++ {
 					ra[l] -= hist[l]
 				}
-			case pe.ib >= 0:
-				rb := (*[B]float64)(rhs[pe.ib*B : pe.ib*B+B])
+			case pe.ibP >= 0:
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
 				for l := 0; l < B; l++ {
 					rb[l] += hist[l]
 				}
@@ -565,34 +577,29 @@ func (t *BatchTransient) step8() error {
 			t.onLane(l)
 		}
 		for _, ld := range c.loads {
-			if i := t.idx[ld.Node]; i >= 0 {
+			if i := t.idxP[ld.Node]; i >= 0 {
 				rhs[i*B+l] -= ld.Current(next)
 			}
 		}
 	}
-	t.lu.solveBatchInto(t.sol, rhs, B)
-	// Scatter node potentials (element-wise: a 64-byte array
+	t.lu.solveBatch8InPlace(rhs)
+	// Scatter the solved unknowns (element-wise: a 64-byte array
 	// assignment lowers to a runtime.memmove call), checking for
-	// divergence in the same pass — every unknown is scattered exactly
-	// once, and v-v is 0 for every finite v and NaN for NaN and ±Inf.
-	// On divergence the engine state is abandoned with the error.
+	// divergence in the same pass — v-v is 0 for every finite v and NaN
+	// for NaN and ±Inf. Fixed-node potentials are not rewritten here:
+	// they change only through Reset, which re-scatters them via
+	// initState. On divergence the engine state is abandoned with the
+	// error.
 	bad := -1
-	for node, i := range t.idx {
-		po := (*[B]float64)(t.pots[node*B : node*B+B])
-		if i >= 0 {
-			so := (*[B]float64)(t.sol[i*B : i*B+B])
-			for l := 0; l < B; l++ {
-				v := so[l]
-				if v-v != 0 {
-					bad = l
-				}
-				po[l] = v
+	for i, node := range t.unkNode {
+		po := (*[B]float64)(t.pots[int(node)*B : int(node)*B+B])
+		so := (*[B]float64)(rhs[i*B : i*B+B])
+		for l := 0; l < B; l++ {
+			v := so[l]
+			if v-v != 0 {
+				bad = l
 			}
-		} else {
-			fp := (*[B]float64)(t.fixedPot[node*B : node*B+B])
-			for l := 0; l < B; l++ {
-				po[l] = fp[l]
-			}
+			po[l] = v
 		}
 	}
 	if bad >= 0 {
@@ -601,6 +608,147 @@ func (t *BatchTransient) step8() error {
 	t.time = next
 	t.step++
 	return nil
+}
+
+// step16 is step8 at the wide lane width: identical walk, sixteen-lane
+// blocks. Per lane the arithmetic — order and operations — is exactly
+// the generic Step's, so lanes stay bit-identical to single-lane
+// engines at this width too.
+func (t *BatchTransient) step16() error {
+	const B = WideBatchLanes
+	c := t.c
+	next := t.time + t.dt
+	rhs := t.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	first := t.step == 0
+	for pi := range t.plan {
+		pe := &t.plan[pi]
+		if pe.hasFA {
+			fa := (*[B]float64)(t.planFA[pi*B : pi*B+B])
+			ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+			for l := 0; l < B; l++ {
+				ra[l] += fa[l]
+			}
+		}
+		if pe.hasFB {
+			fb := (*[B]float64)(t.planFB[pi*B : pi*B+B])
+			rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
+			for l := 0; l < B; l++ {
+				rb[l] += fb[l]
+			}
+		}
+		if pe.kind == kindResistor {
+			continue
+		}
+		geq := pe.geq
+		hist := (*[B]float64)(t.hist[pe.ei*B : pe.ei*B+B])
+		if !first {
+			pa := (*[B]float64)(t.pots[pe.na*B : pe.na*B+B])
+			pb := (*[B]float64)(t.pots[pe.nb*B : pe.nb*B+B])
+			if pe.kind == kindCapacitor {
+				for l := 0; l < B; l++ {
+					gv := geq * (pa[l] - pb[l])
+					hist[l] = gv + (gv - hist[l])
+				}
+			} else {
+				for l := 0; l < B; l++ {
+					gv := geq * (pa[l] - pb[l])
+					hist[l] = (gv + hist[l]) + gv
+				}
+			}
+		}
+		switch pe.kind {
+		case kindCapacitor:
+			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
+			switch {
+			case pe.iaP >= 0 && pe.ibP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] += hist[l]
+					rb[l] -= hist[l]
+				}
+			case pe.iaP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] += hist[l]
+				}
+			case pe.ibP >= 0:
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
+				for l := 0; l < B; l++ {
+					rb[l] -= hist[l]
+				}
+			}
+		case kindInductor:
+			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
+			switch {
+			case pe.iaP >= 0 && pe.ibP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] -= hist[l]
+					rb[l] += hist[l]
+				}
+			case pe.iaP >= 0:
+				ra := (*[B]float64)(rhs[pe.iaP*B : pe.iaP*B+B])
+				for l := 0; l < B; l++ {
+					ra[l] -= hist[l]
+				}
+			case pe.ibP >= 0:
+				rb := (*[B]float64)(rhs[pe.ibP*B : pe.ibP*B+B])
+				for l := 0; l < B; l++ {
+					rb[l] += hist[l]
+				}
+			}
+		}
+	}
+	// Loads evaluated at the new time, lane by lane (backward-looking
+	// sources keep the trapezoidal solve linear).
+	for l := 0; l < B; l++ {
+		if t.onLane != nil {
+			t.onLane(l)
+		}
+		for _, ld := range c.loads {
+			if i := t.idxP[ld.Node]; i >= 0 {
+				rhs[i*B+l] -= ld.Current(next)
+			}
+		}
+	}
+	t.lu.solveBatch16InPlace(rhs)
+	// Scatter the solved unknowns, divergence-checked in the same pass;
+	// fixed nodes change only through Reset (see step8).
+	bad := -1
+	for i, node := range t.unkNode {
+		po := (*[B]float64)(t.pots[int(node)*B : int(node)*B+B])
+		so := (*[B]float64)(rhs[i*B : i*B+B])
+		for l := 0; l < B; l++ {
+			v := so[l]
+			if v-v != 0 {
+				bad = l
+			}
+			po[l] = v
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("pdn: integration diverged at t=%g (lane %d)", next, bad)
+	}
+	t.time = next
+	t.step++
+	return nil
+}
+
+// LaneFootprintBytes reports the engine state one lane streams through
+// per step — companion state, potentials, right-hand side, and plan
+// contributions — for the width-calibration footprint gate: widths
+// whose total working set outgrows cache stop paying for themselves.
+func (t *BatchTransient) LaneFootprintBytes() int {
+	perLane := 3*len(t.c.elements) + // vab, ibr, hist
+		2*t.c.NumNodes() + // pots, fixedPot
+		t.n + // rhs
+		2*len(t.plan) // planFA, planFB
+	return 8 * perLane
 }
 
 // RunUntil advances all lanes until the given absolute time without

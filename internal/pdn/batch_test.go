@@ -221,7 +221,7 @@ func TestBatchRejectsBadArgs(t *testing.T) {
 // allocation-free, alongside the single-lane guard: the batch engine
 // must run entirely on preallocated state whatever the width.
 func TestBatchStepDoesNotAllocate(t *testing.T) {
-	for _, lanes := range []int{1, 8} {
+	for _, lanes := range []int{1, 8, 16} {
 		bt, _ := newBatchRLC(t, lanes, 0)
 		if allocs := testing.AllocsPerRun(100, func() {
 			if err := bt.Step(); err != nil {
@@ -240,8 +240,8 @@ func TestBatchStepDoesNotAllocate(t *testing.T) {
 // should make the batch substantially cheaper than eight single
 // steps. The AllocsPerRun guard above keeps the loop at 0 allocs/step.
 func BenchmarkBatchStep(b *testing.B) {
-	for _, lanes := range []int{1, 4, 8} {
-		b.Run(map[int]string{1: "Lanes1", 4: "Lanes4", 8: "Lanes8"}[lanes], func(b *testing.B) {
+	for _, lanes := range []int{1, 4, 8, 16} {
+		b.Run(map[int]string{1: "Lanes1", 4: "Lanes4", 8: "Lanes8", 16: "Lanes16"}[lanes], func(b *testing.B) {
 			cfg := DefaultZEC12Config()
 			ckt, nodes := ZEC12(cfg)
 			cur := 0

@@ -1,0 +1,202 @@
+package pdn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permuteRHS assembles b in permuted row order for the in-place solve
+// paths: slot i carries b[perm[i]] (equivalently, the contribution to
+// unknown u lands at slot invPerm[u]).
+func permuteRHS(lu *realLU, b []float64, lanes int) []float64 {
+	x := make([]float64, len(b))
+	for i := 0; i < lu.n; i++ {
+		copy(x[i*lanes:i*lanes+lanes], b[lu.perm[i]*lanes:lu.perm[i]*lanes+lanes])
+	}
+	return x
+}
+
+// TestSolveInPlaceMatchesSolveInto: the in-place permuted-RHS walks —
+// single-lane, width 8, width 16, and the generic widths — are
+// byte-identical to the two-buffer element-wise reference on both the
+// production zEC12 factor and randomized sparse factors.
+func TestSolveInPlaceMatchesSolveInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	factors := []*realLU{zec12LU(t)}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.6 {
+					continue
+				}
+				a[i*n+j] = rng.NormFloat64()
+			}
+			a[i*n+i] += float64(n) + 1
+		}
+		lu, err := factorReal(a, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		factors = append(factors, lu)
+	}
+	for fi, lu := range factors {
+		n := lu.n
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		lu.solveIntoElementwise(want, b)
+		x := permuteRHS(lu, b, 1)
+		lu.solveInPlace(x)
+		byteIdentical(t, "solveInPlace", x, want)
+		for _, lanes := range []int{1, 3, 5, 8, 16} {
+			bb := make([]float64, n*lanes)
+			for i := range bb {
+				bb[i] = rng.NormFloat64()
+			}
+			wantB := make([]float64, n*lanes)
+			lu.solveBatchIntoElementwise(wantB, bb, lanes)
+			xb := permuteRHS(lu, bb, lanes)
+			lu.solveBatchInPlace(xb, lanes)
+			byteIdentical(t, "solveBatchInPlace", xb, wantB)
+			_ = fi
+		}
+	}
+}
+
+// TestSolveBatchInPlaceVectorMatchesGo pins the hand-written vector
+// kernels to the pure-Go register-blocked walks bit for bit, on the
+// production factor and randomized sparse factors, at both specialized
+// widths. Hosts without the vector path have nothing to compare and
+// skip.
+func TestSolveBatchInPlaceVectorMatchesGo(t *testing.T) {
+	if !useSolveAVX2 {
+		t.Skip("no AVX2 vector kernels on this host")
+	}
+	defer func() { useSolveAVX2 = true }()
+	rng := rand.New(rand.NewSource(23))
+	factors := []*realLU{zec12LU(t)}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(24)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.5 {
+					continue
+				}
+				a[i*n+j] = rng.NormFloat64()
+			}
+			a[i*n+i] += float64(n) + 1
+		}
+		lu, err := factorReal(a, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		factors = append(factors, lu)
+	}
+	for _, lu := range factors {
+		for _, lanes := range []int{DefaultBatchLanes, WideBatchLanes} {
+			b := make([]float64, lu.n*lanes)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			vec := permuteRHS(lu, b, lanes)
+			gop := permuteRHS(lu, b, lanes)
+			useSolveAVX2 = true
+			lu.solveBatchInPlace(vec, lanes)
+			useSolveAVX2 = false
+			lu.solveBatchInPlace(gop, lanes)
+			useSolveAVX2 = true
+			byteIdentical(t, "vector vs Go", vec, gop)
+		}
+	}
+}
+
+// BenchmarkInPlaceSolve measures the in-place permuted-RHS
+// substitution kernels on the production factor — the per-step solve
+// cost at each specialized width (compare BenchmarkBlockedSolve for the
+// two-buffer walks they replaced). Go8/Go16 force the pure-Go register
+// blocks so the vector kernels' margin is visible on AVX2 hosts.
+func BenchmarkInPlaceSolve(b *testing.B) {
+	lu := zec12LU(b)
+	n := lu.n
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n*WideBatchLanes)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.Run("InPlace1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lu.solveInPlace(x[:n])
+		}
+	})
+	b.Run("InPlace8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lu.solveBatch8InPlace(x[:n*8])
+		}
+	})
+	b.Run("InPlace16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lu.solveBatch16InPlace(x)
+		}
+	})
+	if useSolveAVX2 {
+		defer func() { useSolveAVX2 = true }()
+		useSolveAVX2 = false
+		b.Run("Go8", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lu.solveBatch8InPlace(x[:n*8])
+			}
+		})
+		b.Run("Go16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lu.solveBatch16InPlace(x)
+			}
+		})
+		useSolveAVX2 = true
+	}
+}
+
+// TestBatch16LanesMatchSingleLane extends the core lockstep contract to
+// the wide width: every lane of a width-16 batch stays bit-identical to
+// a dedicated single-lane Transient, through both the vector and the
+// pure-Go solve kernels.
+func TestBatch16LanesMatchSingleLane(t *testing.T) {
+	const lanes = WideBatchLanes
+	modes := []bool{useSolveAVX2}
+	if useSolveAVX2 {
+		modes = append(modes, false)
+	}
+	saved := useSolveAVX2
+	defer func() { useSolveAVX2 = saved }()
+	for _, vec := range modes {
+		useSolveAVX2 = vec
+		bt, out := newBatchRLC(t, lanes, 0)
+		singles := make([]*Transient, lanes)
+		outs := make([]NodeID, lanes)
+		for l := 0; l < lanes; l++ {
+			ckt, o := rlcWithLoad(batchWave(l))
+			tr, err := NewTransientAt(ckt, 1e-9, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			singles[l], outs[l] = tr, o
+		}
+		for i := 0; i < 3000; i++ {
+			if err := bt.Step(); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < lanes; l++ {
+				if err := singles[l].Step(); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := bt.Voltage(l, out), singles[l].Voltage(outs[l]); got != want {
+					t.Fatalf("vector=%v step %d lane %d: %v != %v", vec, i, l, got, want)
+				}
+			}
+		}
+	}
+}

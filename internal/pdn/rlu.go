@@ -21,6 +21,12 @@ type realLU struct {
 	n    int
 	lu   []float64
 	perm []int
+	// invPerm is perm's inverse: invPerm[perm[i]] == i. The in-place
+	// solve paths have their callers assemble the right-hand side
+	// directly in permuted row order (a contribution to unknown u lands
+	// at slot invPerm[u]), which removes the per-solve gather pass —
+	// an addressing change only, so solutions stay bit-identical.
+	invPerm []int
 
 	// Sparse substitution pattern: row r's L nonzeros (columns < r)
 	// sit at lVal/lCol[lPtr[r]:lPtr[r+1]], its U nonzeros (columns
@@ -105,6 +111,10 @@ func factorReal(a []float64, n int) (*realLU, error) {
 // triangles for the sparse substitutions.
 func (f *realLU) indexNonzeros() {
 	n := f.n
+	f.invPerm = make([]int, n)
+	for i, p := range f.perm {
+		f.invPerm[p] = i
+	}
 	f.lPtr = make([]int32, n+1)
 	f.uPtr = make([]int32, n+1)
 	f.diag = make([]float64, n)
@@ -385,6 +395,208 @@ func (f *realLU) solveInto(x, b []float64) {
 			kv += ln
 		}
 		x[i] = sum * f.invDiag[i]
+	}
+}
+
+// solveInPlace solves A*x = b in place: on entry x holds the
+// right-hand side already in permuted row order (slot i carries
+// b[perm[i]], i.e. the caller scattered each contribution to unknown u
+// into slot invPerm[u]); on exit x[i] is the solution of unknown i.
+// The forward substitution only reads slots j < i that the pass has
+// already finalized and the back substitution only reads slots j > i,
+// so running in the right-hand-side buffer performs exactly the
+// arithmetic of the two-buffer walk minus the gather copy — solutions
+// are bit-identical.
+//
+// The walk is element-wise, not blocked: with one right-hand side the
+// run bookkeeping costs more than the per-element column loads it
+// avoids (the fill-reducing orderings leave almost every run at length
+// one), which is the same trade solveBatch8 makes.
+func (f *realLU) solveInPlace(x []float64) {
+	n := f.n
+	if len(x) != n {
+		panic(fmt.Sprintf("pdn: solveInPlace with len(x)=%d n=%d", len(x), n))
+	}
+	for i := 1; i < n; i++ {
+		sum := x[i]
+		for k := f.lPtr[i]; k < f.lPtr[i+1]; k++ {
+			sum -= f.lVal[k] * x[f.lCol[k]]
+		}
+		x[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for k := f.uPtr[i]; k < f.uPtr[i+1]; k++ {
+			sum -= f.uVal[k] * x[f.uCol[k]]
+		}
+		x[i] = sum * f.invDiag[i]
+	}
+}
+
+// solveBatchInPlace is solveInPlace for `lanes` lockstep right-hand
+// sides (row i, lane l at i*lanes+l), already assembled in permuted
+// row order. Widths 8 and 16 dispatch to the register-blocked kernels
+// (hardware-vectorized where the host supports it); other widths walk
+// the blocked run plan in place. Per lane every path performs the
+// multiplies, subtractions and reciprocal scalings of the single-lane
+// walk in the same order, so lanes stay bit-identical at any width.
+func (f *realLU) solveBatchInPlace(x []float64, lanes int) {
+	n := f.n
+	if lanes < 1 || len(x) != n*lanes {
+		panic(fmt.Sprintf("pdn: solveBatchInPlace with len(x)=%d n=%d lanes=%d", len(x), n, lanes))
+	}
+	switch lanes {
+	case DefaultBatchLanes:
+		f.solveBatch8InPlace(x)
+		return
+	case WideBatchLanes:
+		f.solveBatch16InPlace(x)
+		return
+	}
+	for i := 1; i < n; i++ {
+		xi := x[i*lanes : i*lanes+lanes : i*lanes+lanes]
+		kv := int(f.lPtr[i])
+		for r := f.lRunPtr[i]; r < f.lRunPtr[i+1]; r++ {
+			ln := int(f.lRunLen[r])
+			base := int(f.lRunCol[r]) * lanes
+			for k := 0; k < ln; k++ {
+				v := f.lVal[kv+k]
+				xj := x[base+k*lanes : base+(k+1)*lanes : base+(k+1)*lanes]
+				for l := range xi {
+					xi[l] -= v * xj[l]
+				}
+			}
+			kv += ln
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := x[i*lanes : i*lanes+lanes : i*lanes+lanes]
+		kv := int(f.uPtr[i])
+		for r := f.uRunPtr[i]; r < f.uRunPtr[i+1]; r++ {
+			ln := int(f.uRunLen[r])
+			base := int(f.uRunCol[r]) * lanes
+			for k := 0; k < ln; k++ {
+				v := f.uVal[kv+k]
+				xj := x[base+k*lanes : base+(k+1)*lanes : base+(k+1)*lanes]
+				for l := range xi {
+					xi[l] -= v * xj[l]
+				}
+			}
+			kv += ln
+		}
+		d := f.invDiag[i]
+		for l := range xi {
+			xi[l] *= d
+		}
+	}
+}
+
+// WideBatchLanes is the second specialized lane width: twice the
+// default, for hosts whose calibration finds the per-lane cost still
+// dropping past 8 (the substitution kernels gain instruction-level
+// parallelism with width until the lane state outgrows cache).
+const WideBatchLanes = 16
+
+// solveBatch8InPlace is solveBatch8 minus the gather pass: the caller
+// assembled the right-hand sides in permuted row order, so the
+// substitutions run directly in x. On hosts with AVX2 the inner loops
+// run in a hand-written vector kernel performing the identical IEEE
+// multiplies and subtractions in the identical order (each 8-lane row
+// is two 4-lane vectors; lanes are independent, so vectorizing across
+// them reorders nothing within a lane) — results are bit-identical to
+// this Go walk, as the equivalence tests pin.
+func (f *realLU) solveBatch8InPlace(x []float64) {
+	if useSolveAVX2 {
+		fwdBack8AVX2(f.lVal, f.lCol, f.lPtr, f.uVal, f.uCol, f.uPtr, f.invDiag, x, f.n)
+		return
+	}
+	const B = DefaultBatchLanes
+	n := f.n
+	for i := 1; i < n; i++ {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		x0, x1, x2, x3, x4, x5, x6, x7 := xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7]
+		for k := int(f.lPtr[i]); k < int(f.lPtr[i+1]); k++ {
+			v := f.lVal[k]
+			base := int(f.lCol[k]) * B
+			xj := (*[B]float64)(x[base : base+B])
+			x0 -= v * xj[0]
+			x1 -= v * xj[1]
+			x2 -= v * xj[2]
+			x3 -= v * xj[3]
+			x4 -= v * xj[4]
+			x5 -= v * xj[5]
+			x6 -= v * xj[6]
+			x7 -= v * xj[7]
+		}
+		xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7] = x0, x1, x2, x3, x4, x5, x6, x7
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		x0, x1, x2, x3, x4, x5, x6, x7 := xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7]
+		for k := int(f.uPtr[i]); k < int(f.uPtr[i+1]); k++ {
+			v := f.uVal[k]
+			base := int(f.uCol[k]) * B
+			xj := (*[B]float64)(x[base : base+B])
+			x0 -= v * xj[0]
+			x1 -= v * xj[1]
+			x2 -= v * xj[2]
+			x3 -= v * xj[3]
+			x4 -= v * xj[4]
+			x5 -= v * xj[5]
+			x6 -= v * xj[6]
+			x7 -= v * xj[7]
+		}
+		d := f.invDiag[i]
+		xi[0], xi[1], xi[2], xi[3], xi[4], xi[5], xi[6], xi[7] = x0*d, x1*d, x2*d, x3*d, x4*d, x5*d, x6*d, x7*d
+	}
+}
+
+// solveBatch16InPlace is the width-16 register-blocked substitution:
+// the same element-wise walk as solveBatch8InPlace with sixteen lane
+// accumulators (four 4-lane vectors per row under AVX2). Per lane the
+// arithmetic order is identical to every other width.
+func (f *realLU) solveBatch16InPlace(x []float64) {
+	if useSolveAVX2 {
+		fwdBack16AVX2(f.lVal, f.lCol, f.lPtr, f.uVal, f.uCol, f.uPtr, f.invDiag, x, f.n)
+		return
+	}
+	const B = WideBatchLanes
+	n := f.n
+	// acc is the row's sixteen lane accumulators: a local block, so the
+	// compiler knows the column loads cannot alias it (x rows never
+	// self-alias — L touches only columns < i, U only columns > i).
+	var acc [B]float64
+	for i := 1; i < n; i++ {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		if f.lPtr[i] == f.lPtr[i+1] {
+			continue
+		}
+		acc = *xi
+		for k := int(f.lPtr[i]); k < int(f.lPtr[i+1]); k++ {
+			v := f.lVal[k]
+			base := int(f.lCol[k]) * B
+			xj := (*[B]float64)(x[base : base+B])
+			for l := 0; l < B; l++ {
+				acc[l] -= v * xj[l]
+			}
+		}
+		*xi = acc
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := (*[B]float64)(x[i*B : i*B+B])
+		acc = *xi
+		for k := int(f.uPtr[i]); k < int(f.uPtr[i+1]); k++ {
+			v := f.uVal[k]
+			base := int(f.uCol[k]) * B
+			xj := (*[B]float64)(x[base : base+B])
+			for l := 0; l < B; l++ {
+				acc[l] -= v * xj[l]
+			}
+		}
+		d := f.invDiag[i]
+		for l := 0; l < B; l++ {
+			xi[l] = acc[l] * d
+		}
 	}
 }
 

@@ -1,0 +1,56 @@
+package pdn
+
+// useSolveAVX2 selects the hand-written AVX2 substitution kernels for
+// the width-8 and width-16 in-place batch solves. The vector kernels
+// perform the identical IEEE-754 multiplies, subtractions and
+// reciprocal scalings in the identical per-lane order as the Go walks
+// (vectorization spans independent lanes, never reassociates within
+// one; no FMA contraction), so enabling them cannot change a result
+// bit — the equivalence tests run both paths and compare bytes. It is
+// a variable, not a constant, so tests can force the Go fallback.
+var useSolveAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the host supports AVX2 and the OS has
+// enabled YMM state (OSXSAVE + XCR0[2:1] == 11b), following the
+// standard CPUID/XGETBV probe sequence.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state both OS-enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// fwdBack8AVX2 runs the forward and back substitutions of
+// solveBatch8InPlace over the 8-lane block x (row i at x[i*8:i*8+8])
+// with AVX2 vectors: per nonzero, the coefficient broadcasts across a
+// lane vector and each row's two 4-lane vectors accumulate the same
+// multiply-then-subtract the scalar walk performs, rows in the same
+// order, reciprocal scaling last. All slices must be the factor's own
+// (lengths are not re-checked here).
+//
+//go:noescape
+func fwdBack8AVX2(lVal []float64, lCol, lPtr []int32, uVal []float64, uCol, uPtr []int32, invDiag, x []float64, n int)
+
+// fwdBack16AVX2 is fwdBack8AVX2 for 16-lane blocks (four 4-lane
+// vectors per row).
+//
+//go:noescape
+func fwdBack16AVX2(lVal []float64, lCol, lPtr []int32, uVal []float64, uCol, uPtr []int32, invDiag, x []float64, n int)

@@ -1,0 +1,237 @@
+// AVX2 substitution kernels for the in-place batch solves, plus the
+// CPUID/XGETBV feature probe. See solve_amd64.go for the bit-identity
+// contract: per lane these perform exactly the scalar walk's IEEE
+// operations in the same order — vector lanes are independent
+// right-hand sides, VMULPD/VSUBPD are exact IEEE-754 double ops, and
+// no FMA contraction is used.
+
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func fwdBack8AVX2(lVal []float64, lCol, lPtr []int32, uVal []float64,
+//                   uCol, uPtr []int32, invDiag, x []float64, n int)
+//
+// Row i occupies x[i*8 : i*8+8] = 64 bytes = Y0:Y1. Forward pass walks
+// rows 1..n-1 accumulating x[i] -= lVal[k]*x[lCol[k]] over the row's L
+// nonzeros; back pass walks rows n-1..0 over the U nonzeros and scales
+// by invDiag[i]. Column indices are non-negative int32, so MOVL's
+// implicit zero extension is exact.
+TEXT ·fwdBack8AVX2(SB), NOSPLIT, $0-200
+	MOVQ x_base+168(FP), DI
+	MOVQ n+192(FP), SI
+
+	// Forward: L factors.
+	MOVQ lVal_base+0(FP), R8
+	MOVQ lCol_base+24(FP), R9
+	MOVQ lPtr_base+48(FP), R10
+	MOVQ $1, BX
+
+fwd8_loop:
+	CMPQ BX, SI
+	JGE  fwd8_done
+	MOVL (R10)(BX*4), CX   // k = lPtr[i]
+	MOVL 4(R10)(BX*4), DX  // kEnd = lPtr[i+1]
+	CMPQ CX, DX
+	JEQ  fwd8_next         // empty row: nothing to accumulate
+	MOVQ BX, AX
+	SHLQ $6, AX            // i*64
+	VMOVUPD (DI)(AX*1), Y0
+	VMOVUPD 32(DI)(AX*1), Y1
+
+fwd8_inner:
+	VBROADCASTSD (R8)(CX*8), Y2
+	MOVL (R9)(CX*4), AX    // j = lCol[k]
+	SHLQ $6, AX
+	VMULPD (DI)(AX*1), Y2, Y3
+	VSUBPD Y3, Y0, Y0
+	VMULPD 32(DI)(AX*1), Y2, Y3
+	VSUBPD Y3, Y1, Y1
+	INCQ CX
+	CMPQ CX, DX
+	JLT  fwd8_inner
+
+	MOVQ BX, AX
+	SHLQ $6, AX
+	VMOVUPD Y0, (DI)(AX*1)
+	VMOVUPD Y1, 32(DI)(AX*1)
+
+fwd8_next:
+	INCQ BX
+	JMP  fwd8_loop
+
+fwd8_done:
+	// Back: U factors, then the reciprocal diagonal scale.
+	MOVQ uVal_base+72(FP), R8
+	MOVQ uCol_base+96(FP), R9
+	MOVQ uPtr_base+120(FP), R10
+	MOVQ invDiag_base+144(FP), R11
+	MOVQ SI, BX
+	DECQ BX                // i = n-1
+
+back8_loop:
+	CMPQ BX, $0
+	JLT  back8_done
+	MOVQ BX, AX
+	SHLQ $6, AX
+	VMOVUPD (DI)(AX*1), Y0
+	VMOVUPD 32(DI)(AX*1), Y1
+	MOVL (R10)(BX*4), CX
+	MOVL 4(R10)(BX*4), DX
+	CMPQ CX, DX
+	JEQ  back8_scale
+
+back8_inner:
+	VBROADCASTSD (R8)(CX*8), Y2
+	MOVL (R9)(CX*4), AX
+	SHLQ $6, AX
+	VMULPD (DI)(AX*1), Y2, Y3
+	VSUBPD Y3, Y0, Y0
+	VMULPD 32(DI)(AX*1), Y2, Y3
+	VSUBPD Y3, Y1, Y1
+	INCQ CX
+	CMPQ CX, DX
+	JLT  back8_inner
+
+back8_scale:
+	VBROADCASTSD (R11)(BX*8), Y2
+	VMULPD Y2, Y0, Y0
+	VMULPD Y2, Y1, Y1
+	MOVQ BX, AX
+	SHLQ $6, AX
+	VMOVUPD Y0, (DI)(AX*1)
+	VMOVUPD Y1, 32(DI)(AX*1)
+	DECQ BX
+	JMP  back8_loop
+
+back8_done:
+	VZEROUPPER
+	RET
+
+// func fwdBack16AVX2(lVal []float64, lCol, lPtr []int32, uVal []float64,
+//                    uCol, uPtr []int32, invDiag, x []float64, n int)
+//
+// As fwdBack8AVX2 with 128-byte rows (Y0:Y3 per row).
+TEXT ·fwdBack16AVX2(SB), NOSPLIT, $0-200
+	MOVQ x_base+168(FP), DI
+	MOVQ n+192(FP), SI
+
+	MOVQ lVal_base+0(FP), R8
+	MOVQ lCol_base+24(FP), R9
+	MOVQ lPtr_base+48(FP), R10
+	MOVQ $1, BX
+
+fwd16_loop:
+	CMPQ BX, SI
+	JGE  fwd16_done
+	MOVL (R10)(BX*4), CX
+	MOVL 4(R10)(BX*4), DX
+	CMPQ CX, DX
+	JEQ  fwd16_next
+	MOVQ BX, AX
+	SHLQ $7, AX            // i*128
+	VMOVUPD (DI)(AX*1), Y0
+	VMOVUPD 32(DI)(AX*1), Y1
+	VMOVUPD 64(DI)(AX*1), Y2
+	VMOVUPD 96(DI)(AX*1), Y3
+
+fwd16_inner:
+	VBROADCASTSD (R8)(CX*8), Y4
+	MOVL (R9)(CX*4), AX
+	SHLQ $7, AX
+	VMULPD (DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y0, Y0
+	VMULPD 32(DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y1, Y1
+	VMULPD 64(DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y2, Y2
+	VMULPD 96(DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y3, Y3
+	INCQ CX
+	CMPQ CX, DX
+	JLT  fwd16_inner
+
+	MOVQ BX, AX
+	SHLQ $7, AX
+	VMOVUPD Y0, (DI)(AX*1)
+	VMOVUPD Y1, 32(DI)(AX*1)
+	VMOVUPD Y2, 64(DI)(AX*1)
+	VMOVUPD Y3, 96(DI)(AX*1)
+
+fwd16_next:
+	INCQ BX
+	JMP  fwd16_loop
+
+fwd16_done:
+	MOVQ uVal_base+72(FP), R8
+	MOVQ uCol_base+96(FP), R9
+	MOVQ uPtr_base+120(FP), R10
+	MOVQ invDiag_base+144(FP), R11
+	MOVQ SI, BX
+	DECQ BX
+
+back16_loop:
+	CMPQ BX, $0
+	JLT  back16_done
+	MOVQ BX, AX
+	SHLQ $7, AX
+	VMOVUPD (DI)(AX*1), Y0
+	VMOVUPD 32(DI)(AX*1), Y1
+	VMOVUPD 64(DI)(AX*1), Y2
+	VMOVUPD 96(DI)(AX*1), Y3
+	MOVL (R10)(BX*4), CX
+	MOVL 4(R10)(BX*4), DX
+	CMPQ CX, DX
+	JEQ  back16_scale
+
+back16_inner:
+	VBROADCASTSD (R8)(CX*8), Y4
+	MOVL (R9)(CX*4), AX
+	SHLQ $7, AX
+	VMULPD (DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y0, Y0
+	VMULPD 32(DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y1, Y1
+	VMULPD 64(DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y2, Y2
+	VMULPD 96(DI)(AX*1), Y4, Y5
+	VSUBPD Y5, Y3, Y3
+	INCQ CX
+	CMPQ CX, DX
+	JLT  back16_inner
+
+back16_scale:
+	VBROADCASTSD (R11)(BX*8), Y4
+	VMULPD Y4, Y0, Y0
+	VMULPD Y4, Y1, Y1
+	VMULPD Y4, Y2, Y2
+	VMULPD Y4, Y3, Y3
+	MOVQ BX, AX
+	SHLQ $7, AX
+	VMOVUPD Y0, (DI)(AX*1)
+	VMOVUPD Y1, 32(DI)(AX*1)
+	VMOVUPD Y2, 64(DI)(AX*1)
+	VMOVUPD Y3, 96(DI)(AX*1)
+	DECQ BX
+	JMP  back16_loop
+
+back16_done:
+	VZEROUPPER
+	RET

@@ -22,6 +22,16 @@ type Transient struct {
 	idx  []int   // NodeID -> unknown index or -1
 	n    int     // number of unknowns
 
+	// idxP maps NodeID to the unknown's slot in lu's permuted row
+	// order (invPerm[idx[node]], or -1): Step assembles the right-hand
+	// side directly in that order so the solve runs in place, skipping
+	// the per-step gather copy. unkNode is the inverse scatter map —
+	// unkNode[i] is the node whose solved potential sits at slot i
+	// after the in-place substitutions (which, like solveInto, leave
+	// unknown i's solution at slot i; only RHS assembly is permuted).
+	idxP    []int
+	unkNode []int32
+
 	// Per-element companion state. vab/ibr hold the DC operating point
 	// only: past the first step, branch state lives in hist (the
 	// trapezoidal history source) and BranchCurrent derives currents on
@@ -53,6 +63,7 @@ type stepElem struct {
 	geq          float64 // companion conductance
 	na, nb       int     // node indices (for potential lookups)
 	ia, ib       int     // unknown indices (-1: grounded or fixed)
+	iaP, ibP     int     // unknown RHS slots in permuted row order (-1 alike)
 	fa, fb       float64 // fixed-node RHS contributions (geq * fixed potential)
 	hasFA, hasFB bool
 }
@@ -91,6 +102,7 @@ func NewTransientAt(c *Circuit, dt, start float64) (*Transient, error) {
 		return nil, err
 	}
 	t.geq, t.lu = geq, lu
+	t.idxP, t.unkNode = permutedIndex(idx, lu)
 	dcLU, err := factorDCMatrix(c, idx, n)
 	if err != nil {
 		return nil, err
@@ -116,6 +128,24 @@ func (t *Transient) Reset(start float64) error {
 	return t.initState()
 }
 
+// permutedIndex derives the permuted-RHS maps for an engine solving in
+// place against lu: nodeP[node] is the RHS slot of the node's unknown
+// (invPerm[idx[node]], -1 for grounded/fixed nodes) and unkNode[i] is
+// the node whose solution the substitutions leave at slot i.
+func permutedIndex(idx []int, lu *realLU) (nodeP []int, unkNode []int32) {
+	nodeP = make([]int, len(idx))
+	unkNode = make([]int32, lu.n)
+	for node, i := range idx {
+		if i >= 0 {
+			nodeP[node] = lu.invPerm[i]
+			unkNode[i] = int32(node)
+		} else {
+			nodeP[node] = -1
+		}
+	}
+	return nodeP, unkNode
+}
+
 // buildPlan captures the per-step RHS contributions, snapshotting the
 // fixed-node potentials in effect now (Reset refreshes the snapshot
 // after a FixNode retune).
@@ -123,6 +153,7 @@ func (t *Transient) buildPlan() {
 	t.plan = t.plan[:0]
 	for ei, e := range t.c.elements {
 		pe := stepElem{kind: e.kind, ei: ei, geq: t.geq[ei], na: int(e.a), nb: int(e.b), ia: t.idx[e.a], ib: t.idx[e.b]}
+		pe.iaP, pe.ibP = t.idxP[e.a], t.idxP[e.b]
 		if pe.ia >= 0 && pe.ib < 0 {
 			pe.fa = pe.geq * t.c.potentialOfFixed(e.b)
 			pe.hasFA = true
@@ -331,12 +362,13 @@ func (t *Transient) BranchCurrent(i int) float64 {
 	}
 }
 
-// Step advances the simulation by one timestep.
+// Step advances the simulation by one timestep. It allocates nothing.
 func (t *Transient) Step() error {
 	c := t.c
 	next := t.time + t.dt
-	for i := range t.rhs {
-		t.rhs[i] = 0
+	rhs := t.rhs
+	for i := range rhs {
+		rhs[i] = 0
 	}
 	// History sources and fixed-node conductance contributions, from
 	// the precomputed plan (same element order, same arithmetic). On
@@ -345,63 +377,75 @@ func (t *Transient) Step() error {
 	// solve produced — the same multiplies, subtractions, and additions
 	// a separate end-of-step update pass would perform, fused here so
 	// each element's state streams through the cache once per step.
+	// RHS writes land at the permuted slots (iaP/ibP) so the solve can
+	// run in place: per unknown the accumulation order is untouched
+	// (one unknown, one slot), only the slot's address moves.
 	first := t.step == 0
+	hist, pots := t.hist, t.pots
 	for i := range t.plan {
 		pe := &t.plan[i]
 		if pe.hasFA {
-			t.rhs[pe.ia] += pe.fa
+			rhs[pe.iaP] += pe.fa
 		}
 		if pe.hasFB {
-			t.rhs[pe.ib] += pe.fb
+			rhs[pe.ibP] += pe.fb
 		}
 		switch pe.kind {
 		case kindCapacitor:
 			// i(t+dt) = geq*v(t+dt) - hist, hist = geq*v(t) + i(t).
 			// Branch current a->b contributes +hist into node a's RHS.
-			h := t.hist[pe.ei]
+			h := hist[pe.ei]
 			if !first {
-				gv := pe.geq * (t.pots[pe.na] - t.pots[pe.nb])
+				gv := pe.geq * (pots[pe.na] - pots[pe.nb])
 				h = gv + (gv - h)
-				t.hist[pe.ei] = h
+				hist[pe.ei] = h
 			}
-			if pe.ia >= 0 {
-				t.rhs[pe.ia] += h
+			if pe.iaP >= 0 {
+				rhs[pe.iaP] += h
 			}
-			if pe.ib >= 0 {
-				t.rhs[pe.ib] -= h
+			if pe.ibP >= 0 {
+				rhs[pe.ibP] -= h
 			}
 		case kindInductor:
 			// i(t+dt) = geq*v(t+dt) + hist, hist = i(t) + geq*v(t).
-			h := t.hist[pe.ei]
+			h := hist[pe.ei]
 			if !first {
-				gv := pe.geq * (t.pots[pe.na] - t.pots[pe.nb])
+				gv := pe.geq * (pots[pe.na] - pots[pe.nb])
 				h = (gv + h) + gv
-				t.hist[pe.ei] = h
+				hist[pe.ei] = h
 			}
-			if pe.ia >= 0 {
-				t.rhs[pe.ia] -= h
+			if pe.iaP >= 0 {
+				rhs[pe.iaP] -= h
 			}
-			if pe.ib >= 0 {
-				t.rhs[pe.ib] += h
+			if pe.ibP >= 0 {
+				rhs[pe.ibP] += h
 			}
 		}
 	}
 	// Loads evaluated at the new time (backward-looking sources keep
 	// the trapezoidal solve linear).
 	for _, l := range c.loads {
-		if i := t.idx[l.Node]; i >= 0 {
-			t.rhs[i] -= l.Current(next)
+		if i := t.idxP[l.Node]; i >= 0 {
+			rhs[i] -= l.Current(next)
 		}
 	}
-	t.lu.solveInto(t.sol, t.rhs)
-	for _, v := range t.sol {
-		// v-v is 0 for every finite v and NaN for NaN and ±Inf, so one
-		// subtraction replaces the IsNaN/IsInf pair on this hot path.
+	t.lu.solveInPlace(rhs)
+	// Scatter the solved unknowns, checking for divergence in the same
+	// pass (v-v is 0 for every finite v and NaN for NaN and ±Inf).
+	// Fixed-node potentials are not rewritten here: they change only
+	// through Reset, which re-scatters them via initState. On
+	// divergence the engine state is abandoned with the error.
+	bad := false
+	for i, node := range t.unkNode {
+		v := rhs[i]
 		if v-v != 0 {
-			return fmt.Errorf("pdn: integration diverged at t=%g", next)
+			bad = true
 		}
+		t.pots[node] = v
 	}
-	t.scatterPotentials(t.sol)
+	if bad {
+		return fmt.Errorf("pdn: integration diverged at t=%g", next)
+	}
 	t.time = next
 	t.step++
 	return nil

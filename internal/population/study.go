@@ -120,8 +120,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Cut each bin's chip list into lockstep batches. The batch list
 	// is a pure function of (chips, bins, width) — scheduling knobs
-	// only decide which worker runs which batch when.
-	width := exec.BatchWidth(cfg.Batch, cfg.Chips)
+	// only decide which worker runs which batch when, and the
+	// calibrated auto width moves only wall-clock time (lanes are
+	// bit-identical at every width). All bins share one circuit
+	// topology, so any bin's pool calibrates for the whole study.
+	var auto func() int
+	for _, p := range platforms {
+		if p != nil {
+			auto = p.Sessions().AutoBatchWidth
+			break
+		}
+	}
+	width := exec.BatchWidthAuto(cfg.Batch, cfg.Chips, auto)
 	type chipBatch struct {
 		bin int
 		ids []int

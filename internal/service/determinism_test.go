@@ -113,7 +113,8 @@ func TestWorkerCountInvariance(t *testing.T) {
 // TestBatchWidthInvariance: the Batch knob is scheduling-only — like
 // Workers it neither changes the canonical hash nor the result bytes,
 // whether the study runs lane-per-run or packed into lockstep lanes,
-// at every worker count of the stolen-chunk schedule.
+// at every worker count of the stolen-chunk schedule — including
+// the width-16 register-blocked kernel.
 func TestBatchWidthInvariance(t *testing.T) {
 	ctx := testCtx(t)
 	_, c := startServer(t, service.Config{Runner: labRunner, CacheEntries: -1})
@@ -129,7 +130,7 @@ func TestBatchWidthInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4, 8} {
-		for _, batch := range []int{1, 3, 8} {
+		for _, batch := range []int{1, 3, 8, 16} {
 			req := sweepReq(3)
 			req.Workers, req.Batch = workers, batch
 			h, err := req.Hash()
@@ -153,7 +154,7 @@ func TestBatchWidthInvariance(t *testing.T) {
 // TestPopulationBatchWidthInvariance runs the same scheduling grid
 // over the population study end-to-end: the fleet's distribution
 // summaries — quantile sketches included — must be byte-identical at
-// batch {1,3,8} x workers {1,4,8} through the HTTP service.
+// batch {1,3,8,16} x workers {1,4,8} through the HTTP service.
 func TestPopulationBatchWidthInvariance(t *testing.T) {
 	ctx := testCtx(t)
 	_, c := startServer(t, service.Config{Runner: labRunner, CacheEntries: -1})
@@ -169,7 +170,7 @@ func TestPopulationBatchWidthInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4, 8} {
-		for _, batch := range []int{1, 3, 8} {
+		for _, batch := range []int{1, 3, 8, 16} {
 			req := populationReq(13)
 			req.Workers, req.Batch = workers, batch
 			h, err := req.Hash()

@@ -87,10 +87,11 @@ type Request struct {
 	// (0 = one per CPU, 1 = serial). Scheduling only; not hashed.
 	Workers int `json:"workers,omitempty"`
 	// Batch is the lockstep batch lane width for studies that pack
-	// measurement runs into one factored circuit (0 = auto,
-	// 1 = lane-per-run). Like Workers it is scheduling only — every
-	// width produces bit-identical bytes — so it is excluded from the
-	// canonical hash.
+	// measurement runs into one factored circuit (0 = auto: the
+	// session pool's calibrated width, picked once per pool from the
+	// register-blocked kernels; 1 = lane-per-run). Like Workers it is
+	// scheduling only — every width produces bit-identical bytes — so
+	// it is excluded from the canonical hash.
 	Batch int `json:"batch,omitempty"`
 
 	FreqSweep  *FreqSweepParams  `json:"freq_sweep,omitempty"`

@@ -6,8 +6,9 @@ import (
 	"testing"
 )
 
-// slowMacro builds a reference macro with the sticky fast path
-// disabled, so every Sample takes the full evaluation path.
+// slowMacro builds a reference macro with the sticky fast path and the
+// piecewise table disabled, so every Sample takes the full exact
+// evaluation path.
 func slowMacro(t testing.TB, cfg Config) *Macro {
 	t.Helper()
 	m, err := NewMacro(cfg)
@@ -15,6 +16,24 @@ func slowMacro(t testing.TB, cfg Config) *Macro {
 		t.Fatal(err)
 	}
 	m.mono = false
+	m.tabAfter = 0
+	return m
+}
+
+// tableMacro builds a macro with the piecewise table engaged from the
+// first sample, so tests exercise the certified path without waiting
+// out the lazy-build countdown.
+func tableMacro(t testing.TB, cfg Config) *Macro {
+	t.Helper()
+	m, err := NewMacro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.tabAfter = 0
+	m.tab = gTableFor(cfg.VThreshold, cfg.Alpha)
+	if m.tab == nil {
+		t.Fatal("table cache refused to build (cap reached)")
+	}
 	return m
 }
 
@@ -87,16 +106,22 @@ func TestFastPathBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			tabbed := tableMacro(t, cfg)
 			slow := slowMacro(t, cfg)
 			label := name + "/" + wname
 			for i, v := range vs {
 				fast.Sample(v)
+				tabbed.Sample(v)
 				slow.Sample(v)
 				sameState(t, label, i, fast, slow)
+				sameState(t, label+"/table", i, tabbed, slow)
 			}
 			if fast.Samples() > 0 {
 				if f, s := fast.PeakToPeakPercent(), slow.PeakToPeakPercent(); f != s {
 					t.Fatalf("%s: fast p2p %g, slow %g", label, f, s)
+				}
+				if f, s := tabbed.PeakToPeakPercent(), slow.PeakToPeakPercent(); f != s {
+					t.Fatalf("%s: table p2p %g, slow %g", label, f, s)
 				}
 			}
 		}
@@ -153,9 +178,49 @@ func TestFastPathAlphaBelowOneDisabled(t *testing.T) {
 	}
 }
 
+// TestTablePathEngages: on the production config the certified table
+// evaluation must actually complete samples away from rounding
+// boundaries — otherwise the table is dead weight and every sample
+// still pays for math.Pow.
+func TestTablePathEngages(t *testing.T) {
+	m := tableMacro(t, DefaultConfig())
+	completed := 0
+	for i := 0; i < 1000; i++ {
+		v := 1.01 + 0.0001*float64(i%7)
+		jit := 0.3 * float64(i%5-2)
+		if m.sampleTable(m.tab, v, jit) {
+			completed++
+		}
+	}
+	if completed < 900 {
+		t.Fatalf("table path completed only %d of 1000 samples", completed)
+	}
+}
+
+// TestTableLazyBuild: a fresh macro must not touch the table until the
+// lazy countdown of full evaluations elapses, then hold it thereafter.
+func TestTableLazyBuild(t *testing.T) {
+	m, err := NewMacro(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mono = false // keep every sample on the slow path
+	for i := 0; i < 63; i++ {
+		m.Sample(1.0 + 0.01*float64(i%11))
+	}
+	if m.tab != nil {
+		t.Fatal("table built before the countdown elapsed")
+	}
+	m.Sample(1.0)
+	if m.tab == nil {
+		t.Fatal("table never built after 64 full evaluations")
+	}
+}
+
 // BenchmarkSample measures the per-cycle sampling cost on a settled
 // waveform (fast path hot) versus a waveform that never settles (fast
-// path cold).
+// path cold), with the cold case split by whether the certified table
+// or the exact math.Pow evaluation runs.
 func BenchmarkSample(b *testing.B) {
 	cfg := DefaultConfig()
 	b.Run("Settled", func(b *testing.B) {
@@ -167,12 +232,20 @@ func BenchmarkSample(b *testing.B) {
 			m.Sample(1.03)
 		}
 	})
-	b.Run("Cold", func(b *testing.B) {
+	b.Run("ColdTable", func(b *testing.B) {
+		m := tableMacro(b, cfg)
+		m.mono = false
+		for i := 0; i < b.N; i++ {
+			m.Sample(1.03)
+		}
+	})
+	b.Run("ColdExact", func(b *testing.B) {
 		m, err := NewMacro(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		m.mono = false
+		m.tabAfter = 0
 		for i := 0; i < b.N; i++ {
 			m.Sample(1.03)
 		}

@@ -19,6 +19,7 @@ package skitter
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"voltnoise/internal/signal"
 )
@@ -168,6 +169,20 @@ type Macro struct {
 	// advance) when disabled — exactly what jitter() would have done.
 	rngStride uint64
 
+	// scale is the Vnom-dependent multiplier of the alpha-power core:
+	// positionF(v) = scale * g(v) (before the Taps clamp) with
+	// g(v) = (v-VThreshold)^Alpha / v, so the tabulated g serves every
+	// per-lane supply bias and per-core gain through one table.
+	scale float64
+
+	// tab, when non-nil, is the certified piecewise-linear table of g
+	// the slow path consults before paying for math.Pow; tabAfter
+	// counts the full evaluations remaining before the table is fetched
+	// (lazily, so short-lived macros never pay the build), and zero
+	// means the table path is off for good.
+	tab      *gTable
+	tabAfter int
+
 	// Sticky fast path. [vLo, vHi] is the verified-safe supply
 	// interval: every v inside it is known to quantize within the
 	// current sticky [minPos, maxPos] for EVERY possible jitter value,
@@ -193,7 +208,12 @@ func NewMacro(cfg Config) (*Macro, error) {
 		den:  cfg.Vnom / math.Pow(cfg.Vnom-cfg.VThreshold, cfg.Alpha),
 		nomF: cfg.positionF(cfg.Vnom),
 		mono: cfg.Alpha >= 1,
+		// The table engages only after this many full evaluations:
+		// long measurement windows amortize the (cached) build, short
+		// ones never touch it.
+		tabAfter: 64,
 	}
+	m.scale = cfg.ClockPeriod * m.den / cfg.NominalDelay
 	if cfg.Jitter != 0 {
 		m.rngStride = 0x9E3779B97F4A7C15
 	}
@@ -239,8 +259,22 @@ func (m *Macro) Sample(v float64) {
 }
 
 func (m *Macro) sampleSlow(v float64) {
+	// One jitter draw per sample, whichever evaluation runs: the stream
+	// stays aligned between the table path, the exact path, and the
+	// safe-interval fast path.
+	jit := m.jitter()
+	if tab := m.tab; tab != nil && v > tab.lo && v < tab.hi {
+		if m.sampleTable(tab, v, jit) {
+			return
+		}
+	} else if m.tabAfter > 0 {
+		m.tabAfter--
+		if m.tabAfter == 0 {
+			m.tab = gTableFor(m.cfg.VThreshold, m.cfg.Alpha)
+		}
+	}
 	edge := m.edgePositionF(v)
-	pos := m.cfg.quantize(edge + m.jitter())
+	pos := m.cfg.quantize(edge + jit)
 	if pos < m.minPos {
 		m.minPos = pos
 	}
@@ -265,6 +299,143 @@ func (m *Macro) sampleSlow(v float64) {
 			m.vHi = v
 		}
 	}
+}
+
+// sampleTable attempts the sample with the certified piecewise table
+// instead of math.Pow, and reports whether it completed. It completes
+// only when the approximation provably quantizes to the same tap as the
+// exact evaluation: the interpolated edge must clear the Taps clamp,
+// the nearest rounding boundary, and (for the safe-interval ratchet)
+// both ratchet thresholds by more than the table's certified error
+// bound — otherwise it declines and the exact path runs. Readings are
+// therefore bit-identical with the table on or off; only the safe
+// interval may ratchet more conservatively, which the interval's
+// soundness argument already permits.
+func (m *Macro) sampleTable(tab *gTable, v, jit float64) bool {
+	idx := int((v - tab.lo) * tab.invStep)
+	if idx >= len(tab.eps) {
+		idx = len(tab.eps) - 1
+	}
+	g0 := tab.y[idx]
+	g := g0 + (v-(tab.lo+float64(idx)*tab.step))*tab.invStep*(tab.y[idx+1]-g0)
+	p := m.scale * g
+	// epsP bounds |p - exact positionF(v)| in taps: the certified
+	// interpolation error scaled into position units, plus an absolute
+	// buffer absorbing the few-ulp discrepancy between scale*g and the
+	// exact path's operation order.
+	epsP := m.scale*tab.eps[idx] + 1e-9
+	if p >= float64(m.cfg.Taps)-epsP {
+		return false // the exact position might clamp at the line's end
+	}
+	edge := m.nomF + m.cfg.Gain*(p-m.nomF)
+	epsE := m.cfg.Gain * epsP
+	yj := edge + jit
+	a := math.Abs(yj)
+	if fr := a - math.Floor(a); math.Abs(fr-0.5) <= epsE {
+		return false // too close to a rounding boundary to certify
+	}
+	pos := m.cfg.quantize(yj)
+	if pos < m.minPos {
+		m.minPos = pos
+	}
+	if pos > m.maxPos {
+		m.maxPos = pos
+	}
+	m.samples++
+	if !m.mono {
+		return true
+	}
+	// The exact path's ratchet condition, decided with certainty: both
+	// margins must exceed the error bound, so the exact edge satisfies
+	// the condition whenever the ratchet fires here. An uncertain
+	// margin just skips the ratchet — sound, merely conservative.
+	const eps = 1e-9
+	c1 := edge - m.cfg.Jitter - (float64(m.minPos) - 0.5 + eps)
+	c2 := (float64(m.maxPos) + 0.5 - eps) - (edge + m.cfg.Jitter)
+	if c1 > epsE && c2 > epsE {
+		if v < m.vLo {
+			m.vLo = v
+		}
+		if v > m.vHi {
+			m.vHi = v
+		}
+	}
+	return true
+}
+
+// gTable is a piecewise-linear tabulation of the alpha-power core
+// g(v) = (v-VThreshold)^Alpha / v over [lo, hi], with a certified
+// per-segment error bound. g depends only on (VThreshold, Alpha), so
+// one table serves every supply bias (Vnom) and process gain a study
+// sweeps — positionF(v) = scale*g(v) with a per-macro scale.
+type gTable struct {
+	lo, hi        float64
+	step, invStep float64
+	y             []float64 // segment knots, len(eps)+1
+	eps           []float64 // per-segment max |interp - g|, with safety margin
+}
+
+const gTableSegs = 1024
+
+// buildGTable tabulates g for one (VThreshold, Alpha) pair. The error
+// bound per segment is the worst interpolation error observed at five
+// interior points, widened 8x (the error curve of a linear interpolant
+// on a smooth function peaks near mid-segment, so dense sampling plus
+// the safety factor comfortably covers the true maximum) plus an
+// ulp-scale floor.
+func buildGTable(vth, alpha float64) *gTable {
+	lo := math.Max(vth+0.05*math.Abs(vth)+1e-3, 0.05)
+	hi := lo + 2.5
+	step := (hi - lo) / gTableSegs
+	t := &gTable{
+		lo: lo, hi: hi, step: step, invStep: 1 / step,
+		y:   make([]float64, gTableSegs+1),
+		eps: make([]float64, gTableSegs),
+	}
+	g := func(v float64) float64 { return math.Pow(v-vth, alpha) / v }
+	for k := range t.y {
+		t.y[k] = g(lo + float64(k)*step)
+	}
+	for k := range t.eps {
+		x0 := lo + float64(k)*step
+		y0, y1 := t.y[k], t.y[k+1]
+		maxErr := 0.0
+		for _, f := range [...]float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			x := x0 + f*step
+			approx := y0 + (x-x0)*t.invStep*(y1-y0)
+			if e := math.Abs(approx - g(x)); e > maxErr {
+				maxErr = e
+			}
+		}
+		t.eps[k] = 8*maxErr + 1e-12*(math.Abs(y0)+math.Abs(y1))
+	}
+	return t
+}
+
+// gTables caches built tables per (VThreshold, Alpha). The cache is
+// capped: a workload churning through unbounded distinct thresholds
+// (fuzzers, adversarial configs) stops building tables rather than
+// accumulating them, and those macros simply keep the exact path.
+var gTables struct {
+	sync.Mutex
+	m map[[2]float64]*gTable
+}
+
+func gTableFor(vth, alpha float64) *gTable {
+	gTables.Lock()
+	defer gTables.Unlock()
+	if t, ok := gTables.m[[2]float64{vth, alpha}]; ok {
+		return t
+	}
+	if len(gTables.m) >= 64 {
+		return nil
+	}
+	if gTables.m == nil {
+		gTables.m = make(map[[2]float64]*gTable)
+	}
+	t := buildGTable(vth, alpha)
+	gTables.m[[2]float64{vth, alpha}] = t
+	return t
 }
 
 // edgePositionF is Config.edgePositionF with the macro's cached model

@@ -40,6 +40,25 @@ func NewExecutor(cfg Config, prog *Program) (*Executor, error) {
 // Cycle returns the number of cycles executed so far.
 func (e *Executor) Cycle() int64 { return e.cycle }
 
+// Reset rewinds the executor to cycle zero and swaps in prog, reusing
+// the pipe bookkeeping allocations. Afterwards the executor behaves
+// exactly as one freshly constructed with NewExecutor(cfg, prog) —
+// profiling loops lean on this to run thousands of programs through
+// one executor without per-program allocation.
+func (e *Executor) Reset(prog *Program) error {
+	if prog == nil || prog.Len() == 0 {
+		return fmt.Errorf("uarch: executor needs a non-empty program")
+	}
+	e.prog = prog
+	e.pos, e.uop, e.cycle = 0, 0, 0
+	for u := range e.pipeFree {
+		for p := range e.pipeFree[u] {
+			e.pipeFree[u][p] = 0
+		}
+	}
+	return nil
+}
+
 // StepCycle executes one clock cycle and returns the dynamic energy
 // (joules) dissipated in it. Static power is not included; callers add
 // cfg.StaticPower * cfg.CycleTime() per cycle.
@@ -152,4 +171,28 @@ func (e *Executor) RunWithCounters(n int) (*signal.Trace, Counters) {
 		}
 	}
 	return tr, c
+}
+
+// MeanEnergyWithCounters executes n cycles (n > 0) and returns the
+// mean per-cycle dynamic energy with the counter view, without
+// materializing a trace. The sum accumulates in cycle order, so the
+// result is bit-identical to RunWithCounters(n) followed by
+// Trace.Mean() — it exists so profiling loops that only need the mean
+// skip the n-sample allocation.
+func (e *Executor) MeanEnergyWithCounters(n int) (float64, Counters) {
+	if n <= 0 {
+		panic(fmt.Sprintf("uarch: MeanEnergyWithCounters over %d cycles", n))
+	}
+	var c Counters
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		energy, dispatched := e.stepCycle()
+		sum += energy
+		c.Cycles++
+		c.MicroOps += int64(dispatched)
+		if dispatched > 0 {
+			c.Groups++
+		}
+	}
+	return sum / float64(n), c
 }

@@ -106,3 +106,60 @@ func TestMultiMicroOpDispatchSplitsAcrossCycles(t *testing.T) {
 		t.Errorf("executor IPC %g vs analytic %g for multi-uop stream", gotIPC, ss.IPC)
 	}
 }
+
+func TestResetMatchesFreshExecutor(t *testing.T) {
+	// Reset + MeanEnergyWithCounters must be bit-identical to a fresh
+	// NewExecutor + RunWithCounters + Trace.Mean — the epi profiler
+	// leans on that equivalence to recycle one executor across the
+	// whole ISA.
+	cfg := DefaultConfig()
+	mns := []string{"CHHSI", "CIB", "SRNM"}
+	ex, err := NewExecutor(cfg, MustProgram("seed", []*isa.Instruction{ins(mns[0])}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, n = 64, 512
+	for _, mn := range mns {
+		p := MustProgram(mn, []*isa.Instruction{ins(mn), ins(mn), ins(mn)})
+		if err := ex.Reset(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < warmup; i++ {
+			ex.StepCycle()
+		}
+		mean, c := ex.MeanEnergyWithCounters(n)
+
+		ref, err := NewExecutor(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < warmup; i++ {
+			ref.StepCycle()
+		}
+		tr, rc := ref.RunWithCounters(n)
+		if want := tr.Mean(); mean != want {
+			t.Errorf("%s: reset mean %g != fresh mean %g", mn, mean, want)
+		}
+		if c != rc {
+			t.Errorf("%s: reset counters %+v != fresh %+v", mn, c, rc)
+		}
+	}
+}
+
+func TestResetAndMeanEnergyAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	p := MustProgram("alloc", []*isa.Instruction{ins("CHHSI"), ins("CIB")})
+	ex, err := NewExecutor(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ex.Reset(p); err != nil {
+			t.Fatal(err)
+		}
+		ex.MeanEnergyWithCounters(256)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+MeanEnergyWithCounters allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -50,7 +50,9 @@ type Config struct {
 	// Batch is the lockstep lane width: consecutive bias steps pack
 	// into the lanes of one batch session — per-lane fixed supplies
 	// let one factored circuit probe several biases per step walk.
-	// Zero selects exec.DefaultBatchWidth; one forces step-per-run.
+	// Zero selects the auto width — the session pool's calibrated
+	// lane width (core.SessionPool.AutoBatchWidth); one forces
+	// step-per-run.
 	// Lanes are never split to feed idle workers — workers contend
 	// for whole chunks by work stealing (exec.MapStolen). Like
 	// Workers, every setting is bit-identical: lanes perform exactly
@@ -174,7 +176,7 @@ func Run(ctx context.Context, p *core.Platform, workloads [core.NumCores]core.Wo
 		return nil
 	}
 	var err error
-	if width := exec.BatchWidth(cfg.Batch, len(biases)); width > 1 {
+	if width := exec.BatchWidthAuto(cfg.Batch, len(biases), sessions.AutoBatchWidth); width > 1 {
 		// Pack consecutive bias steps into lockstep lanes: per-lane
 		// fixed supplies probe several biases through one factored
 		// circuit, one window walk per chunk. Workers contend for
